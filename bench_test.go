@@ -1,0 +1,354 @@
+// Benchmark harness: one benchmark per table and figure of the TPFTL
+// paper's evaluation (§5). Each benchmark runs the corresponding experiment
+// at a reduced scale per iteration and reports the figure's key quantities
+// as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the paper's result set. The full-scale equivalents are
+// produced by cmd/experiments. See DESIGN.md §4 for the experiment index
+// and EXPERIMENTS.md for paper-vs-measured values.
+package tpftl_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/analytic"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// benchScale keeps one iteration under ~a second.
+func benchScale() sim.ExpConfig {
+	return sim.ExpConfig{
+		Requests: 30_000,
+		MSRScale: 128 << 20,
+		Seed:     7,
+		Warmup:   3_000,
+	}
+}
+
+// benchProfiles are the four paper workloads at benchmark scale.
+func benchProfiles() []workload.Profile {
+	e := benchScale()
+	out := workload.DefaultProfiles()
+	for i := range out {
+		if out[i].AddressSpace > e.MSRScale {
+			out[i] = out[i].Scale(e.MSRScale)
+		}
+		// Financial profiles are 512 MB; shrink them too for bench speed.
+		if out[i].AddressSpace > 128<<20 {
+			out[i] = out[i].Scale(128 << 20)
+		}
+	}
+	return out
+}
+
+func benchRun(b *testing.B, o sim.Options) *sim.Result {
+	b.Helper()
+	r, err := sim.Run(o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// BenchmarkTable2DFTLDeviation regenerates Table 2: DFTL's performance and
+// erasure deviation from the optimal FTL, reported per workload.
+func BenchmarkTable2DFTLDeviation(b *testing.B) {
+	e := benchScale()
+	for _, p := range benchProfiles() {
+		p := p
+		b.Run(p.Name, func(b *testing.B) {
+			var perf, erase float64
+			for i := 0; i < b.N; i++ {
+				var cells []sim.ComparisonCell
+				for _, s := range []sim.Scheme{sim.SchemeDFTL, sim.SchemeOptimal} {
+					r := benchRun(b, sim.Options{
+						Scheme: s, Profile: p, Requests: e.Requests, Seed: e.Seed,
+						ResetAfterWarmup: e.Warmup, Precondition: 1,
+					})
+					cells = append(cells, sim.ComparisonCell{
+						Workload: p.Name, Scheme: s,
+						Resp: r.M.AvgResponse(), Erases: r.M.FlashErases,
+					})
+				}
+				rows := sim.Table2(cells)
+				perf, erase = rows[0].Performance, rows[0].Erasure
+			}
+			b.ReportMetric(perf*100, "perf-dev-%")
+			b.ReportMetric(erase*100, "erase-dev-%")
+		})
+	}
+}
+
+// BenchmarkFig1CacheDistribution regenerates Fig. 1: the distribution of
+// entries in DFTL's mapping cache, sampled during the run.
+func BenchmarkFig1CacheDistribution(b *testing.B) {
+	e := benchScale()
+	for _, p := range benchProfiles() {
+		p := p
+		b.Run(p.Name, func(b *testing.B) {
+			var avgEntries, meanDirty float64
+			for i := 0; i < b.N; i++ {
+				r := benchRun(b, sim.Options{
+					Scheme: sim.SchemeDFTL, Profile: p, Requests: e.Requests,
+					Seed: e.Seed, SampleEvery: 2_000, Precondition: 1,
+				})
+				var entries, pages, dirtySum, dirtyPages float64
+				for _, s := range r.Samples {
+					entries += float64(s.Entries)
+					pages += float64(s.TPNodes)
+					dirtySum += float64(s.DirtyEntries)
+					dirtyPages += float64(s.TPNodes)
+				}
+				if pages > 0 {
+					avgEntries = entries / pages
+					meanDirty = dirtySum / dirtyPages
+				}
+			}
+			b.ReportMetric(avgEntries, "entries/cachedTP")
+			b.ReportMetric(meanDirty, "dirty/cachedTP")
+		})
+	}
+}
+
+// BenchmarkFig2SpatialLocality regenerates Fig. 2b: the number of cached
+// translation pages over time under Financial1 (its dips mark sequential
+// phases).
+func BenchmarkFig2SpatialLocality(b *testing.B) {
+	e := benchScale()
+	p := benchProfiles()[0] // Financial1
+	var minTP, maxTP int
+	for i := 0; i < b.N; i++ {
+		r := benchRun(b, sim.Options{
+			Scheme: sim.SchemeDFTL, Profile: p, Requests: e.Requests,
+			Seed: e.Seed, SampleEvery: 1_000, Precondition: 1,
+		})
+		minTP, maxTP = 1<<30, 0
+		for _, s := range r.Samples {
+			if s.TPNodes < minTP {
+				minTP = s.TPNodes
+			}
+			if s.TPNodes > maxTP {
+				maxTP = s.TPNodes
+			}
+		}
+	}
+	b.ReportMetric(float64(minTP), "minTPnodes")
+	b.ReportMetric(float64(maxTP), "maxTPnodes")
+}
+
+// BenchmarkFig6Comparison regenerates Figs. 6a-6f: the four schemes over
+// the four workloads. Metrics per sub-benchmark: Prd, hit ratio,
+// translation reads/writes, response time and write amplification.
+func BenchmarkFig6Comparison(b *testing.B) {
+	e := benchScale()
+	for _, p := range benchProfiles() {
+		for _, s := range sim.Schemes() {
+			p, s := p, s
+			b.Run(p.Name+"/"+string(s), func(b *testing.B) {
+				var m *sim.Result
+				for i := 0; i < b.N; i++ {
+					m = benchRun(b, sim.Options{
+						Scheme: s, Profile: p, Requests: e.Requests, Seed: e.Seed,
+						ResetAfterWarmup: e.Warmup, Precondition: 1,
+					})
+				}
+				b.ReportMetric(m.M.Prd()*100, "Prd-%")
+				b.ReportMetric(m.M.Hr()*100, "Hr-%")
+				b.ReportMetric(float64(m.M.TransReads()), "transReads")
+				b.ReportMetric(float64(m.M.TransWrites()), "transWrites")
+				b.ReportMetric(float64(m.M.AvgResponse().Microseconds()), "resp-µs")
+				b.ReportMetric(m.M.WriteAmplification(), "WA")
+			})
+		}
+	}
+}
+
+// BenchmarkFig7Erases regenerates Fig. 7a: block erase counts per scheme
+// (normalized against DFTL offline).
+func BenchmarkFig7Erases(b *testing.B) {
+	e := benchScale()
+	p := benchProfiles()[0]
+	for _, s := range sim.Schemes() {
+		s := s
+		b.Run(string(s), func(b *testing.B) {
+			var erases int64
+			for i := 0; i < b.N; i++ {
+				r := benchRun(b, sim.Options{
+					Scheme: s, Profile: p, Requests: e.Requests, Seed: e.Seed,
+					ResetAfterWarmup: e.Warmup, Precondition: 1,
+				})
+				erases = r.M.FlashErases
+			}
+			b.ReportMetric(float64(erases), "erases")
+		})
+	}
+}
+
+// BenchmarkFig7Ablation regenerates Figs. 7b/7c: per-technique Prd and hit
+// ratio on Financial1.
+func BenchmarkFig7Ablation(b *testing.B) {
+	benchAblation(b, func(b *testing.B, c sim.AblationCell) {
+		b.ReportMetric(c.Prd*100, "Prd-%")
+		b.ReportMetric(c.Hr*100, "Hr-%")
+	})
+}
+
+// BenchmarkFig8Ablation regenerates Figs. 8a/8b: per-technique response
+// time and write amplification on Financial1.
+func BenchmarkFig8Ablation(b *testing.B) {
+	benchAblation(b, func(b *testing.B, c sim.AblationCell) {
+		b.ReportMetric(float64(c.Resp.Microseconds()), "resp-µs")
+		b.ReportMetric(c.WA, "WA")
+	})
+}
+
+func benchAblation(b *testing.B, report func(*testing.B, sim.AblationCell)) {
+	e := benchScale()
+	p := benchProfiles()[0]
+	for _, cfg := range sim.AblationVariants(0) {
+		cfg := cfg
+		b.Run(cfg.VariantName(), func(b *testing.B) {
+			var cell sim.AblationCell
+			for i := 0; i < b.N; i++ {
+				r := benchRun(b, sim.Options{
+					Scheme: sim.SchemeTPFTL, TPFTL: &cfg, Profile: p,
+					Requests: e.Requests, Seed: e.Seed,
+					ResetAfterWarmup: e.Warmup, Precondition: 1,
+				})
+				cell = sim.AblationCell{
+					Variant: r.Variant, Prd: r.M.Prd(), Hr: r.M.Hr(),
+					Resp: r.M.AvgResponse(), WA: r.M.WriteAmplification(),
+				}
+			}
+			report(b, cell)
+		})
+	}
+}
+
+// BenchmarkFig9CacheSweep regenerates Figs. 8c and 9a-9c: TPFTL across
+// cache sizes (fractions of the full mapping table).
+func BenchmarkFig9CacheSweep(b *testing.B) {
+	e := benchScale()
+	p := benchProfiles()[0]
+	for _, frac := range []float64{1.0 / 128, 1.0 / 32, 1.0 / 8, 1.0 / 2, 1} {
+		frac := frac
+		name := "1"
+		if frac < 1 {
+			name = "1over" + itoa(int(1/frac+0.5))
+		}
+		b.Run(name, func(b *testing.B) {
+			var m *sim.Result
+			for i := 0; i < b.N; i++ {
+				m = benchRun(b, sim.Options{
+					Scheme: sim.SchemeTPFTL, Profile: p, Requests: e.Requests,
+					Seed: e.Seed, CacheFraction: frac,
+					ResetAfterWarmup: e.Warmup, Precondition: 1,
+				})
+			}
+			b.ReportMetric(m.M.Prd()*100, "Prd-%")
+			b.ReportMetric(m.M.Hr()*100, "Hr-%")
+			b.ReportMetric(float64(m.M.AvgResponse().Microseconds()), "resp-µs")
+			b.ReportMetric(m.M.WriteAmplification(), "WA")
+		})
+	}
+}
+
+// BenchmarkFig10SpaceUtilization regenerates Fig. 10: TPFTL's cache
+// space-utilization improvement over DFTL (mean cached entries under the
+// same budget).
+func BenchmarkFig10SpaceUtilization(b *testing.B) {
+	e := benchScale()
+	p := benchProfiles()[0]
+	for _, frac := range []float64{1.0 / 128, 1.0 / 32, 1.0 / 8} {
+		frac := frac
+		b.Run("1over"+itoa(int(1/frac+0.5)), func(b *testing.B) {
+			var improvement float64
+			for i := 0; i < b.N; i++ {
+				mean := func(s sim.Scheme) float64 {
+					r := benchRun(b, sim.Options{
+						Scheme: s, Profile: p, Requests: e.Requests, Seed: e.Seed,
+						CacheFraction: frac, SampleEvery: 2_000, Precondition: 1,
+					})
+					var sum float64
+					for _, smp := range r.Samples {
+						sum += float64(smp.Entries)
+					}
+					if len(r.Samples) == 0 {
+						return 0
+					}
+					return sum / float64(len(r.Samples))
+				}
+				d := mean(sim.SchemeDFTL)
+				t := mean(sim.SchemeTPFTL)
+				if d > 0 {
+					improvement = (t/d - 1) * 100
+				}
+			}
+			b.ReportMetric(improvement, "improvement-%")
+		})
+	}
+}
+
+// BenchmarkModelValidation evaluates the §3.1 analytic models on measured
+// DFTL parameters and reports the model-vs-simulator write amplification.
+func BenchmarkModelValidation(b *testing.B) {
+	e := benchScale()
+	p := benchProfiles()[0]
+	var modelWA, measuredWA float64
+	for i := 0; i < b.N; i++ {
+		r := benchRun(b, sim.Options{
+			Scheme: sim.SchemeDFTL, Profile: p, Requests: e.Requests, Seed: e.Seed,
+			ResetAfterWarmup: e.Warmup, Precondition: 1,
+		})
+		m := r.M
+		params := analytic.Params{
+			Hr: m.Hr(), Prd: m.Prd(), Hgcr: m.Hgcr(), Rw: m.Rw(),
+			Vd: m.Vd(), Vt: m.Vt(), Np: 64, Npa: float64(m.PageAccesses()),
+			Tfr: 25 * time.Microsecond, Tfw: 200 * time.Microsecond,
+			Tfe: 1500 * time.Microsecond,
+		}
+		modelWA = params.WA()
+		measuredWA = m.WriteAmplification()
+	}
+	b.ReportMetric(modelWA, "model-WA")
+	b.ReportMetric(measuredWA, "measured-WA")
+}
+
+// BenchmarkDeviceThroughput measures raw simulator speed: page accesses per
+// second through a TPFTL device (not a paper figure; a harness health
+// metric).
+func BenchmarkDeviceThroughput(b *testing.B) {
+	e := benchScale()
+	p := benchProfiles()[0]
+	reqs, err := workload.Generate(p, e.Requests, e.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var accesses int64
+	for i := 0; i < b.N; i++ {
+		r := benchRun(b, sim.Options{
+			Scheme: sim.SchemeTPFTL, Profile: p, Trace: reqs, Precondition: 1,
+		})
+		accesses = r.M.PageAccesses()
+	}
+	b.ReportMetric(float64(accesses), "pageAccesses/op")
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

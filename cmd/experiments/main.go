@@ -1,0 +1,408 @@
+// Command experiments regenerates every table and figure of the TPFTL
+// paper's evaluation (§5) and prints them as text tables.
+//
+// Experiments (-exp):
+//
+//	table2  Table 2  — DFTL's deviation from the optimal FTL
+//	fig1    Fig. 1   — distribution of entries in DFTL's mapping cache
+//	fig2    Fig. 2b  — cached translation pages over time (Financial1)
+//	fig6    Fig. 6   — scheme comparison: Prd, Hr, translation I/O,
+//	                   response time, write amplification
+//	fig7    Fig. 7   — block erase counts; ablation Prd and hit ratio
+//	fig8    Fig. 8   — ablation response time / WA; cache-size sweep Prd
+//	fig9    Fig. 9   — cache-size sweep: hit ratio, response time, WA
+//	fig10   Fig. 10  — cache space-utilization improvement over DFTL
+//	model   Eq. 1-13 — analytic model evaluated on measured parameters
+//	all     everything above
+//
+// The default scale (300k requests, MSR workloads at 2 GB) regenerates the
+// paper's shapes in minutes; -requests and -msrscale restore full scale.
+// -allschemes adds the related-work schemes (CDFTL, ZFTL) to the comparison
+// and -json writes machine-readable results alongside the tables.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/analytic"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: all, table2, fig1, fig2, fig6, fig7, fig8, fig9, fig10, model")
+		requests = flag.Int("requests", 0, "requests per run (default 300000)")
+		msrScale = flag.Int64("msrscale", 0, "MSR address-space scale in bytes (default 2 GiB; 0 keeps default, use 17179869184 for the paper's 16 GiB)")
+		seed     = flag.Int64("seed", 0, "workload seed (default 42)")
+		allSch   = flag.Bool("allschemes", false, "include CDFTL and ZFTL in the comparison")
+		jsonOut  = flag.String("json", "", "also write machine-readable results to this file")
+	)
+	flag.Parse()
+	e := sim.ExpConfig{Requests: *requests, MSRScale: *msrScale, Seed: *seed, AllSchemes: *allSch}.Defaults()
+	collect := newCollector(*jsonOut)
+	defer collect.write()
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(strings.ToLower(name))] = true
+	}
+	all := want["all"]
+
+	start := time.Now()
+	run := func(name string, fn func(sim.ExpConfig) error) {
+		if !all && !want[name] {
+			return
+		}
+		t0 := time.Now()
+		if err := fn(e); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s done in %v]\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	// fig6/fig7a/table2 share one comparison sweep; run it once.
+	if all || want["table2"] || want["fig6"] || want["fig7"] {
+		t0 := time.Now()
+		cells, err := e.RunComparison()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: comparison:", err)
+			os.Exit(1)
+		}
+		collect.add("comparison", cells)
+		if all || want["fig6"] {
+			printFig6(cells)
+		}
+		if all || want["fig7"] {
+			printFig7a(cells)
+		}
+		if all || want["table2"] {
+			printTable2(cells)
+			collect.add("table2", sim.Table2(cells))
+		}
+		fmt.Printf("[comparison done in %v]\n\n", time.Since(t0).Round(time.Millisecond))
+	}
+	run("fig1", func(e sim.ExpConfig) error { return runFig1(e) })
+	run("fig2", func(e sim.ExpConfig) error { return runFig2(e) })
+	if all || want["fig7"] || want["fig8"] {
+		t0 := time.Now()
+		cells, err := e.RunAblation()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: ablation:", err)
+			os.Exit(1)
+		}
+		printAblation(cells)
+		collect.add("ablation", cells)
+		fmt.Printf("[ablation done in %v]\n\n", time.Since(t0).Round(time.Millisecond))
+	}
+	if all || want["fig8"] || want["fig9"] {
+		t0 := time.Now()
+		cells, err := e.RunCacheSweep()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: sweep:", err)
+			os.Exit(1)
+		}
+		printSweep(cells)
+		collect.add("cacheSweep", cells)
+		fmt.Printf("[cache sweep done in %v]\n\n", time.Since(t0).Round(time.Millisecond))
+	}
+	run("fig10", func(e sim.ExpConfig) error { return runFig10(e) })
+	run("model", func(e sim.ExpConfig) error { return runModel(e) })
+
+	fmt.Printf("total %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func printFig6(cells []sim.ComparisonCell) {
+	workloads := sim.WorkloadsOf(cells)
+	schemes := sim.SchemesOf(cells)
+	byKey := map[string]map[sim.Scheme]sim.ComparisonCell{}
+	for _, c := range cells {
+		if byKey[c.Workload] == nil {
+			byKey[c.Workload] = map[sim.Scheme]sim.ComparisonCell{}
+		}
+		byKey[c.Workload][c.Scheme] = c
+	}
+	header := func(title string) {
+		fmt.Println(title)
+		fmt.Printf("%-12s", "workload")
+		for _, s := range schemes {
+			fmt.Printf("%12s", s)
+		}
+		fmt.Println()
+	}
+	row := func(w string, get func(sim.ComparisonCell) string) {
+		fmt.Printf("%-12s", w)
+		for _, s := range schemes {
+			fmt.Printf("%12s", get(byKey[w][s]))
+		}
+		fmt.Println()
+	}
+
+	header("Fig. 6a — probability of replacing a dirty entry")
+	for _, w := range workloads {
+		row(w, func(c sim.ComparisonCell) string { return fmt.Sprintf("%.1f%%", c.Prd*100) })
+	}
+	fmt.Println()
+
+	header("Fig. 6b — cache hit ratio")
+	for _, w := range workloads {
+		row(w, func(c sim.ComparisonCell) string { return fmt.Sprintf("%.1f%%", c.Hr*100) })
+	}
+	fmt.Println()
+
+	norm := sim.NormalizeToDFTL(cells, func(c sim.ComparisonCell) float64 { return float64(c.TReads) })
+	header("Fig. 6c — translation page reads (normalized to DFTL)")
+	for _, w := range workloads {
+		row(w, func(c sim.ComparisonCell) string { return fmt.Sprintf("%.3f", norm[w][c.Scheme]) })
+	}
+	fmt.Println()
+
+	norm = sim.NormalizeToDFTL(cells, func(c sim.ComparisonCell) float64 { return float64(c.TWrites) })
+	header("Fig. 6d — translation page writes (normalized to DFTL)")
+	for _, w := range workloads {
+		row(w, func(c sim.ComparisonCell) string { return fmt.Sprintf("%.3f", norm[w][c.Scheme]) })
+	}
+	fmt.Println()
+
+	norm = sim.NormalizeToDFTL(cells, func(c sim.ComparisonCell) float64 { return float64(c.Resp) })
+	header("Fig. 6e — system response time (normalized to DFTL)")
+	for _, w := range workloads {
+		row(w, func(c sim.ComparisonCell) string { return fmt.Sprintf("%.3f", norm[w][c.Scheme]) })
+	}
+	fmt.Println()
+
+	header("Fig. 6f — write amplification")
+	for _, w := range workloads {
+		row(w, func(c sim.ComparisonCell) string { return fmt.Sprintf("%.2f", c.WA) })
+	}
+	fmt.Println()
+}
+
+func printFig7a(cells []sim.ComparisonCell) {
+	workloads := sim.WorkloadsOf(cells)
+	schemes := sim.SchemesOf(cells)
+	norm := sim.NormalizeToDFTL(cells, func(c sim.ComparisonCell) float64 { return float64(c.Erases) })
+	fmt.Println("Fig. 7a — block erase count (normalized to DFTL)")
+	fmt.Printf("%-12s", "workload")
+	for _, s := range schemes {
+		fmt.Printf("%12s", s)
+	}
+	fmt.Println()
+	for _, w := range workloads {
+		fmt.Printf("%-12s", w)
+		for _, s := range schemes {
+			fmt.Printf("%12.3f", norm[w][s])
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+}
+
+func printTable2(cells []sim.ComparisonCell) {
+	fmt.Println("Table 2 — deviations of DFTL from the optimal FTL")
+	fmt.Printf("%-12s %12s %12s\n", "workload", "performance", "erasure")
+	for _, r := range sim.Table2(cells) {
+		fmt.Printf("%-12s %11.1f%% %11.1f%%\n", r.Workload, r.Performance*100, r.Erasure*100)
+	}
+	fmt.Println()
+}
+
+func runFig1(e sim.ExpConfig) error {
+	results, err := e.RunCacheDistribution()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Fig. 1a — average number of entries in each cached translation page (DFTL)")
+	fmt.Printf("%-12s %10s %10s %10s\n", "workload", "min", "mean", "max")
+	for _, r := range results {
+		min, max, sum := 1e18, 0.0, 0.0
+		for _, v := range r.AvgEntriesPerTP {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+			sum += v
+		}
+		mean := 0.0
+		if n := len(r.AvgEntriesPerTP); n > 0 {
+			mean = sum / float64(n)
+		} else {
+			min = 0
+		}
+		fmt.Printf("%-12s %10.1f %10.1f %10.1f\n", r.Workload, min, mean, max)
+	}
+	fmt.Println()
+	fmt.Println("Fig. 1b — CDF of dirty entries per cached translation page (DFTL)")
+	fmt.Printf("%-12s %10s %14s %14s %14s\n", "workload", "mean", "P(≤1 dirty)", "P(≤5 dirty)", "P(≤15 dirty)")
+	for _, r := range results {
+		at := func(k int) float64 {
+			if len(r.DirtyCDF) == 0 {
+				return 0
+			}
+			if k >= len(r.DirtyCDF) {
+				k = len(r.DirtyCDF) - 1
+			}
+			return r.DirtyCDF[k]
+		}
+		fmt.Printf("%-12s %10.2f %13.1f%% %13.1f%% %13.1f%%\n",
+			r.Workload, r.MeanDirtyPerTP, at(1)*100, at(5)*100, at(15)*100)
+	}
+	fmt.Println()
+	return nil
+}
+
+func runFig2(e sim.ExpConfig) error {
+	r, err := e.RunSpatialLocality()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Fig. 2b — cached translation pages in DFTL over time (Financial1)")
+	// Bucket the series; min/max per bucket expose the dips that mark
+	// sequential phases (the paper's ovals).
+	n := len(r.TPNodes)
+	if n == 0 {
+		fmt.Println("(no samples)")
+		return nil
+	}
+	buckets := 20
+	if n < buckets {
+		buckets = n
+	}
+	fmt.Printf("%14s %8s %8s %8s\n", "page accesses", "min", "mean", "max")
+	for b := 0; b < buckets; b++ {
+		lo, hi := b*n/buckets, (b+1)*n/buckets
+		min, max, sum := 1<<30, 0, 0
+		for i := lo; i < hi; i++ {
+			v := r.TPNodes[i]
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+			sum += v
+		}
+		fmt.Printf("%14d %8d %8.1f %8d\n", r.PageAccesses[lo], min, float64(sum)/float64(hi-lo), max)
+	}
+	fmt.Println()
+	return nil
+}
+
+func printAblation(cells []sim.AblationCell) {
+	fmt.Println("Figs. 7b/7c/8a/8b — benefits of each TPFTL technique (Financial1)")
+	fmt.Printf("%-8s %10s %10s %14s %8s\n", "variant", "Prd", "hit ratio", "resp time", "WA")
+	for _, c := range cells {
+		fmt.Printf("%-8s %9.1f%% %9.1f%% %14v %8.2f\n",
+			c.Variant, c.Prd*100, c.Hr*100, c.Resp.Round(time.Microsecond), c.WA)
+	}
+	fmt.Println()
+}
+
+func printSweep(cells []sim.SweepCell) {
+	sim.SortSweep(cells)
+	fmt.Println("Figs. 8c/9 — impact of cache sizes on TPFTL")
+	fmt.Printf("%-12s %10s %10s %10s %14s %8s\n", "workload", "cache", "Prd", "hit ratio", "resp time", "WA")
+	for _, c := range cells {
+		fmt.Printf("%-12s %10s %9.1f%% %9.1f%% %14v %8.2f\n",
+			c.Workload, fracName(c.Fraction), c.Prd*100, c.Hr*100, c.Resp.Round(time.Microsecond), c.WA)
+	}
+	fmt.Println()
+}
+
+func runFig10(e sim.ExpConfig) error {
+	cells, err := e.RunSpaceUtilization()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Fig. 10 — improvement of cache space utilization over DFTL")
+	fmt.Printf("%-12s %10s %14s\n", "workload", "cache", "improvement")
+	for _, c := range cells {
+		fmt.Printf("%-12s %10s %13.1f%%\n", c.Workload, fracName(c.Fraction), c.Improvement*100)
+	}
+	fmt.Println()
+	return nil
+}
+
+func runModel(e sim.ExpConfig) error {
+	// Evaluate the §3.1 models on measured DFTL parameters (Financial1).
+	r, err := sim.Run(sim.Options{
+		Scheme:           sim.SchemeDFTL,
+		Profile:          workload.Financial1(),
+		Requests:         e.Requests,
+		Seed:             e.Seed,
+		ResetAfterWarmup: e.Warmup,
+		Precondition:     e.Precondition,
+	})
+	if err != nil {
+		return err
+	}
+	m := r.M
+	p := analytic.Params{
+		Hr: m.Hr(), Prd: m.Prd(), Hgcr: m.Hgcr(), Rw: m.Rw(),
+		Vd: m.Vd(), Vt: m.Vt(), Np: 64, Npa: float64(m.PageAccesses()),
+		Tfr: 25 * time.Microsecond, Tfw: 200 * time.Microsecond, Tfe: 1500 * time.Microsecond,
+	}
+	fmt.Println("Analytic models (Eqs. 1–13) on measured DFTL parameters, Financial1")
+	fmt.Printf("inputs: Hr=%.3f Prd=%.3f Hgcr=%.3f Rw=%.3f Vd=%.1f Vt=%.1f Npa=%d\n",
+		p.Hr, p.Prd, p.Hgcr, p.Rw, p.Vd, p.Vt, int64(p.Npa))
+	fmt.Printf("Eq. 1  Tat  (mean translation time)        %v\n", p.Tat().Round(time.Nanosecond))
+	fmt.Printf("Eq. 8  Ntw  model %.0f   measured %d\n", p.Ntw(), m.TransWritesAT)
+	fmt.Printf("Eq. 7  Ngcd model %.0f   measured %d\n", p.Ngcd(), m.GCDataCollections)
+	fmt.Printf("Eq. 2  Nmd  model %.0f   measured %d\n", p.Nmd(), m.GCDataMigrations)
+	fmt.Printf("Eq. 3  Ndt  model %.0f   measured GC misses %d (flash writes %d after batching)\n",
+		p.Ndt(), m.GCMapUpdates-m.GCMapHits, m.TransWritesGC)
+	fmt.Printf("Eq. 10 Tgcd (data GC per access)           %v\n", p.Tgcd().Round(time.Nanosecond))
+	fmt.Printf("Eq. 11 Tgct (translation GC per access)    %v\n", p.Tgct().Round(time.Nanosecond))
+	fmt.Printf("Eq. 13 WA   model %.2f  measured %.2f (model upper-bounds: it ignores batching)\n",
+		p.WA(), m.WriteAmplification())
+	fmt.Println()
+	return nil
+}
+
+func fracName(f float64) string {
+	if f >= 1 {
+		return "1"
+	}
+	return fmt.Sprintf("1/%d", int(1/f+0.5))
+}
+
+// collector accumulates experiment results for optional JSON output.
+type collector struct {
+	path string
+	data map[string]any
+}
+
+func newCollector(path string) *collector {
+	return &collector{path: path, data: map[string]any{}}
+}
+
+func (c *collector) add(name string, v any) {
+	if c.path == "" {
+		return
+	}
+	c.data[name] = v
+}
+
+func (c *collector) write() {
+	if c.path == "" || len(c.data) == 0 {
+		return
+	}
+	blob, err := json.MarshalIndent(c.data, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: encoding json:", err)
+		return
+	}
+	if err := os.WriteFile(c.path, blob, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: writing json:", err)
+		return
+	}
+	fmt.Printf("wrote %s\n", c.path)
+}

@@ -1,0 +1,159 @@
+// Command ftlsim runs one FTL simulation and prints the paper's metrics.
+//
+// Examples:
+//
+//	ftlsim -scheme TPFTL -workload Financial1 -requests 300000
+//	ftlsim -scheme DFTL -workload MSR-ts -scale 2147483648
+//	ftlsim -scheme TPFTL -trace fin1.spc -format spc -space 536870912
+//	ftlsim -scheme TPFTL -variant bc -workload Financial1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	tpftl "repro"
+	"repro/internal/core"
+	"repro/internal/ftl"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		scheme    = flag.String("scheme", "TPFTL", "FTL scheme: TPFTL, DFTL, S-FTL, CDFTL, ZFTL, Optimal")
+		wl        = flag.String("workload", "Financial1", "workload profile: Financial1, Financial2, MSR-ts, MSR-src")
+		requests  = flag.Int("requests", 300_000, "number of requests to generate")
+		seed      = flag.Int64("seed", 42, "workload seed")
+		scale     = flag.Int64("scale", 0, "override the workload's address space in bytes")
+		cache     = flag.Int64("cache", 0, "mapping cache budget in bytes (0 = paper convention)")
+		fraction  = flag.Float64("fraction", 0, "cache budget as a fraction of the full mapping table (overrides -cache)")
+		warmup    = flag.Int("warmup", 0, "requests served before metrics reset (default requests/10)")
+		precond   = flag.Float64("precondition", 1.5, "preconditioning passes over the workload footprint")
+		traceFile = flag.String("trace", "", "replay a trace file instead of generating a workload")
+		format    = flag.String("format", "spc", "trace file format: spc, msr, native")
+		space     = flag.Int64("space", 0, "device capacity in bytes when replaying a trace")
+		variant   = flag.String("variant", "", "TPFTL technique subset, e.g. \"rsbc\", \"bc\", \"-\" (default full)")
+		gcPolicy  = flag.String("gc", "greedy", "GC victim policy: greedy, cost-benefit")
+		wearLevel = flag.Int("wearlevel", 0, "static wear-leveling threshold in erases (0 = off)")
+	)
+	flag.Parse()
+	if err := run(*scheme, *wl, *requests, *seed, *scale, *cache, *fraction,
+		*warmup, *precond, *traceFile, *format, *space, *variant, *gcPolicy, *wearLevel); err != nil {
+		fmt.Fprintln(os.Stderr, "ftlsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scheme, wl string, requests int, seed, scale, cache int64, fraction float64,
+	warmup int, precond float64, traceFile, format string, space int64, variant, gcPolicy string, wearLevel int) error {
+	profile, err := workload.ProfileByName(wl)
+	if err != nil {
+		return err
+	}
+	opts := sim.Options{
+		Scheme:        sim.Scheme(scheme),
+		Profile:       profile,
+		Requests:      requests,
+		Seed:          seed,
+		AddressSpace:  scale,
+		CacheBytes:    cache,
+		CacheFraction: fraction,
+		Precondition:  precond,
+	}
+	switch gcPolicy {
+	case "", "greedy":
+		opts.GCPolicy = ftl.GCGreedy
+	case "cost-benefit", "costbenefit", "cb":
+		opts.GCPolicy = ftl.GCCostBenefit
+	default:
+		return fmt.Errorf("unknown GC policy %q", gcPolicy)
+	}
+	opts.WearLevelThreshold = wearLevel
+	if warmup == 0 {
+		warmup = requests / 10
+	}
+	opts.ResetAfterWarmup = warmup
+
+	if variant != "" {
+		cfg := variantConfig(variant)
+		opts.TPFTL = &cfg
+	}
+
+	if traceFile != "" {
+		f, err := os.Open(traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		reqs, err := tpftl.ParseTrace(f, format)
+		if err != nil {
+			return err
+		}
+		opts.Trace = reqs
+		if space == 0 {
+			return fmt.Errorf("-space is required with -trace (the paper sizes the SSD to the trace's address space)")
+		}
+		opts.AddressSpace = space
+	}
+
+	res, err := tpftl.Run(opts)
+	if err != nil {
+		return err
+	}
+	printResult(res)
+	return nil
+}
+
+// variantConfig builds a TPFTL configuration from an "rsbc" monogram
+// ("-" or "" selects the bare two-level variant).
+func variantConfig(v string) core.Config {
+	cfg := core.Config{CompressEntries: true}
+	for _, c := range strings.ToLower(v) {
+		switch c {
+		case 'r':
+			cfg.RequestPrefetch = true
+		case 's':
+			cfg.SelectivePrefetch = true
+		case 'b':
+			cfg.BatchUpdate = true
+		case 'c':
+			cfg.CleanFirst = true
+		}
+	}
+	return cfg
+}
+
+func printResult(r *tpftl.Result) {
+	m := r.M
+	name := string(r.Scheme)
+	if r.Variant != "" && r.Variant != "rsbc" {
+		name += "(" + r.Variant + ")"
+	}
+	fmt.Printf("scheme            %s\n", name)
+	fmt.Printf("workload          %s\n", r.Workload)
+	fmt.Printf("cache budget      %d B\n", r.CacheBytes)
+	fmt.Printf("requests          %d (%d page reads, %d page writes)\n",
+		m.Requests, m.PageReads, m.PageWrites)
+	fmt.Println()
+	fmt.Printf("hit ratio (Hr)            %6.2f%%\n", m.Hr()*100)
+	fmt.Printf("dirty replacement (Prd)   %6.2f%%\n", m.Prd()*100)
+	fmt.Printf("GC map hit ratio (Hgcr)   %6.2f%%\n", m.Hgcr()*100)
+	fmt.Println()
+	fmt.Printf("translation page reads    %8d (AT %d, GC %d)\n",
+		m.TransReads(), m.TransReadsAT, m.TransReadsGC)
+	fmt.Printf("translation page writes   %8d (AT %d, GC %d, migrated %d)\n",
+		m.TransWrites(), m.TransWritesAT, m.TransWritesGC, m.GCTransMigrations)
+	fmt.Printf("GC collections            %8d data, %d translation\n",
+		m.GCDataCollections, m.GCTransCollections)
+	fmt.Printf("Vd / Vt                   %8.2f / %.2f valid pages per victim\n", m.Vd(), m.Vt())
+	fmt.Println()
+	fmt.Printf("avg response time         %v (service %v, max %v)\n",
+		m.AvgResponse(), m.AvgService(), m.MaxResponse)
+	fmt.Printf("response percentiles      p50 %v, p95 %v, p99 %v\n",
+		m.ResponsePercentile(0.50), m.ResponsePercentile(0.95), m.ResponsePercentile(0.99))
+	fmt.Printf("write amplification       %8.3f\n", m.WriteAmplification())
+	fmt.Printf("block erases              %8d\n", m.FlashErases)
+}

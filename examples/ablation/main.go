@@ -1,0 +1,59 @@
+// Ablation: reproduce the paper's §5.2(5) technique study on a small scale.
+// Each TPFTL technique — request-level prefetching (r), selective
+// prefetching (s), batch-update replacement (b), clean-first replacement
+// (c) — is toggled independently on the Financial1 workload, showing which
+// technique buys which improvement (Figs. 7b/7c/8a/8b).
+//
+//	go run ./examples/ablation
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	tpftl "repro"
+)
+
+func main() {
+	profile := tpftl.Financial1()
+	profile.AddressSpace = 128 << 20 // shrink for example speed
+
+	variants := []tpftl.TPFTLConfig{
+		{CompressEntries: true}, // "–": bare two-level lists
+		{CompressEntries: true, BatchUpdate: true},
+		{CompressEntries: true, CleanFirst: true},
+		{CompressEntries: true, BatchUpdate: true, CleanFirst: true},
+		{CompressEntries: true, RequestPrefetch: true},
+		{CompressEntries: true, SelectivePrefetch: true},
+		{CompressEntries: true, RequestPrefetch: true, SelectivePrefetch: true},
+		{CompressEntries: true, RequestPrefetch: true, SelectivePrefetch: true,
+			BatchUpdate: true, CleanFirst: true}, // "rsbc": complete TPFTL
+	}
+
+	fmt.Println("TPFTL technique ablation on Financial1 (r=request prefetch,")
+	fmt.Println("s=selective prefetch, b=batch update, c=clean first)")
+	fmt.Printf("%-8s %10s %12s %14s %8s\n", "variant", "Prd", "hit ratio", "response", "WA")
+	for _, cfg := range variants {
+		cfg := cfg
+		res, err := tpftl.Run(tpftl.Options{
+			Scheme:           tpftl.TPFTL,
+			TPFTL:            &cfg,
+			Profile:          profile,
+			Requests:         60_000,
+			Seed:             7,
+			ResetAfterWarmup: 6_000,
+			Precondition:     1.5,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := res.M
+		fmt.Printf("%-8s %9.1f%% %11.1f%% %14v %8.2f\n",
+			res.Variant, m.Prd()*100, m.Hr()*100,
+			m.AvgResponse().Round(time.Microsecond), m.WriteAmplification())
+	}
+	fmt.Println()
+	fmt.Println("expected shape (paper §5.2(5)): 'b' collapses Prd; 'c' helps 'b'")
+	fmt.Println("further; 'r'+'s' raise the hit ratio; 'rsbc' combines both.")
+}

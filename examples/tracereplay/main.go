@@ -1,0 +1,83 @@
+// Trace replay: run an on-disk block trace through an FTL. Supports the
+// UMass Financial SPC format and the MSR Cambridge CSV format, the two
+// trace families of the paper's evaluation. Without arguments it generates
+// a small Financial1-like trace in memory, writes it in SPC format and
+// replays that, so the example is self-contained.
+//
+//	go run ./examples/tracereplay [-trace file -format spc|msr -space bytes]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	tpftl "repro"
+)
+
+func main() {
+	var (
+		file   = flag.String("trace", "", "trace file (default: generate a sample in memory)")
+		format = flag.String("format", "spc", "trace format: spc, msr, native")
+		space  = flag.Int64("space", 512<<20, "device capacity in bytes")
+		scheme = flag.String("scheme", "TPFTL", "FTL scheme")
+	)
+	flag.Parse()
+
+	var reqs []tpftl.Request
+	var err error
+	if *file != "" {
+		f, err2 := os.Open(*file)
+		if err2 != nil {
+			log.Fatal(err2)
+		}
+		defer f.Close()
+		reqs, err = tpftl.ParseTrace(f, *format)
+	} else {
+		reqs, err = sampleTrace(*space)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	stats := tpftl.SummarizeTrace(reqs)
+	fmt.Printf("trace: %d requests, %.0f%% writes, %.1f KB avg, footprint high-water %.0f MB\n",
+		stats.Requests, stats.WriteRatio()*100, stats.AvgRequestSize()/1024,
+		float64(stats.MaxEnd)/(1<<20))
+
+	res, err := tpftl.Run(tpftl.Options{
+		Scheme:       tpftl.Scheme(*scheme),
+		Profile:      tpftl.Profile{Name: "replay", AddressSpace: *space, MeanInterarrival: 1},
+		Trace:        reqs,
+		AddressSpace: *space,
+		Precondition: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := res.M
+	fmt.Printf("\nreplayed on %s (cache %d B):\n", *scheme, res.CacheBytes)
+	fmt.Printf("hit ratio %.1f%%, Prd %.1f%%, response %v, WA %.2f, erases %d\n",
+		m.Hr()*100, m.Prd()*100, m.AvgResponse().Round(time.Microsecond),
+		m.WriteAmplification(), m.FlashErases)
+}
+
+// sampleTrace builds a small Financial1-like stream, round-trips it through
+// the SPC on-disk format (exercising the real writer and parser) and
+// returns it.
+func sampleTrace(space int64) ([]tpftl.Request, error) {
+	p := tpftl.Financial1()
+	p.AddressSpace = space
+	gen, err := tpftl.GenerateWorkload(p, 30_000, 3)
+	if err != nil {
+		return nil, err
+	}
+	var sb strings.Builder
+	if err := tpftl.WriteTraceFormat(&sb, gen, "spc"); err != nil {
+		return nil, err
+	}
+	return tpftl.ParseTrace(strings.NewReader(sb.String()), "spc")
+}

@@ -1,0 +1,136 @@
+// Package analytic implements the TPFTL paper's §3.1 models: the
+// performance model (Eqs. 1–11) and the write-amplification model
+// (Eqs. 12–13) of a demand-based page-level FTL.
+//
+// The models express the address-translation overhead of an SSD in terms of
+// the mapping-cache hit ratio Hr and the dirty-replacement probability Prd
+// (plus workload and GC parameters the paper treats as externally given:
+// Rw, Vd, Vt, Hgcr). The simulator's measured counters can be fed back into
+// the models; the analytic tests cross-validate the two, which checks both
+// the model implementation and the simulator's accounting.
+package analytic
+
+import (
+	"fmt"
+	"time"
+)
+
+// Params collects the model inputs (Table 1 symbols).
+type Params struct {
+	Hr   float64 // cache hit ratio of address translation
+	Prd  float64 // probability a replaced mapping entry is dirty
+	Hgcr float64 // cache hit ratio of GC-time mapping updates
+	Rw   float64 // write ratio among user page accesses
+	Vd   float64 // mean valid pages in collected data blocks
+	Vt   float64 // mean valid pages in collected translation blocks
+	Np   float64 // pages per flash block
+	Npa  float64 // number of user page accesses
+
+	Tfr time.Duration // flash page read time
+	Tfw time.Duration // flash page write time
+	Tfe time.Duration // flash block erase time
+}
+
+// Validate reports whether the parameters are in range.
+func (p Params) Validate() error {
+	switch {
+	case p.Hr < 0 || p.Hr > 1:
+		return fmt.Errorf("analytic: Hr %v out of [0,1]", p.Hr)
+	case p.Prd < 0 || p.Prd > 1:
+		return fmt.Errorf("analytic: Prd %v out of [0,1]", p.Prd)
+	case p.Hgcr < 0 || p.Hgcr > 1:
+		return fmt.Errorf("analytic: Hgcr %v out of [0,1]", p.Hgcr)
+	case p.Rw < 0 || p.Rw > 1:
+		return fmt.Errorf("analytic: Rw %v out of [0,1]", p.Rw)
+	case p.Np <= 0:
+		return fmt.Errorf("analytic: Np %v must be positive", p.Np)
+	case p.Vd < 0 || p.Vd >= p.Np:
+		return fmt.Errorf("analytic: Vd %v out of [0,Np)", p.Vd)
+	case p.Vt < 0 || p.Vt >= p.Np:
+		return fmt.Errorf("analytic: Vt %v out of [0,Np)", p.Vt)
+	case p.Npa < 0:
+		return fmt.Errorf("analytic: Npa %v negative", p.Npa)
+	}
+	return nil
+}
+
+// Tat returns Eq. 1, the mean address-translation time: a miss costs one
+// translation-page read, plus — with probability Prd — the read-modify-write
+// of a replaced dirty entry.
+func (p Params) Tat() time.Duration {
+	miss := 1 - p.Hr
+	return time.Duration(miss * (float64(p.Tfr) + p.Prd*float64(p.Tfr+p.Tfw)))
+}
+
+// Ngcd returns Eq. 7, the number of data-block GC operations: each user page
+// write consumes a free page, and collecting one data block gains Np−Vd.
+func (p Params) Ngcd() float64 {
+	return p.Npa * p.Rw / (p.Np - p.Vd)
+}
+
+// Nmd returns Eq. 2, the data page writes caused by GC migrations.
+func (p Params) Nmd() float64 { return p.Ngcd() * p.Vd }
+
+// Ndt returns Eq. 3, the translation page writes caused by updating the
+// mapping entries of migrated data pages (GC misses only).
+func (p Params) Ndt() float64 { return p.Ngcd() * p.Vd * (1 - p.Hgcr) }
+
+// Ntw returns Eq. 8, the translation page writes during address translation
+// (writebacks of replaced dirty entries).
+func (p Params) Ntw() float64 { return (1 - p.Hr) * p.Prd * p.Npa }
+
+// Ngct returns Eq. 9, the number of translation-block GC operations.
+func (p Params) Ngct() float64 {
+	return (p.Ntw() + p.Ndt()) / (p.Np - p.Vt)
+}
+
+// Nmt returns Eq. 5, the translation page writes caused by migrating valid
+// translation pages.
+func (p Params) Nmt() float64 { return p.Ngct() * p.Vt }
+
+// Tgcd returns Eq. 10, the mean time per user page access spent collecting
+// data blocks.
+func (p Params) Tgcd() time.Duration {
+	num := p.Rw * (p.Vd*(2-p.Hgcr)*float64(p.Tfr+p.Tfw) + float64(p.Tfe))
+	return time.Duration(num / (p.Np - p.Vd))
+}
+
+// Tgct returns Eq. 11, the mean time per user page access spent collecting
+// translation blocks.
+func (p Params) Tgct() time.Duration {
+	factor := (1-p.Hr)*p.Prd + p.Rw*p.Vd*(1-p.Hgcr)/(p.Np-p.Vd)
+	per := (p.Vt*float64(p.Tfr+p.Tfw) + float64(p.Tfe)) / (p.Np - p.Vt)
+	return time.Duration(factor * per)
+}
+
+// WAFromCounts returns Eq. 12 evaluated on explicit operation counts.
+func WAFromCounts(userWrites, ntw, nmd, ndt, nmt float64) float64 {
+	if userWrites <= 0 {
+		return 0
+	}
+	return (userWrites + ntw + nmd + ndt + nmt) / userWrites
+}
+
+// WA returns Eq. 13, the closed-form write amplification. It equals Eq. 12
+// with Eqs. 2, 3, 5, 7, 8, 9 substituted in (the identity is checked by
+// tests).
+func (p Params) WA() float64 {
+	if p.Rw == 0 {
+		return 0 // read-only: write amplification undefined; report 0
+	}
+	at := (1 - p.Hr) * p.Prd * p.Np / ((p.Np - p.Vt) * p.Rw)
+	gc := (1 + (1-p.Hgcr)*p.Np/(p.Np-p.Vt)) * p.Vd / (p.Np - p.Vd)
+	return 1 + at + gc
+}
+
+// WAViaCounts returns Eq. 12 using the model's own count equations — by
+// construction identical to WA() up to floating-point error.
+func (p Params) WAViaCounts() float64 {
+	return WAFromCounts(p.Npa*p.Rw, p.Ntw(), p.Nmd(), p.Ndt(), p.Nmt())
+}
+
+// ExtraTimePerAccess returns Tat + Tgcd + Tgct: the model's total mean
+// overhead added to each user page access by address translation and GC.
+func (p Params) ExtraTimePerAccess() time.Duration {
+	return p.Tat() + p.Tgcd() + p.Tgct()
+}

@@ -1,0 +1,227 @@
+package analytic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/ftl"
+	"repro/internal/ftl/dftl"
+	"repro/internal/trace"
+)
+
+func sample() Params {
+	return Params{
+		Hr: 0.7, Prd: 0.5, Hgcr: 0.3, Rw: 0.8,
+		Vd: 20, Vt: 10, Np: 64, Npa: 1_000_000,
+		Tfr: 25 * time.Microsecond,
+		Tfw: 200 * time.Microsecond,
+		Tfe: 1500 * time.Microsecond,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := sample().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Params){
+		func(p *Params) { p.Hr = 1.5 },
+		func(p *Params) { p.Prd = -0.1 },
+		func(p *Params) { p.Hgcr = 2 },
+		func(p *Params) { p.Rw = -1 },
+		func(p *Params) { p.Np = 0 },
+		func(p *Params) { p.Vd = 64 },
+		func(p *Params) { p.Vt = -1 },
+		func(p *Params) { p.Npa = -5 },
+	}
+	for i, mut := range bad {
+		p := sample()
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestTatEquation1(t *testing.T) {
+	p := sample()
+	// Tat = (1-Hr)(Tfr + Prd(Tfr+Tfw)) = 0.3*(25µs + 0.5*225µs) = 41.25µs
+	want := time.Duration(0.3 * (25e3 + 0.5*225e3))
+	if got := p.Tat(); got != want {
+		t.Fatalf("Tat = %v, want %v", got, want)
+	}
+	// Perfect cache: zero translation cost.
+	p.Hr = 1
+	if p.Tat() != 0 {
+		t.Fatal("Tat must be 0 at Hr=1")
+	}
+}
+
+func TestCountEquations(t *testing.T) {
+	p := sample()
+	// Ngcd = Npa*Rw/(Np-Vd) = 800000/44
+	if got, want := p.Ngcd(), 800000.0/44; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Ngcd = %v, want %v", got, want)
+	}
+	if got, want := p.Nmd(), p.Ngcd()*20; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Nmd = %v, want %v", got, want)
+	}
+	if got, want := p.Ndt(), p.Ngcd()*20*0.7; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Ndt = %v, want %v", got, want)
+	}
+	if got, want := p.Ntw(), 0.3*0.5*1_000_000; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Ntw = %v, want %v", got, want)
+	}
+	if got, want := p.Ngct(), (p.Ntw()+p.Ndt())/54; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Ngct = %v, want %v", got, want)
+	}
+	if got, want := p.Nmt(), p.Ngct()*10; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Nmt = %v, want %v", got, want)
+	}
+}
+
+// TestEq12EqualsEq13 checks the paper's algebra: the closed form (Eq. 13)
+// must equal Eq. 12 with the count equations substituted, for random
+// parameters.
+func TestEq12EqualsEq13(t *testing.T) {
+	f := func(hr, prd, hgcr, rw, vd, vt uint8) bool {
+		p := Params{
+			Hr:   float64(hr) / 255,
+			Prd:  float64(prd) / 255,
+			Hgcr: float64(hgcr) / 255,
+			Rw:   0.01 + 0.99*float64(rw)/255, // Rw > 0 (Eq. 12 requires writes)
+			Vd:   63 * float64(vd) / 255,
+			Vt:   63 * float64(vt) / 255,
+			Np:   64,
+			Npa:  1e6,
+		}
+		a, b := p.WA(), p.WAViaCounts()
+		return math.Abs(a-b) < 1e-9*math.Max(a, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWAMonotonicInPrd(t *testing.T) {
+	p := sample()
+	prev := -1.0
+	for prd := 0.0; prd <= 1.0; prd += 0.1 {
+		p.Prd = prd
+		if wa := p.WA(); wa < prev {
+			t.Fatalf("WA not monotonic in Prd at %v", prd)
+		} else {
+			prev = wa
+		}
+	}
+}
+
+func TestWAMonotonicDecreasingInHr(t *testing.T) {
+	p := sample()
+	prev := math.Inf(1)
+	for hr := 0.0; hr <= 1.0; hr += 0.1 {
+		p.Hr = hr
+		if wa := p.WA(); wa > prev {
+			t.Fatalf("WA not decreasing in Hr at %v", hr)
+		} else {
+			prev = wa
+		}
+	}
+}
+
+func TestReadOnlyWorkload(t *testing.T) {
+	p := sample()
+	p.Rw = 0
+	if p.WA() != 0 {
+		t.Fatal("read-only WA must report 0")
+	}
+	if p.Ngcd() != 0 || p.Nmd() != 0 {
+		t.Fatal("read-only workload must trigger no data GC")
+	}
+}
+
+// TestModelMatchesSimulator is the end-to-end cross-check: run a DFTL device
+// over a random write-heavy workload, feed the measured Hr/Prd/Vd/Vt/Hgcr
+// back into the model, and compare predictions with measured counts. The
+// model assumes steady state (every write costs a GC-amortized free page),
+// so tolerances are moderate.
+func TestModelMatchesSimulator(t *testing.T) {
+	cfg := ftl.Config{
+		LogicalBytes:  16 << 20,
+		PageSize:      4096,
+		PagesPerBlock: 32,
+		OverProvision: 0.10,
+		CacheBytes:    384,
+	}
+	tr := dftl.New(dftl.Config{CacheBytes: cfg.CacheBytes})
+	d, err := ftl.NewDevice(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Format(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	arrival := int64(0)
+	for i := 0; i < 60000; i++ {
+		page := int64(rng.Intn(4096))
+		write := rng.Intn(10) < 8 // Rw ≈ 0.8
+		arrival += 50_000
+		req := trace.Request{Arrival: arrival, Offset: page * 4096, Length: 4096, Write: write}
+		if _, err := d.Serve(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := d.Metrics()
+	p := Params{
+		Hr: m.Hr(), Prd: m.Prd(), Hgcr: m.Hgcr(), Rw: m.Rw(),
+		Vd: m.Vd(), Vt: m.Vt(), Np: 32, Npa: float64(m.PageAccesses()),
+		Tfr: 25 * time.Microsecond, Tfw: 200 * time.Microsecond, Tfe: 1500 * time.Microsecond,
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Eq. 8 is exact by construction of the counters.
+	if got, want := p.Ntw(), float64(m.TransWritesAT); relErr(got, want) > 0.01 {
+		t.Errorf("Ntw: model %v, simulator %v", got, want)
+	}
+	// Eq. 7 assumes steady state; the simulator's GC count should be close.
+	if got, want := p.Ngcd(), float64(m.GCDataCollections); relErr(got, want) > 0.15 {
+		t.Errorf("Ngcd: model %v, simulator %v", got, want)
+	}
+	// Eq. 2: data page migrations.
+	if got, want := p.Nmd(), float64(m.GCDataMigrations); relErr(got, want) > 0.15 {
+		t.Errorf("Nmd: model %v, simulator %v", got, want)
+	}
+	// Eq. 3 counts one translation update per missed migration; the
+	// simulator (like real DFTL) batches updates sharing a translation
+	// page within one victim block, so the model predicts the number of
+	// GC misses, and actual flash writes are at most that.
+	gcMisses := float64(m.GCMapUpdates - m.GCMapHits)
+	if got := p.Ndt(); relErr(got, gcMisses) > 0.15 {
+		t.Errorf("Ndt: model %v, GC misses %v", got, gcMisses)
+	}
+	if float64(m.TransWritesGC) > gcMisses {
+		t.Errorf("TransWritesGC %d exceeds GC misses %v", m.TransWritesGC, gcMisses)
+	}
+	// Eq. 13 uses the unbatched Ndt/Nmt, so it upper-bounds the measured
+	// write amplification; the data-migration component lower-bounds it.
+	measured := m.WriteAmplification()
+	if model := p.WA(); model < measured {
+		t.Errorf("model WA %v below measured %v", model, measured)
+	}
+	lower := 1 + (p.Ntw()+p.Nmd())/(p.Npa*p.Rw)
+	if measured < lower*0.95 {
+		t.Errorf("measured WA %v below component lower bound %v", measured, lower)
+	}
+}
+
+func relErr(a, b float64) float64 {
+	if b == 0 {
+		return math.Abs(a)
+	}
+	return math.Abs(a-b) / math.Abs(b)
+}

@@ -1,0 +1,236 @@
+// Package buffer implements a CFLRU data buffer (Park et al., CASES 2006)
+// in front of a simulated SSD.
+//
+// The paper's §2.1 notes that an SSD's internal RAM is split between a data
+// buffer and the mapping cache, and §4.4's clean-first replacement
+// explicitly borrows CFLRU's insight: evicting a clean page is free, so
+// prefer clean victims within a window of the LRU end and let dirty pages
+// accumulate more updates before they cost a flash write. This package
+// provides that data-buffer layer as an optional front to any ftl.Device,
+// letting experiments quantify how much of TPFTL's benefit survives behind
+// a write buffer.
+package buffer
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ftl"
+	"repro/internal/lru"
+	"repro/internal/trace"
+)
+
+// Config parameterizes the buffer.
+type Config struct {
+	// Pages is the buffer capacity in flash pages.
+	Pages int
+	// WindowFraction is the clean-first search window as a fraction of
+	// the capacity, measured from the LRU end (default 0.5, CFLRU's
+	// typical setting). 0 < w ≤ 1.
+	WindowFraction float64
+}
+
+// Metrics counts buffer-level events.
+type Metrics struct {
+	Reads       int64 // page reads issued to the buffer
+	Writes      int64 // page writes issued to the buffer
+	ReadHits    int64
+	WriteHits   int64 // overwrites absorbed in RAM
+	Fetches     int64 // read misses forwarded to the device
+	Flushes     int64 // dirty evictions written to the device
+	CleanDrops  int64 // clean evictions (free)
+	ForcedDirty int64 // dirty evictions with no clean page in the window
+}
+
+type bufPage struct {
+	node  lru.Node
+	lpn   ftl.LPN
+	dirty bool
+}
+
+// Buffered wraps a device with a CFLRU page buffer.
+type Buffered struct {
+	dev *ftl.Device
+	cfg Config
+
+	pages map[ftl.LPN]*bufPage
+	list  lru.List // MRU..LRU
+
+	pageSize int64
+	clock    time.Duration
+	m        Metrics
+}
+
+// New wraps dev with a CFLRU buffer.
+func New(dev *ftl.Device, cfg Config) (*Buffered, error) {
+	if cfg.Pages <= 0 {
+		return nil, fmt.Errorf("buffer: non-positive capacity %d", cfg.Pages)
+	}
+	if cfg.WindowFraction == 0 {
+		cfg.WindowFraction = 0.5
+	}
+	if cfg.WindowFraction < 0 || cfg.WindowFraction > 1 {
+		return nil, fmt.Errorf("buffer: window fraction %v out of (0,1]", cfg.WindowFraction)
+	}
+	return &Buffered{
+		dev:      dev,
+		cfg:      cfg,
+		pages:    make(map[ftl.LPN]*bufPage, cfg.Pages),
+		pageSize: int64(dev.Config().PageSize),
+	}, nil
+}
+
+// Device returns the wrapped device.
+func (b *Buffered) Device() *ftl.Device { return b.dev }
+
+// Metrics returns the buffer counters.
+func (b *Buffered) Metrics() Metrics { return b.m }
+
+// Len returns the number of buffered pages.
+func (b *Buffered) Len() int { return len(b.pages) }
+
+// DirtyLen returns the number of dirty buffered pages.
+func (b *Buffered) DirtyLen() int {
+	n := 0
+	for _, p := range b.pages {
+		if p.dirty {
+			n++
+		}
+	}
+	return n
+}
+
+// Serve executes one request through the buffer. Buffer hits cost no flash
+// time; misses and flushes are forwarded to the device as page requests
+// carrying the original arrival time.
+func (b *Buffered) Serve(req trace.Request) (time.Duration, error) {
+	if err := req.Validate(); err != nil {
+		return 0, err
+	}
+	arrival := time.Duration(req.Arrival)
+	if arrival > b.clock {
+		b.clock = arrival
+	}
+	first, last := req.Pages(int(b.pageSize))
+	for lpn := first; lpn <= last; lpn++ {
+		var err error
+		if req.Write {
+			err = b.writePage(req.Arrival, ftl.LPN(lpn))
+		} else {
+			err = b.readPage(req.Arrival, ftl.LPN(lpn))
+		}
+		if err != nil {
+			return 0, err
+		}
+	}
+	if dc := b.dev.Now(); dc > b.clock {
+		b.clock = dc
+	}
+	return b.clock - arrival, nil
+}
+
+// Run serves every request.
+func (b *Buffered) Run(reqs []trace.Request) error {
+	for i := range reqs {
+		if _, err := b.Serve(reqs[i]); err != nil {
+			return fmt.Errorf("buffer: request %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (b *Buffered) readPage(arrival int64, lpn ftl.LPN) error {
+	b.m.Reads++
+	if p, ok := b.pages[lpn]; ok {
+		b.m.ReadHits++
+		b.list.MoveToFront(&p.node)
+		return nil
+	}
+	b.m.Fetches++
+	if _, err := b.dev.Serve(trace.Request{
+		Arrival: arrival, Offset: int64(lpn) * b.pageSize, Length: b.pageSize,
+	}); err != nil {
+		return err
+	}
+	return b.insert(arrival, lpn, false)
+}
+
+func (b *Buffered) writePage(arrival int64, lpn ftl.LPN) error {
+	b.m.Writes++
+	if p, ok := b.pages[lpn]; ok {
+		b.m.WriteHits++
+		p.dirty = true
+		b.list.MoveToFront(&p.node)
+		return nil
+	}
+	return b.insert(arrival, lpn, true)
+}
+
+func (b *Buffered) insert(arrival int64, lpn ftl.LPN, dirty bool) error {
+	for len(b.pages) >= b.cfg.Pages {
+		if err := b.evict(arrival); err != nil {
+			return err
+		}
+	}
+	p := &bufPage{lpn: lpn, dirty: dirty}
+	p.node.Value = p
+	b.pages[lpn] = p
+	b.list.PushFront(&p.node)
+	return nil
+}
+
+// evict applies CFLRU: the first clean page within the window from the LRU
+// end goes for free; with none, the LRU page is evicted, flushing if dirty.
+func (b *Buffered) evict(arrival int64) error {
+	window := int(float64(b.cfg.Pages) * b.cfg.WindowFraction)
+	if window < 1 {
+		window = 1
+	}
+	var victim *bufPage
+	scanned := 0
+	for n := b.list.Back(); n != nil && scanned < window; n = n.Prev() {
+		p := n.Value.(*bufPage)
+		if !p.dirty {
+			victim = p
+			break
+		}
+		scanned++
+	}
+	if victim == nil {
+		victim = b.list.Back().Value.(*bufPage)
+		if victim.dirty {
+			b.m.ForcedDirty++
+		}
+	}
+	b.list.Remove(&victim.node)
+	delete(b.pages, victim.lpn)
+	if !victim.dirty {
+		b.m.CleanDrops++
+		return nil
+	}
+	b.m.Flushes++
+	_, err := b.dev.Serve(trace.Request{
+		Arrival: arrival, Offset: int64(victim.lpn) * b.pageSize,
+		Length: b.pageSize, Write: true,
+	})
+	return err
+}
+
+// Flush writes back every dirty buffered page (end-of-run drain).
+func (b *Buffered) Flush(arrival int64) error {
+	for n := b.list.Back(); n != nil; n = n.Prev() {
+		p := n.Value.(*bufPage)
+		if !p.dirty {
+			continue
+		}
+		b.m.Flushes++
+		if _, err := b.dev.Serve(trace.Request{
+			Arrival: arrival, Offset: int64(p.lpn) * b.pageSize,
+			Length: b.pageSize, Write: true,
+		}); err != nil {
+			return err
+		}
+		p.dirty = false
+	}
+	return nil
+}

@@ -1,0 +1,212 @@
+package buffer
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ftl"
+	"repro/internal/trace"
+)
+
+func newBuffered(t *testing.T, pages int) (*Buffered, *ftl.Device) {
+	t.Helper()
+	cfg := ftl.Config{
+		LogicalBytes:  16 << 20,
+		PageSize:      4096,
+		PagesPerBlock: 32,
+		OverProvision: 0.15,
+		CacheBytes:    1024,
+	}
+	tr := core.New(core.DefaultConfig(cfg.CacheBytes))
+	dev, err := ftl.NewDevice(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Format(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(dev, Config{Pages: pages})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, dev
+}
+
+func wr(arrival, page int64) trace.Request {
+	return trace.Request{Arrival: arrival, Offset: page * 4096, Length: 4096, Write: true}
+}
+
+func rd(arrival, page int64) trace.Request {
+	return trace.Request{Arrival: arrival, Offset: page * 4096, Length: 4096, Write: false}
+}
+
+func TestConfigValidation(t *testing.T) {
+	_, dev := newBuffered(t, 4)
+	if _, err := New(dev, Config{Pages: 0}); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	if _, err := New(dev, Config{Pages: 4, WindowFraction: 2}); err == nil {
+		t.Fatal("window > 1 accepted")
+	}
+}
+
+func TestWriteCoalescing(t *testing.T) {
+	b, dev := newBuffered(t, 8)
+	arrival := int64(0)
+	// Overwrite the same page 50 times: the device must see no writes
+	// until a flush.
+	for i := 0; i < 50; i++ {
+		if _, err := b.Serve(wr(arrival, 3)); err != nil {
+			t.Fatal(err)
+		}
+		arrival += int64(time.Millisecond)
+	}
+	if got := dev.Metrics().PageWrites; got != 0 {
+		t.Fatalf("device saw %d writes, want 0 (absorbed)", got)
+	}
+	if b.Metrics().WriteHits != 49 {
+		t.Fatalf("write hits = %d, want 49", b.Metrics().WriteHits)
+	}
+	if err := b.Flush(arrival); err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.Metrics().PageWrites; got != 1 {
+		t.Fatalf("device saw %d writes after flush, want 1", got)
+	}
+}
+
+func TestReadHitAvoidsDevice(t *testing.T) {
+	b, dev := newBuffered(t, 8)
+	if _, err := b.Serve(rd(0, 5)); err != nil {
+		t.Fatal(err)
+	}
+	reads := dev.Metrics().PageReads
+	if reads != 1 {
+		t.Fatalf("first read: device reads = %d", reads)
+	}
+	if _, err := b.Serve(rd(1e6, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Metrics().PageReads != reads {
+		t.Fatal("buffered read went to the device")
+	}
+	// A write to the buffered page then a read returns the dirty copy.
+	if _, err := b.Serve(wr(2e6, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Serve(rd(3e6, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Metrics().PageWrites != 0 {
+		t.Fatal("dirty page leaked to device prematurely")
+	}
+}
+
+func TestCleanFirstEviction(t *testing.T) {
+	_, dev := newBuffered(t, 4)
+	// Full window so the clean pages (at the MRU end) are in scope.
+	b, err := New(dev, Config{Pages: 4, WindowFraction: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrival := int64(0)
+	// Two dirty pages (old), two clean pages (newer).
+	for _, p := range []int64{0, 1} {
+		if _, err := b.Serve(wr(arrival, p)); err != nil {
+			t.Fatal(err)
+		}
+		arrival += int64(time.Millisecond)
+	}
+	for _, p := range []int64{2, 3} {
+		if _, err := b.Serve(rd(arrival, p)); err != nil {
+			t.Fatal(err)
+		}
+		arrival += int64(time.Millisecond)
+	}
+	// Insert a fifth page: CFLRU must drop a clean page, not flush dirty.
+	if _, err := b.Serve(rd(arrival, 9)); err != nil {
+		t.Fatal(err)
+	}
+	m := b.Metrics()
+	if m.CleanDrops != 1 || m.Flushes != 0 {
+		t.Fatalf("drops=%d flushes=%d, want clean-first", m.CleanDrops, m.Flushes)
+	}
+	if dev.Metrics().PageWrites != 0 {
+		t.Fatal("dirty page flushed despite clean candidates")
+	}
+}
+
+func TestDirtyEvictionFlushes(t *testing.T) {
+	b, dev := newBuffered(t, 4)
+	arrival := int64(0)
+	for p := int64(0); p < 6; p++ { // all dirty: evictions must flush
+		if _, err := b.Serve(wr(arrival, p)); err != nil {
+			t.Fatal(err)
+		}
+		arrival += int64(time.Millisecond)
+	}
+	if b.Metrics().Flushes != 2 {
+		t.Fatalf("flushes = %d, want 2", b.Metrics().Flushes)
+	}
+	if dev.Metrics().PageWrites != 2 {
+		t.Fatalf("device writes = %d, want 2", dev.Metrics().PageWrites)
+	}
+	if b.Metrics().ForcedDirty == 0 {
+		t.Fatal("forced dirty eviction not counted")
+	}
+}
+
+func TestBufferReducesDeviceWrites(t *testing.T) {
+	// The same hot/cold write stream with and without a buffer: the buffer
+	// must absorb a large share of the device writes (its purpose in
+	// §2.1's RAM split).
+	reqs := func() []trace.Request {
+		rng := rand.New(rand.NewSource(7))
+		out := make([]trace.Request, 5000)
+		arrival := int64(0)
+		for i := range out {
+			arrival += int64(time.Millisecond)
+			p := int64(rng.Intn(64)) // hot set fits in buffer
+			if rng.Intn(10) == 0 {
+				p = int64(rng.Intn(4096))
+			}
+			out[i] = wr(arrival, p)
+		}
+		return out
+	}
+
+	b, dev := newBuffered(t, 128)
+	if err := b.Run(reqs()); err != nil {
+		t.Fatal(err)
+	}
+	buffered := dev.Metrics().PageWrites
+
+	b2, dev2 := newBuffered(t, 1) // effectively unbuffered
+	if err := b2.Run(reqs()); err != nil {
+		t.Fatal(err)
+	}
+	unbuffered := dev2.Metrics().PageWrites
+
+	if buffered*2 > unbuffered {
+		t.Fatalf("buffer absorbed too little: %d vs %d device writes", buffered, unbuffered)
+	}
+	if err := dev.CheckConsistency(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiPageRequests(t *testing.T) {
+	b, _ := newBuffered(t, 16)
+	req := trace.Request{Arrival: 0, Offset: 0, Length: 5 * 4096, Write: true}
+	if _, err := b.Serve(req); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 5 {
+		t.Fatalf("buffered pages = %d, want 5", b.Len())
+	}
+	if b.DirtyLen() != 5 {
+		t.Fatalf("dirty = %d, want 5", b.DirtyLen())
+	}
+}

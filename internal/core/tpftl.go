@@ -1,0 +1,727 @@
+// Package core implements TPFTL, the translation page-level FTL that is the
+// primary contribution of the paper (§4).
+//
+// TPFTL organizes the mapping cache as two-level LRU lists: a page-level LRU
+// of TP nodes — one per translation page with at least one cached entry —
+// each holding an entry-level LRU list of its cached entries. Entries are
+// stored compressed (offset within the translation page instead of a full
+// LPN: 6 B instead of 8 B), so the same budget caches up to a third more
+// entries (§4.1, Fig. 10).
+//
+// On top of this structure TPFTL layers four techniques, all independently
+// switchable to reproduce the paper's §5.2(5) ablation:
+//
+//   - request-level prefetching (Config.RequestPrefetch, 'r'): a miss on the
+//     first page of a multi-page request loads every entry the request needs
+//     from one translation-page read (§4.3);
+//   - selective prefetching (Config.SelectivePrefetch, 's'): a counter of
+//     TP-node count changes detects sequential phases; during one, a miss
+//     also loads as many successors as the requested entry has cached
+//     consecutive predecessors (§4.3);
+//   - batch-update replacement (Config.BatchUpdate, 'b'): evicting a dirty
+//     entry writes back all dirty entries of its TP node in the same
+//     translation-page update; the survivors stay cached, now clean (§4.4);
+//   - clean-first replacement (Config.CleanFirst, 'c'): the victim is the
+//     LRU clean entry of the coldest TP node, falling back to the LRU dirty
+//     entry (§4.4).
+//
+// Prefetching and replacement are integrated by the two §4.5 rules: a
+// prefetch never crosses its translation-page boundary, and when the load
+// forces evictions, the prefetch length is capped at the entry count of the
+// coldest TP node so replacement stays confined to one cached page.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/flash"
+	"repro/internal/ftl"
+	"repro/internal/lru"
+)
+
+// Hotness selects the page-level ordering policy.
+type Hotness int
+
+const (
+	// HotnessLRU moves a TP node to the MRU position whenever one of its
+	// entries is touched — the conventional approximation.
+	HotnessLRU Hotness = iota
+	// HotnessAvg orders TP nodes by the exact average access timestamp of
+	// their entries, the paper's §4.2 definition ("page-level hotness is
+	// the average hotness of all the entry nodes").
+	HotnessAvg
+)
+
+// Config parameterizes TPFTL. The zero value (all techniques off) is the
+// paper's "–" ablation variant: bare two-level lists.
+type Config struct {
+	// CacheBytes is the mapping-cache budget.
+	CacheBytes int64
+
+	// RequestPrefetch enables request-level prefetching ('r').
+	RequestPrefetch bool
+	// SelectivePrefetch enables selective prefetching ('s').
+	SelectivePrefetch bool
+	// BatchUpdate enables batch-update replacement ('b').
+	BatchUpdate bool
+	// CleanFirst enables clean-first replacement ('c').
+	CleanFirst bool
+
+	// CompressEntries stores entries as offset+PPN (6 B) instead of
+	// LPN+PPN (8 B). Default true (set by DefaultConfig); the Fig. 10
+	// space-utilization experiment turns it off for comparison.
+	CompressEntries bool
+
+	// SelectiveThreshold is the TP-node-count change that toggles
+	// selective prefetching (default 3, the paper's empirical choice).
+	SelectiveThreshold int
+
+	// TPNodeBytes is the RAM overhead charged per TP node (default 8:
+	// a VTPN plus list bookkeeping).
+	TPNodeBytes int
+
+	// Hotness selects the page-level ordering policy (default HotnessLRU).
+	Hotness Hotness
+}
+
+// DefaultConfig returns the complete TPFTL ("rsbc") for the given budget.
+func DefaultConfig(cacheBytes int64) Config {
+	return Config{
+		CacheBytes:        cacheBytes,
+		RequestPrefetch:   true,
+		SelectivePrefetch: true,
+		BatchUpdate:       true,
+		CleanFirst:        true,
+		CompressEntries:   true,
+	}
+}
+
+// VariantName returns the paper's ablation monogram for the configuration:
+// "–" for the bare variant, subsets of "rsbc" otherwise.
+func (c Config) VariantName() string {
+	s := ""
+	if c.RequestPrefetch {
+		s += "r"
+	}
+	if c.SelectivePrefetch {
+		s += "s"
+	}
+	if c.BatchUpdate {
+		s += "b"
+	}
+	if c.CleanFirst {
+		s += "c"
+	}
+	if s == "" {
+		return "–"
+	}
+	return s
+}
+
+// entryNode is one cached mapping entry (§4.1's entry node).
+type entryNode struct {
+	node  lru.Node // links within its TP node's entry-level list
+	owner *tpNode
+	off   int32 // offset within the translation page (the compressed LPN)
+	ppn   flash.PPN
+	dirty bool
+	stamp uint64 // last-access timestamp (HotnessAvg ordering)
+}
+
+// tpNode clusters the cached entries of one translation page (§4.1).
+type tpNode struct {
+	node     lru.Node // links within the page-level list
+	vtpn     ftl.VTPN
+	entries  lru.List // entry-level LRU, MRU..LRU
+	byOff    map[int32]*entryNode
+	dirty    int    // dirty entry count
+	stampSum uint64 // Σ entry stamps; avg = stampSum/len (HotnessAvg)
+}
+
+func (tp *tpNode) avgStamp() float64 {
+	if tp.entries.Len() == 0 {
+		return 0
+	}
+	return float64(tp.stampSum) / float64(tp.entries.Len())
+}
+
+// FTL is the TPFTL translator. Create with New.
+type FTL struct {
+	cfg        Config
+	entryBytes int64
+	nodeBytes  int64
+	threshold  int
+
+	pages  lru.List // page-level list, hottest..coldest
+	byVTPN map[ftl.VTPN]*tpNode
+
+	used    int64 // bytes charged against cfg.CacheBytes
+	entries int
+
+	// Selective-prefetching state (§4.3): counter of TP-node count
+	// changes; selective prefetching toggles when |counter| reaches the
+	// threshold.
+	counter     int
+	selectiveOn bool
+
+	stamp uint64 // global access clock for HotnessAvg
+
+	// Request context from BeginRequest.
+	reqFirst, reqLast ftl.LPN
+
+	ePerTP int
+}
+
+var _ ftl.Translator = (*FTL)(nil)
+var _ ftl.Inspector = (*FTL)(nil)
+
+// New returns a TPFTL instance.
+func New(cfg Config) *FTL {
+	if cfg.SelectiveThreshold == 0 {
+		cfg.SelectiveThreshold = 3
+	}
+	if cfg.TPNodeBytes == 0 {
+		cfg.TPNodeBytes = 8
+	}
+	entryBytes := int64(ftl.EntryBytesRAM) // 8 B uncompressed
+	if cfg.CompressEntries {
+		entryBytes = 6 // 10-bit offset + 4 B PPN + flags, rounded up (§4.1)
+	}
+	if min := entryBytes*4 + int64(cfg.TPNodeBytes); cfg.CacheBytes < min {
+		cfg.CacheBytes = min
+	}
+	return &FTL{
+		cfg:        cfg,
+		entryBytes: entryBytes,
+		nodeBytes:  int64(cfg.TPNodeBytes),
+		threshold:  cfg.SelectiveThreshold,
+		byVTPN:     make(map[ftl.VTPN]*tpNode),
+		ePerTP:     4096 / ftl.EntryBytesInFlash,
+	}
+}
+
+// Name implements ftl.Translator.
+func (f *FTL) Name() string { return "TPFTL" }
+
+// Variant returns the ablation monogram of this instance.
+func (f *FTL) Variant() string { return f.cfg.VariantName() }
+
+// Len returns the number of cached entries.
+func (f *FTL) Len() int { return f.entries }
+
+// TPNodes returns the number of cached TP nodes.
+func (f *FTL) TPNodes() int { return f.pages.Len() }
+
+// UsedBytes returns the charged cache usage.
+func (f *FTL) UsedBytes() int64 { return f.used }
+
+// SelectiveActive reports whether selective prefetching is currently on.
+func (f *FTL) SelectiveActive() bool { return f.selectiveOn }
+
+// BeginRequest implements ftl.Translator.
+func (f *FTL) BeginRequest(first, last ftl.LPN, write bool) {
+	f.reqFirst, f.reqLast = first, last
+}
+
+// Translate implements ftl.Translator.
+func (f *FTL) Translate(env ftl.Env, lpn ftl.LPN) (flash.PPN, error) {
+	f.ePerTP = env.EntriesPerTP()
+	v := ftl.VTPNOf(lpn, f.ePerTP)
+	off := int32(ftl.OffOf(lpn, f.ePerTP))
+
+	if tp := f.byVTPN[v]; tp != nil {
+		if e := tp.byOff[off]; e != nil {
+			env.NoteLookup(true)
+			f.touch(tp, e)
+			return e.ppn, nil
+		}
+	}
+	env.NoteLookup(false)
+	return f.load(env, lpn, v, off)
+}
+
+// load handles a cache miss: it decides the prefetch set, makes room, reads
+// the translation page once and installs the entries.
+func (f *FTL) load(env ftl.Env, lpn ftl.LPN, v ftl.VTPN, off int32) (flash.PPN, error) {
+	tp := f.byVTPN[v]
+
+	// Prefetch decision (§4.3). Offsets are relative to lpn's translation
+	// page and exclude already-cached slots; rule 1 (§4.5) bounds
+	// everything to this page, and the device's logical size truncates
+	// the last (partial) translation page.
+	pageEnd := int32(f.ePerTP)
+	if lim := env.NumLPNs() - int64(v)*int64(f.ePerTP); lim < int64(pageEnd) {
+		pageEnd = int32(lim)
+	}
+	extras := f.prefetchSet(tp, lpn, off, pageEnd)
+
+	// Rule 2 (§4.5): if loading will force evictions, shrink the prefetch
+	// until the whole load fits into the current free space plus what
+	// evicting the coldest TP node entirely can yield, confining
+	// replacement to one cached page.
+	need := func(nExtras int) int64 {
+		c := int64(1+nExtras) * f.entryBytes
+		if f.byVTPN[v] == nil {
+			c += f.nodeBytes // node may have been dropped by an eviction
+		}
+		return c
+	}
+	if f.used+need(len(extras)) > f.cfg.CacheBytes {
+		free := f.cfg.CacheBytes - f.used
+		freeable := int64(0)
+		if coldest := f.pages.Back(); coldest != nil {
+			tpc := coldest.Value.(*tpNode)
+			freeable = int64(tpc.entries.Len())*f.entryBytes + f.nodeBytes
+		}
+		for len(extras) > 0 && need(len(extras)) > free+freeable {
+			extras = extras[:len(extras)-1]
+		}
+	}
+
+	// Make room before reading the translation page: evictions can write
+	// back dirty entries and trigger GC, which may move the very data
+	// pages being looked up. Reading only after all evictions guarantees
+	// fresh values (ReadTP cannot trigger GC).
+	for f.used+need(len(extras)) > f.cfg.CacheBytes {
+		evicted, err := f.evictOne(env)
+		if err != nil {
+			return flash.InvalidPPN, err
+		}
+		if !evicted {
+			// Cache empty yet still no room: shrink the prefetch.
+			if len(extras) > 0 {
+				extras = extras[:0]
+				continue
+			}
+			return flash.InvalidPPN, fmt.Errorf("tpftl: budget %d cannot hold one entry", f.cfg.CacheBytes)
+		}
+	}
+
+	vals, err := env.ReadTP(v)
+	if err != nil {
+		return flash.InvalidPPN, err
+	}
+
+	// The eviction pass may have removed lpn's TP node (or created the
+	// conditions for it); re-resolve and install.
+	tp = f.byVTPN[v]
+	if tp == nil {
+		tp = f.newTPNode(v)
+	}
+	// Install prefetched entries first, the demanded entry last, so the
+	// demanded one ends up MRU.
+	loaded := 0
+	for _, xo := range extras {
+		if tp.byOff[xo] != nil {
+			continue // installed by a nested path meanwhile
+		}
+		f.addEntry(tp, xo, vals[xo], false)
+		loaded++
+	}
+	if loaded > 0 {
+		if np, ok := env.(interface{ NotePrefetch(int) }); ok {
+			np.NotePrefetch(loaded)
+		}
+	}
+	ppn := vals[off]
+	if e := tp.byOff[off]; e != nil {
+		// Extremely defensive: demanded entry appeared during eviction.
+		f.touch(tp, e)
+		return e.ppn, nil
+	}
+	e := f.addEntry(tp, off, ppn, false)
+	f.touch(tp, e)
+	return ppn, nil
+}
+
+// prefetchSet returns the extra offsets (same translation page, uncached,
+// ascending, excluding off) to load together with the demanded entry.
+func (f *FTL) prefetchSet(tp *tpNode, lpn ftl.LPN, off, pageEnd int32) []int32 {
+	var extras []int32
+	seen := map[int32]bool{}
+
+	// Request-level prefetching ('r'): all pages of the in-flight request
+	// from lpn forward, within this translation page (rule 1).
+	if f.cfg.RequestPrefetch && f.reqLast > lpn {
+		n := int32(f.reqLast - lpn)
+		for i := int32(1); i <= n && off+i < pageEnd; i++ {
+			xo := off + i
+			if tp != nil && tp.byOff[xo] != nil {
+				continue
+			}
+			if !seen[xo] {
+				seen[xo] = true
+				extras = append(extras, xo)
+			}
+		}
+	}
+
+	// Selective prefetching ('s'): when active, prefetch as many
+	// successors as there are cached consecutive predecessors (§4.3).
+	if f.cfg.SelectivePrefetch && f.selectiveOn && tp != nil {
+		preds := int32(0)
+		for o := off - 1; o >= 0; o-- {
+			if tp.byOff[o] == nil {
+				break
+			}
+			preds++
+		}
+		for i := int32(1); i <= preds && off+i < pageEnd; i++ {
+			xo := off + i
+			if tp.byOff[xo] != nil {
+				continue
+			}
+			if !seen[xo] {
+				seen[xo] = true
+				extras = append(extras, xo)
+			}
+		}
+	}
+	return extras
+}
+
+// touch records an access to e and restores the page-level ordering.
+func (f *FTL) touch(tp *tpNode, e *entryNode) {
+	tp.entries.MoveToFront(&e.node)
+	f.stamp++
+	tp.stampSum += f.stamp - e.stamp
+	e.stamp = f.stamp
+	f.reposition(tp)
+}
+
+// reposition restores tp's position in the page-level list after its
+// hotness changed.
+func (f *FTL) reposition(tp *tpNode) {
+	if f.cfg.Hotness == HotnessLRU {
+		f.pages.MoveToFront(&tp.node)
+		return
+	}
+	// HotnessAvg: bubble toward the front while hotter than predecessors,
+	// toward the back while colder than successors.
+	avg := tp.avgStamp()
+	for prev := tp.node.Prev(); prev != nil && prev.Value.(*tpNode).avgStamp() < avg; prev = tp.node.Prev() {
+		f.pages.Remove(&tp.node)
+		f.pages.InsertBefore(&tp.node, prev)
+	}
+	for next := tp.node.Next(); next != nil && next.Value.(*tpNode).avgStamp() > avg; next = tp.node.Next() {
+		f.pages.Remove(&tp.node)
+		f.pages.InsertAfter(&tp.node, next)
+	}
+}
+
+// newTPNode creates and links a TP node, charging its overhead and stepping
+// the selective-prefetch counter (§4.3: +1 on load).
+func (f *FTL) newTPNode(v ftl.VTPN) *tpNode {
+	tp := &tpNode{vtpn: v, byOff: make(map[int32]*entryNode)}
+	tp.node.Value = tp
+	f.byVTPN[v] = tp
+	f.pages.PushFront(&tp.node)
+	f.used += f.nodeBytes
+	f.stepCounter(+1)
+	return tp
+}
+
+// dropTPNode unlinks an empty TP node (§4.3: −1 on eviction).
+func (f *FTL) dropTPNode(tp *tpNode) {
+	f.pages.Remove(&tp.node)
+	delete(f.byVTPN, tp.vtpn)
+	f.used -= f.nodeBytes
+	f.stepCounter(-1)
+}
+
+// stepCounter implements the selective-prefetching activation rule: when
+// the counter reaches +threshold, sequential accesses ended — deactivate;
+// at −threshold they are happening — activate; either way reset (§4.3).
+func (f *FTL) stepCounter(delta int) {
+	f.counter += delta
+	switch {
+	case f.counter >= f.threshold:
+		f.selectiveOn = false
+		f.counter = 0
+	case f.counter <= -f.threshold:
+		f.selectiveOn = true
+		f.counter = 0
+	}
+}
+
+// addEntry installs a new entry at the MRU position of tp.
+func (f *FTL) addEntry(tp *tpNode, off int32, ppn flash.PPN, dirty bool) *entryNode {
+	e := &entryNode{owner: tp, off: off, ppn: ppn, dirty: dirty}
+	e.node.Value = e
+	tp.byOff[off] = e
+	tp.entries.PushFront(&e.node)
+	if dirty {
+		tp.dirty++
+	}
+	f.stamp++
+	e.stamp = f.stamp
+	tp.stampSum += f.stamp
+	f.entries++
+	f.used += f.entryBytes
+	f.reposition(tp)
+	return e
+}
+
+// removeEntry unlinks e; the TP node is dropped when it empties.
+func (f *FTL) removeEntry(e *entryNode) {
+	tp := e.owner
+	tp.entries.Remove(&e.node)
+	delete(tp.byOff, e.off)
+	tp.stampSum -= e.stamp
+	if e.dirty {
+		tp.dirty--
+	}
+	f.entries--
+	f.used -= f.entryBytes
+	if tp.entries.Len() == 0 {
+		f.dropTPNode(tp)
+		return
+	}
+	// Removing an entry changes the node's average hotness; restore the
+	// ordering without treating the removal as an access (under LRU
+	// ordering an eviction must not promote the node).
+	if f.cfg.Hotness == HotnessAvg {
+		f.reposition(tp)
+	}
+}
+
+// evictOne evicts one victim per the replacement policy (§4.4) and reports
+// whether an eviction happened.
+func (f *FTL) evictOne(env ftl.Env) (bool, error) {
+	coldN := f.pages.Back()
+	if coldN == nil {
+		return false, nil
+	}
+	tp := coldN.Value.(*tpNode)
+
+	var victim *entryNode
+	if f.cfg.CleanFirst {
+		// LRU clean entry of the coldest TP node; LRU dirty as fallback.
+		for n := tp.entries.Back(); n != nil; n = n.Prev() {
+			if e := n.Value.(*entryNode); !e.dirty {
+				victim = e
+				break
+			}
+		}
+	}
+	if victim == nil {
+		victim = tp.entries.Back().Value.(*entryNode)
+	}
+
+	env.NoteReplacement(victim.dirty)
+	if !victim.dirty {
+		f.removeEntry(victim)
+		return true, nil
+	}
+
+	// Dirty victim: compose the writeback. With batch update every dirty
+	// entry of the TP node joins the same translation-page update and
+	// stays cached clean (§4.4); without it only the victim is written.
+	v := tp.vtpn
+	var updates []ftl.EntryUpdate
+	cleaned := 0
+	if f.cfg.BatchUpdate {
+		for n := tp.entries.Front(); n != nil; n = n.Next() {
+			e := n.Value.(*entryNode)
+			if !e.dirty {
+				continue
+			}
+			updates = append(updates, ftl.EntryUpdate{Off: int(e.off), PPN: e.ppn})
+			if e != victim {
+				e.dirty = false
+				tp.dirty--
+				cleaned++
+			}
+		}
+	} else {
+		updates = []ftl.EntryUpdate{{Off: int(victim.off), PPN: victim.ppn}}
+	}
+	// Unlink the victim and clear dirty state BEFORE the flash write: the
+	// write can trigger GC, and GC may re-dirty surviving entries with
+	// fresher values that must not be clobbered afterwards.
+	f.removeEntry(victim)
+	env.NoteBatchWriteback(cleaned)
+	if err := env.WriteTP(v, updates, false); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Update implements ftl.Translator.
+func (f *FTL) Update(env ftl.Env, lpn ftl.LPN, ppn flash.PPN) error {
+	f.ePerTP = env.EntriesPerTP()
+	v := ftl.VTPNOf(lpn, f.ePerTP)
+	off := int32(ftl.OffOf(lpn, f.ePerTP))
+	if tp := f.byVTPN[v]; tp != nil {
+		if e := tp.byOff[off]; e != nil {
+			e.ppn = ppn
+			if !e.dirty {
+				e.dirty = true
+				tp.dirty++
+			}
+			f.touch(tp, e)
+			return nil
+		}
+	}
+	// Standalone update (the write path normally populates the entry via
+	// Translate first): make room and install dirty.
+	for f.used+f.entryBytes+f.nodeBytes > f.cfg.CacheBytes {
+		evicted, err := f.evictOne(env)
+		if err != nil {
+			return err
+		}
+		if !evicted {
+			return fmt.Errorf("tpftl: budget %d cannot hold one entry", f.cfg.CacheBytes)
+		}
+	}
+	tp := f.byVTPN[v]
+	if tp == nil {
+		tp = f.newTPNode(v)
+	}
+	e := f.addEntry(tp, off, ppn, true)
+	f.touch(tp, e)
+	return nil
+}
+
+// OnGCDataMoves implements ftl.Translator (§4.4): cached entries are
+// updated in place (GC hits); misses are grouped per translation page, and
+// with batch update each flash update also flushes every cached dirty entry
+// of that page.
+func (f *FTL) OnGCDataMoves(env ftl.Env, moves []ftl.GCMove) error {
+	f.ePerTP = env.EntriesPerTP()
+	pending := map[ftl.VTPN][]ftl.EntryUpdate{}
+	for _, mv := range moves {
+		v := ftl.VTPNOf(mv.LPN, f.ePerTP)
+		off := int32(ftl.OffOf(mv.LPN, f.ePerTP))
+		if tp := f.byVTPN[v]; tp != nil {
+			if e := tp.byOff[off]; e != nil {
+				e.ppn = mv.NewPPN
+				if !e.dirty {
+					e.dirty = true
+					tp.dirty++
+				}
+				env.NoteGCMapUpdate(true)
+				continue
+			}
+		}
+		env.NoteGCMapUpdate(false)
+		pending[v] = append(pending[v], ftl.EntryUpdate{Off: int(off), PPN: mv.NewPPN})
+	}
+	for v, ups := range pending {
+		if f.cfg.BatchUpdate {
+			if tp := f.byVTPN[v]; tp != nil && tp.dirty > 0 {
+				cleaned := 0
+				for n := tp.entries.Front(); n != nil; n = n.Next() {
+					e := n.Value.(*entryNode)
+					if !e.dirty {
+						continue
+					}
+					ups = append(ups, ftl.EntryUpdate{Off: int(e.off), PPN: e.ppn})
+					e.dirty = false
+					cleaned++
+				}
+				tp.dirty = 0
+				env.NoteBatchWriteback(cleaned)
+			}
+		}
+		if err := env.WriteTP(v, ups, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot implements ftl.Inspector.
+func (f *FTL) Snapshot() ftl.CacheSnapshot {
+	s := ftl.CacheSnapshot{
+		Entries:      f.entries,
+		TPNodes:      f.pages.Len(),
+		UsedBytes:    f.used,
+		DirtyPerPage: make(map[ftl.VTPN]int, f.pages.Len()),
+	}
+	for n := f.pages.Front(); n != nil; n = n.Next() {
+		tp := n.Value.(*tpNode)
+		s.DirtyPerPage[tp.vtpn] = tp.dirty
+		s.DirtyEntries += tp.dirty
+	}
+	return s
+}
+
+// DirtyCached returns the LPN→PPN map of dirty cached entries for
+// Device.CheckConsistency.
+func (f *FTL) DirtyCached() map[ftl.LPN]flash.PPN {
+	out := make(map[ftl.LPN]flash.PPN)
+	for v, tp := range f.byVTPN {
+		for off, e := range tp.byOff {
+			if e.dirty {
+				out[ftl.LPNAt(v, int(off), f.ePerTP)] = e.ppn
+			}
+		}
+	}
+	return out
+}
+
+// CheckInvariants validates the internal structure; property tests call it
+// after random operation sequences.
+func (f *FTL) CheckInvariants() error {
+	if f.used > f.cfg.CacheBytes {
+		return fmt.Errorf("tpftl: used %d exceeds budget %d", f.used, f.cfg.CacheBytes)
+	}
+	entries, used := 0, int64(0)
+	for n := f.pages.Front(); n != nil; n = n.Next() {
+		tp := n.Value.(*tpNode)
+		if f.byVTPN[tp.vtpn] != tp {
+			return fmt.Errorf("tpftl: tp node %d not in index", tp.vtpn)
+		}
+		if tp.entries.Len() == 0 {
+			return fmt.Errorf("tpftl: empty tp node %d still linked", tp.vtpn)
+		}
+		dirty := 0
+		var sum uint64
+		for en := tp.entries.Front(); en != nil; en = en.Next() {
+			e := en.Value.(*entryNode)
+			if e.owner != tp {
+				return fmt.Errorf("tpftl: entry %d/%d has wrong owner", tp.vtpn, e.off)
+			}
+			if tp.byOff[e.off] != e {
+				return fmt.Errorf("tpftl: entry %d/%d not in offset index", tp.vtpn, e.off)
+			}
+			if e.dirty {
+				dirty++
+			}
+			sum += e.stamp
+			entries++
+		}
+		if dirty != tp.dirty {
+			return fmt.Errorf("tpftl: tp %d dirty count %d, counted %d", tp.vtpn, tp.dirty, dirty)
+		}
+		if sum != tp.stampSum {
+			return fmt.Errorf("tpftl: tp %d stamp sum %d, counted %d", tp.vtpn, tp.stampSum, sum)
+		}
+		if len(tp.byOff) != tp.entries.Len() {
+			return fmt.Errorf("tpftl: tp %d index size %d, list %d", tp.vtpn, len(tp.byOff), tp.entries.Len())
+		}
+		used += int64(tp.entries.Len())*f.entryBytes + f.nodeBytes
+	}
+	if entries != f.entries {
+		return fmt.Errorf("tpftl: entry count %d, counted %d", f.entries, entries)
+	}
+	if used != f.used {
+		return fmt.Errorf("tpftl: used %d, counted %d", f.used, used)
+	}
+	if len(f.byVTPN) != f.pages.Len() {
+		return fmt.Errorf("tpftl: index size %d, page list %d", len(f.byVTPN), f.pages.Len())
+	}
+	if f.cfg.Hotness == HotnessAvg {
+		var prev float64
+		first := true
+		for n := f.pages.Front(); n != nil; n = n.Next() {
+			avg := n.Value.(*tpNode).avgStamp()
+			if !first && avg > prev {
+				return fmt.Errorf("tpftl: page list not ordered by avg hotness")
+			}
+			prev, first = avg, false
+		}
+	}
+	return nil
+}

@@ -1,0 +1,405 @@
+// Package flash simulates a NAND flash chip at page/block granularity.
+//
+// The chip is a pure state machine: operations validate NAND legality rules
+// (no overwrite without erase, pages within a block programmed in order,
+// reads only of programmed pages) and return the latency each operation
+// costs. Callers — the FTL layer — accumulate latencies into request service
+// times and attribute each operation to a cause for the paper's accounting
+// (user access vs. address translation vs. garbage collection).
+//
+// Geometry and latencies default to Table 3 of the TPFTL paper: 4 KB pages,
+// 256 KB blocks (64 pages), 25 µs read, 200 µs program, 1.5 ms erase.
+package flash
+
+import (
+	"fmt"
+	"time"
+)
+
+// PPN is a physical page number: block*PagesPerBlock + offset.
+type PPN int64
+
+// InvalidPPN marks an unmapped logical page.
+const InvalidPPN PPN = -1
+
+// Valid reports whether p refers to a real physical page.
+func (p PPN) Valid() bool { return p >= 0 }
+
+// BlockID identifies a physical flash block.
+type BlockID int32
+
+// PageState tracks the lifecycle of one physical page.
+type PageState uint8
+
+const (
+	// PageFree means erased and programmable.
+	PageFree PageState = iota
+	// PageValid means programmed and holding live data.
+	PageValid
+	// PageInvalid means programmed but superseded; reclaimed by GC.
+	PageInvalid
+)
+
+func (s PageState) String() string {
+	switch s {
+	case PageFree:
+		return "free"
+	case PageValid:
+		return "valid"
+	case PageInvalid:
+		return "invalid"
+	default:
+		return fmt.Sprintf("PageState(%d)", uint8(s))
+	}
+}
+
+// PageKind distinguishes what an FTL stored in a page. It matters only to
+// garbage collection, which must treat data pages and translation pages
+// differently.
+type PageKind uint8
+
+const (
+	// KindNone is the kind of a free page.
+	KindNone PageKind = iota
+	// KindData marks a page holding user data; Tag is the LPN.
+	KindData
+	// KindTranslation marks a page holding a slice of the mapping table;
+	// Tag is the VTPN.
+	KindTranslation
+)
+
+func (k PageKind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindData:
+		return "data"
+	case KindTranslation:
+		return "translation"
+	default:
+		return fmt.Sprintf("PageKind(%d)", uint8(k))
+	}
+}
+
+// Meta is the out-of-band metadata an FTL attaches to a programmed page
+// (real SSDs store this in the page's spare area). GC uses it to find the
+// logical owner of a valid page without consulting the mapping cache, and
+// crash recovery uses the sequence number to order versions of the same
+// logical page when rebuilding the mapping from a full scan.
+type Meta struct {
+	Kind PageKind
+	Tag  int64 // LPN for data pages, VTPN for translation pages
+	Seq  int64 // monotonically increasing program sequence number
+}
+
+// Config describes chip geometry and timing.
+type Config struct {
+	PageSize      int // bytes per page
+	PagesPerBlock int
+	NumBlocks     int
+	ReadLatency   time.Duration
+	WriteLatency  time.Duration
+	EraseLatency  time.Duration
+	// EraseLimit, if > 0, makes a block fail permanently after that many
+	// erases (endurance failure injection). 0 means unlimited.
+	EraseLimit int
+	// AllowOutOfOrder permits programming a block's pages in any order, as
+	// SLC-era NAND did. Block-level FTLs, which place pages at fixed
+	// offsets, require it; modern page-level FTLs keep the default strict
+	// sequential-program rule.
+	AllowOutOfOrder bool
+}
+
+// DefaultConfig returns the Table 3 parameters of the TPFTL paper, sized to
+// hold numBlocks blocks.
+func DefaultConfig(numBlocks int) Config {
+	return Config{
+		PageSize:      4096,
+		PagesPerBlock: 64,
+		NumBlocks:     numBlocks,
+		ReadLatency:   25 * time.Microsecond,
+		WriteLatency:  200 * time.Microsecond,
+		EraseLatency:  1500 * time.Microsecond,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.PageSize <= 0:
+		return fmt.Errorf("flash: PageSize %d must be positive", c.PageSize)
+	case c.PagesPerBlock <= 0:
+		return fmt.Errorf("flash: PagesPerBlock %d must be positive", c.PagesPerBlock)
+	case c.NumBlocks <= 0:
+		return fmt.Errorf("flash: NumBlocks %d must be positive", c.NumBlocks)
+	}
+	return nil
+}
+
+// TotalPages returns the number of physical pages the chip holds.
+func (c Config) TotalPages() int64 { return int64(c.NumBlocks) * int64(c.PagesPerBlock) }
+
+// Stats counts operations performed on the chip.
+type Stats struct {
+	Reads    int64
+	Programs int64
+	Erases   int64
+}
+
+// block is per-block simulator state.
+type block struct {
+	writePtr   int // next programmable offset; PagesPerBlock means full
+	validCount int
+	eraseCount int
+	worn       bool
+}
+
+// Chip simulates one NAND flash chip.
+type Chip struct {
+	cfg    Config
+	states []PageState
+	metas  []Meta
+	blocks []block
+	stats  Stats
+	// failNextOps holds injected errors keyed by op name, consumed in order.
+	failNext map[string][]error
+}
+
+// New creates a chip with all blocks erased.
+func New(cfg Config) (*Chip, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Chip{
+		cfg:    cfg,
+		states: make([]PageState, cfg.TotalPages()),
+		metas:  make([]Meta, cfg.TotalPages()),
+		blocks: make([]block, cfg.NumBlocks),
+	}, nil
+}
+
+// Config returns the chip's configuration.
+func (c *Chip) Config() Config { return c.cfg }
+
+// Stats returns a copy of the operation counters.
+func (c *Chip) Stats() Stats { return c.stats }
+
+// Block returns the block containing p.
+func (c *Chip) Block(p PPN) BlockID { return BlockID(int64(p) / int64(c.cfg.PagesPerBlock)) }
+
+// Offset returns p's page offset within its block.
+func (c *Chip) Offset(p PPN) int { return int(int64(p) % int64(c.cfg.PagesPerBlock)) }
+
+// PageAt returns the PPN of page offset off within blk.
+func (c *Chip) PageAt(blk BlockID, off int) PPN {
+	return PPN(int64(blk)*int64(c.cfg.PagesPerBlock) + int64(off))
+}
+
+// State returns the state of page p.
+func (c *Chip) State(p PPN) PageState {
+	c.mustContain(p)
+	return c.states[p]
+}
+
+// MetaOf returns the out-of-band metadata of page p.
+func (c *Chip) MetaOf(p PPN) Meta {
+	c.mustContain(p)
+	return c.metas[p]
+}
+
+// ValidCount returns the number of valid pages in blk.
+func (c *Chip) ValidCount(blk BlockID) int {
+	c.mustContainBlock(blk)
+	return c.blocks[blk].validCount
+}
+
+// WritePtr returns the next programmable page offset in blk
+// (== PagesPerBlock when the block is fully programmed).
+func (c *Chip) WritePtr(blk BlockID) int {
+	c.mustContainBlock(blk)
+	return c.blocks[blk].writePtr
+}
+
+// EraseCount returns how many times blk has been erased.
+func (c *Chip) EraseCount(blk BlockID) int {
+	c.mustContainBlock(blk)
+	return c.blocks[blk].eraseCount
+}
+
+// TotalErases returns the sum of erase counts over all blocks.
+func (c *Chip) TotalErases() int64 { return c.stats.Erases }
+
+// OpError describes an illegal flash operation.
+type OpError struct {
+	Op   string
+	Page PPN
+	Blk  BlockID
+	Msg  string
+}
+
+func (e *OpError) Error() string {
+	if e.Page >= 0 {
+		return fmt.Sprintf("flash: %s ppn %d: %s", e.Op, e.Page, e.Msg)
+	}
+	return fmt.Sprintf("flash: %s block %d: %s", e.Op, e.Blk, e.Msg)
+}
+
+// Read reads page p, which must be programmed (valid or invalid — GC may
+// legitimately read a page that was invalidated between scheduling and
+// execution, and reading stale data is physically possible). It returns the
+// read latency.
+func (c *Chip) Read(p PPN) (time.Duration, error) {
+	c.mustContain(p)
+	if err := c.takeInjected("read"); err != nil {
+		return 0, err
+	}
+	if c.states[p] == PageFree {
+		return 0, &OpError{Op: "read", Page: p, Blk: -1, Msg: "page not programmed"}
+	}
+	c.stats.Reads++
+	return c.cfg.ReadLatency, nil
+}
+
+// Program writes page p with metadata m. NAND rules enforced: the page must
+// be free and must be the next in-order page of its block. It returns the
+// program latency.
+func (c *Chip) Program(p PPN, m Meta) (time.Duration, error) {
+	c.mustContain(p)
+	if err := c.takeInjected("program"); err != nil {
+		return 0, err
+	}
+	blk := c.Block(p)
+	b := &c.blocks[blk]
+	if b.worn {
+		return 0, &OpError{Op: "program", Page: p, Blk: blk, Msg: "block worn out"}
+	}
+	if c.states[p] != PageFree {
+		return 0, &OpError{Op: "program", Page: p, Blk: blk, Msg: "page already programmed"}
+	}
+	off := c.Offset(p)
+	if !c.cfg.AllowOutOfOrder && off != b.writePtr {
+		return 0, &OpError{Op: "program", Page: p, Blk: blk,
+			Msg: fmt.Sprintf("out-of-order program: offset %d, write pointer %d", off, b.writePtr)}
+	}
+	if m.Kind == KindNone {
+		return 0, &OpError{Op: "program", Page: p, Blk: blk, Msg: "missing page kind"}
+	}
+	c.states[p] = PageValid
+	c.metas[p] = m
+	if off+1 > b.writePtr {
+		b.writePtr = off + 1
+	}
+	b.validCount++
+	c.stats.Programs++
+	return c.cfg.WriteLatency, nil
+}
+
+// Invalidate marks a previously valid page invalid. It costs nothing (it is
+// a RAM-side bookkeeping action in a real FTL).
+func (c *Chip) Invalidate(p PPN) error {
+	c.mustContain(p)
+	if c.states[p] != PageValid {
+		return &OpError{Op: "invalidate", Page: p, Blk: -1,
+			Msg: "page not valid (state " + c.states[p].String() + ")"}
+	}
+	c.states[p] = PageInvalid
+	c.blocks[c.Block(p)].validCount--
+	return nil
+}
+
+// Erase erases blk, freeing all its pages. All pages must be invalid (the
+// FTL must migrate valid pages first); erasing live data is a simulator bug.
+// It returns the erase latency.
+func (c *Chip) Erase(blk BlockID) (time.Duration, error) {
+	c.mustContainBlock(blk)
+	if err := c.takeInjected("erase"); err != nil {
+		return 0, err
+	}
+	b := &c.blocks[blk]
+	if b.worn {
+		return 0, &OpError{Op: "erase", Page: -1, Blk: blk, Msg: "block worn out"}
+	}
+	if b.validCount != 0 {
+		return 0, &OpError{Op: "erase", Page: -1, Blk: blk,
+			Msg: fmt.Sprintf("%d valid pages remain", b.validCount)}
+	}
+	start := c.PageAt(blk, 0)
+	for i := 0; i < c.cfg.PagesPerBlock; i++ {
+		c.states[start+PPN(i)] = PageFree
+		c.metas[start+PPN(i)] = Meta{}
+	}
+	b.writePtr = 0
+	b.eraseCount++
+	c.stats.Erases++
+	if c.cfg.EraseLimit > 0 && b.eraseCount >= c.cfg.EraseLimit {
+		b.worn = true
+	}
+	return c.cfg.EraseLatency, nil
+}
+
+// Worn reports whether blk has exceeded its erase limit.
+func (c *Chip) Worn(blk BlockID) bool {
+	c.mustContainBlock(blk)
+	return c.blocks[blk].worn
+}
+
+// FailNext injects err as the result of the next operation of the given op
+// ("read", "program" or "erase"). Multiple injections queue in FIFO order.
+func (c *Chip) FailNext(op string, err error) {
+	if c.failNext == nil {
+		c.failNext = make(map[string][]error)
+	}
+	c.failNext[op] = append(c.failNext[op], err)
+}
+
+func (c *Chip) takeInjected(op string) error {
+	q := c.failNext[op]
+	if len(q) == 0 {
+		return nil
+	}
+	err := q[0]
+	c.failNext[op] = q[1:]
+	return err
+}
+
+func (c *Chip) mustContain(p PPN) {
+	if p < 0 || int64(p) >= c.cfg.TotalPages() {
+		panic(fmt.Sprintf("flash: ppn %d out of range [0,%d)", p, c.cfg.TotalPages()))
+	}
+}
+
+func (c *Chip) mustContainBlock(blk BlockID) {
+	if blk < 0 || int(blk) >= c.cfg.NumBlocks {
+		panic(fmt.Sprintf("flash: block %d out of range [0,%d)", blk, c.cfg.NumBlocks))
+	}
+}
+
+// CheckInvariants validates the chip's internal consistency: per-block valid
+// counts match page states, write pointers bound programmed pages. Used by
+// property tests.
+func (c *Chip) CheckInvariants() error {
+	for bi := range c.blocks {
+		b := &c.blocks[bi]
+		valid := 0
+		for off := 0; off < c.cfg.PagesPerBlock; off++ {
+			p := c.PageAt(BlockID(bi), off)
+			st := c.states[p]
+			if st == PageValid {
+				valid++
+			}
+			if !c.cfg.AllowOutOfOrder && off < b.writePtr && st == PageFree {
+				return fmt.Errorf("flash: block %d offset %d free below write pointer %d", bi, off, b.writePtr)
+			}
+			if off >= b.writePtr && st != PageFree {
+				return fmt.Errorf("flash: block %d offset %d programmed at/above write pointer %d", bi, off, b.writePtr)
+			}
+			if st != PageFree && c.metas[p].Kind == KindNone {
+				return fmt.Errorf("flash: block %d offset %d programmed without metadata", bi, off)
+			}
+		}
+		if valid != b.validCount {
+			return fmt.Errorf("flash: block %d valid count %d, counted %d", bi, b.validCount, valid)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,404 @@
+package flash
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func testChip(t *testing.T, blocks int) *Chip {
+	t.Helper()
+	cfg := DefaultConfig(blocks)
+	cfg.PagesPerBlock = 4 // small blocks keep tests readable
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		ok   bool
+	}{
+		{"default", func(c *Config) {}, true},
+		{"zero page size", func(c *Config) { c.PageSize = 0 }, false},
+		{"negative pages per block", func(c *Config) { c.PagesPerBlock = -1 }, false},
+		{"zero blocks", func(c *Config) { c.NumBlocks = 0 }, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig(8)
+			tc.mut(&cfg)
+			err := cfg.Validate()
+			if (err == nil) != tc.ok {
+				t.Fatalf("Validate() error = %v, want ok=%v", err, tc.ok)
+			}
+			if _, err := New(cfg); (err == nil) != tc.ok {
+				t.Fatalf("New() error = %v, want ok=%v", err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestDefaultConfigMatchesPaperTable3(t *testing.T) {
+	cfg := DefaultConfig(16)
+	if cfg.PageSize != 4096 {
+		t.Errorf("PageSize = %d, want 4096", cfg.PageSize)
+	}
+	if got := cfg.PageSize * cfg.PagesPerBlock; got != 256*1024 {
+		t.Errorf("block size = %d, want 256KiB", got)
+	}
+	if cfg.ReadLatency != 25*time.Microsecond {
+		t.Errorf("ReadLatency = %v, want 25µs", cfg.ReadLatency)
+	}
+	if cfg.WriteLatency != 200*time.Microsecond {
+		t.Errorf("WriteLatency = %v, want 200µs", cfg.WriteLatency)
+	}
+	if cfg.EraseLatency != 1500*time.Microsecond {
+		t.Errorf("EraseLatency = %v, want 1.5ms", cfg.EraseLatency)
+	}
+}
+
+func TestProgramReadLifecycle(t *testing.T) {
+	c := testChip(t, 2)
+	p := c.PageAt(0, 0)
+
+	if _, err := c.Read(p); err == nil {
+		t.Fatal("read of free page succeeded")
+	}
+	lat, err := c.Program(p, Meta{Kind: KindData, Tag: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat != c.Config().WriteLatency {
+		t.Fatalf("program latency = %v, want %v", lat, c.Config().WriteLatency)
+	}
+	if c.State(p) != PageValid {
+		t.Fatalf("state = %v, want valid", c.State(p))
+	}
+	if m := c.MetaOf(p); m.Kind != KindData || m.Tag != 42 {
+		t.Fatalf("meta = %+v", m)
+	}
+	lat, err = c.Read(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat != c.Config().ReadLatency {
+		t.Fatalf("read latency = %v, want %v", lat, c.Config().ReadLatency)
+	}
+}
+
+func TestProgramRules(t *testing.T) {
+	c := testChip(t, 1)
+	p0, p1 := c.PageAt(0, 0), c.PageAt(0, 1)
+
+	// Out-of-order program rejected.
+	if _, err := c.Program(p1, Meta{Kind: KindData, Tag: 1}); err == nil {
+		t.Fatal("out-of-order program succeeded")
+	}
+	if _, err := c.Program(p0, Meta{Kind: KindData, Tag: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite rejected.
+	if _, err := c.Program(p0, Meta{Kind: KindData, Tag: 2}); err == nil {
+		t.Fatal("overwrite succeeded")
+	}
+	// Missing kind rejected.
+	if _, err := c.Program(p1, Meta{}); err == nil {
+		t.Fatal("program without kind succeeded")
+	}
+	var opErr *OpError
+	_, err := c.Program(p0, Meta{Kind: KindData})
+	if !errors.As(err, &opErr) {
+		t.Fatalf("error %T, want *OpError", err)
+	}
+}
+
+func TestInvalidateAndValidCount(t *testing.T) {
+	c := testChip(t, 1)
+	for i := 0; i < 3; i++ {
+		if _, err := c.Program(c.PageAt(0, i), Meta{Kind: KindData, Tag: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.ValidCount(0); got != 3 {
+		t.Fatalf("ValidCount = %d, want 3", got)
+	}
+	if err := c.Invalidate(c.PageAt(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ValidCount(0); got != 2 {
+		t.Fatalf("ValidCount = %d, want 2", got)
+	}
+	// Double invalidate rejected.
+	if err := c.Invalidate(c.PageAt(0, 1)); err == nil {
+		t.Fatal("double invalidate succeeded")
+	}
+	// Invalidate of free page rejected.
+	if err := c.Invalidate(c.PageAt(0, 3)); err == nil {
+		t.Fatal("invalidate of free page succeeded")
+	}
+}
+
+func TestEraseRules(t *testing.T) {
+	c := testChip(t, 1)
+	ppb := c.Config().PagesPerBlock
+	for i := 0; i < ppb; i++ {
+		if _, err := c.Program(c.PageAt(0, i), Meta{Kind: KindData, Tag: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Erase with valid pages rejected.
+	if _, err := c.Erase(0); err == nil {
+		t.Fatal("erase of block with valid pages succeeded")
+	}
+	for i := 0; i < ppb; i++ {
+		if err := c.Invalidate(c.PageAt(0, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lat, err := c.Erase(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat != c.Config().EraseLatency {
+		t.Fatalf("erase latency = %v, want %v", lat, c.Config().EraseLatency)
+	}
+	if c.EraseCount(0) != 1 {
+		t.Fatalf("EraseCount = %d, want 1", c.EraseCount(0))
+	}
+	if c.WritePtr(0) != 0 {
+		t.Fatalf("WritePtr = %d, want 0 after erase", c.WritePtr(0))
+	}
+	// Pages reusable after erase.
+	if _, err := c.Program(c.PageAt(0, 0), Meta{Kind: KindData, Tag: 9}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnduranceLimit(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.PagesPerBlock = 2
+	cfg.EraseLimit = 2
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wearOnce := func() error {
+		for i := 0; i < 2; i++ {
+			if _, err := c.Program(c.PageAt(0, i), Meta{Kind: KindData, Tag: 1}); err != nil {
+				return err
+			}
+			if err := c.Invalidate(c.PageAt(0, i)); err != nil {
+				return err
+			}
+		}
+		_, err := c.Erase(0)
+		return err
+	}
+	if err := wearOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Worn(0) {
+		t.Fatal("worn after 1 erase with limit 2")
+	}
+	if err := wearOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Worn(0) {
+		t.Fatal("not worn after reaching erase limit")
+	}
+	if _, err := c.Program(c.PageAt(0, 0), Meta{Kind: KindData, Tag: 1}); err == nil {
+		t.Fatal("program to worn block succeeded")
+	}
+}
+
+func TestFailureInjection(t *testing.T) {
+	c := testChip(t, 1)
+	boom := errors.New("boom")
+	c.FailNext("program", boom)
+	if _, err := c.Program(c.PageAt(0, 0), Meta{Kind: KindData, Tag: 1}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want injected", err)
+	}
+	// Injection consumed; next op succeeds.
+	if _, err := c.Program(c.PageAt(0, 0), Meta{Kind: KindData, Tag: 1}); err != nil {
+		t.Fatal(err)
+	}
+	c.FailNext("read", boom)
+	if _, err := c.Read(c.PageAt(0, 0)); !errors.Is(err, boom) {
+		t.Fatalf("read err = %v, want injected", err)
+	}
+	c.FailNext("erase", boom)
+	if err := c.Invalidate(c.PageAt(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Erase(0); !errors.Is(err, boom) {
+		t.Fatalf("erase err = %v, want injected", err)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	c := testChip(t, 1)
+	for i := 0; i < 4; i++ {
+		if _, err := c.Program(c.PageAt(0, i), Meta{Kind: KindData, Tag: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Read(c.PageAt(0, i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Invalidate(c.PageAt(0, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Erase(0); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if s.Reads != 4 || s.Programs != 4 || s.Erases != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if c.TotalErases() != 1 {
+		t.Fatalf("TotalErases = %d", c.TotalErases())
+	}
+}
+
+func TestAddressHelpers(t *testing.T) {
+	c := testChip(t, 3) // 4 pages per block
+	p := c.PageAt(2, 3)
+	if p != PPN(11) {
+		t.Fatalf("PageAt(2,3) = %d, want 11", p)
+	}
+	if c.Block(p) != 2 {
+		t.Fatalf("Block(%d) = %d, want 2", p, c.Block(p))
+	}
+	if c.Offset(p) != 3 {
+		t.Fatalf("Offset(%d) = %d, want 3", p, c.Offset(p))
+	}
+	if InvalidPPN.Valid() {
+		t.Fatal("InvalidPPN reports Valid")
+	}
+	if !p.Valid() {
+		t.Fatal("real PPN reports invalid")
+	}
+}
+
+// TestQuickStateMachine drives the chip with random legal operations and
+// checks invariants after every step.
+func TestQuickStateMachine(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := DefaultConfig(4)
+		cfg.PagesPerBlock = 8
+		c, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		var programmed []PPN // pages in valid state
+		for step := 0; step < 400; step++ {
+			switch rng.Intn(4) {
+			case 0: // program next page of a random non-full block
+				blk := BlockID(rng.Intn(cfg.NumBlocks))
+				if c.WritePtr(blk) >= cfg.PagesPerBlock {
+					continue
+				}
+				p := c.PageAt(blk, c.WritePtr(blk))
+				if _, err := c.Program(p, Meta{Kind: KindData, Tag: int64(step)}); err != nil {
+					t.Log(err)
+					return false
+				}
+				programmed = append(programmed, p)
+			case 1: // invalidate a random valid page
+				if len(programmed) == 0 {
+					continue
+				}
+				i := rng.Intn(len(programmed))
+				if err := c.Invalidate(programmed[i]); err != nil {
+					t.Log(err)
+					return false
+				}
+				programmed = append(programmed[:i], programmed[i+1:]...)
+			case 2: // erase a random block with zero valid pages
+				blk := BlockID(rng.Intn(cfg.NumBlocks))
+				if c.ValidCount(blk) != 0 {
+					continue
+				}
+				if _, err := c.Erase(blk); err != nil {
+					t.Log(err)
+					return false
+				}
+			case 3: // read a random valid page
+				if len(programmed) == 0 {
+					continue
+				}
+				if _, err := c.Read(programmed[rng.Intn(len(programmed))]); err != nil {
+					t.Log(err)
+					return false
+				}
+			}
+			if err := c.CheckInvariants(); err != nil {
+				t.Log(err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStateAndKindStrings(t *testing.T) {
+	if PageFree.String() != "free" || PageValid.String() != "valid" || PageInvalid.String() != "invalid" {
+		t.Fatal("PageState strings wrong")
+	}
+	if KindData.String() != "data" || KindTranslation.String() != "translation" || KindNone.String() != "none" {
+		t.Fatal("PageKind strings wrong")
+	}
+	if PageState(9).String() == "" || PageKind(9).String() == "" {
+		t.Fatal("unknown values must still format")
+	}
+}
+
+func TestOutOfOrderProgramming(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.PagesPerBlock = 4
+	cfg.AllowOutOfOrder = true
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Program offsets 2, 0, 3 in that order: legal in out-of-order mode.
+	for _, off := range []int{2, 0, 3} {
+		if _, err := c.Program(c.PageAt(0, off), Meta{Kind: KindData, Tag: int64(off)}); err != nil {
+			t.Fatalf("offset %d: %v", off, err)
+		}
+	}
+	if c.WritePtr(0) != 4 {
+		t.Fatalf("write pointer = %d, want high-water 4", c.WritePtr(0))
+	}
+	// Overwrite still rejected.
+	if _, err := c.Program(c.PageAt(0, 2), Meta{Kind: KindData, Tag: 9}); err == nil {
+		t.Fatal("overwrite accepted")
+	}
+	// Gap at offset 1 remains programmable.
+	if _, err := c.Program(c.PageAt(0, 1), Meta{Kind: KindData, Tag: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Erase works once all pages are invalid.
+	for off := 0; off < 4; off++ {
+		if err := c.Invalidate(c.PageAt(0, off)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Erase(0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,250 @@
+package ftl
+
+import (
+	"container/heap"
+
+	"repro/internal/flash"
+)
+
+// blockKind tracks what an allocated block holds; garbage collection treats
+// data and translation blocks differently (§3.1's Ngcd vs Ngct).
+type blockKind uint8
+
+const (
+	blockFree blockKind = iota
+	blockData
+	blockTrans
+)
+
+// blockMgr owns physical block allocation: the free-block list, one active
+// write frontier per block kind, and the greedy GC victim queue — an indexed
+// max-heap on invalid-page count, re-keyed on every invalidation so popping
+// always yields the fullest-of-garbage block.
+type blockMgr struct {
+	chip  *flash.Chip
+	free  []flash.BlockID
+	kinds []blockKind
+
+	dataFrontier  flash.BlockID // -1 when no open block
+	transFrontier flash.BlockID
+
+	victims  victimHeap
+	heapIdx  []int // position of each block in victims, -1 when absent
+	freeHead int   // consumed prefix of free (FIFO)
+
+	policy  GCPolicy
+	tick    int64   // advances on every invalidation (cost-benefit age base)
+	lastMod []int64 // tick of each block's latest invalidation
+}
+
+func newBlockMgr(chip *flash.Chip) *blockMgr {
+	n := chip.Config().NumBlocks
+	bm := &blockMgr{
+		chip:          chip,
+		free:          make([]flash.BlockID, 0, n),
+		kinds:         make([]blockKind, n),
+		dataFrontier:  -1,
+		transFrontier: -1,
+		heapIdx:       make([]int, n),
+		lastMod:       make([]int64, n),
+	}
+	bm.victims.bm = bm
+	for b := range bm.heapIdx {
+		bm.heapIdx[b] = -1
+	}
+	// FIFO pops from the front: append ascending so low blocks allocate
+	// first (reproducible layout; Format lays data out sequentially).
+	for b := 0; b < n; b++ {
+		bm.free = append(bm.free, flash.BlockID(b))
+	}
+	return bm
+}
+
+func (bm *blockMgr) freeCount() int { return len(bm.free) - bm.freeHead }
+
+// popFree takes from the FRONT of the free list (FIFO): erased blocks
+// re-enter circulation in release order, so no block idles at the bottom of
+// a stack accumulating an ever-growing wear deficit.
+func (bm *blockMgr) popFree() (flash.BlockID, bool) {
+	if bm.freeHead >= len(bm.free) {
+		return -1, false
+	}
+	b := bm.free[bm.freeHead]
+	bm.freeHead++
+	// Compact once the dead prefix dominates.
+	if bm.freeHead > 64 && bm.freeHead*2 > len(bm.free) {
+		bm.free = append(bm.free[:0], bm.free[bm.freeHead:]...)
+		bm.freeHead = 0
+	}
+	return b, true
+}
+
+// alloc returns the next free page of the frontier for kind, opening a new
+// block from the free list when the frontier is full. The caller is
+// responsible for keeping the free list above the GC threshold.
+func (bm *blockMgr) alloc(kind blockKind) (flash.PPN, error) {
+	frontier := &bm.dataFrontier
+	if kind == blockTrans {
+		frontier = &bm.transFrontier
+	}
+	ppb := bm.chip.Config().PagesPerBlock
+	if *frontier >= 0 && bm.chip.WritePtr(*frontier) < ppb {
+		return bm.chip.PageAt(*frontier, bm.chip.WritePtr(*frontier)), nil
+	}
+	// The current frontier is full: retire it and open a new block. The
+	// retired block is enqueued as a GC candidate only after the frontier
+	// pointer moves off it — maybeEnqueue skips the active frontier, and
+	// pages invalidated during its tenure must not be lost to GC.
+	old := *frontier
+	blk, ok := bm.popFree()
+	if !ok {
+		return flash.InvalidPPN, errf("out of free blocks (device full)")
+	}
+	bm.kinds[blk] = kind
+	*frontier = blk
+	if old >= 0 {
+		bm.maybeEnqueue(old)
+	}
+	return bm.chip.PageAt(blk, 0), nil
+}
+
+// invalidate marks ppn invalid and enqueues its block as a GC candidate if
+// the block is full.
+func (bm *blockMgr) invalidate(ppn flash.PPN) error {
+	if err := bm.chip.Invalidate(ppn); err != nil {
+		return err
+	}
+	blk := bm.chip.Block(ppn)
+	bm.tick++
+	bm.lastMod[blk] = bm.tick
+	bm.maybeEnqueue(blk)
+	return nil
+}
+
+// maybeEnqueue inserts or re-keys blk in the victim heap when it is full,
+// reclaimable and not an open frontier.
+func (bm *blockMgr) maybeEnqueue(blk flash.BlockID) {
+	if blk == bm.dataFrontier || blk == bm.transFrontier {
+		return
+	}
+	if bm.kinds[blk] == blockFree {
+		return
+	}
+	ppb := bm.chip.Config().PagesPerBlock
+	if bm.chip.WritePtr(blk) < ppb {
+		return // not fully programmed yet
+	}
+	invalid := ppb - bm.chip.ValidCount(blk)
+	if invalid == 0 {
+		return // nothing to reclaim
+	}
+	if i := bm.heapIdx[blk]; i >= 0 {
+		bm.victims.items[i].invalid = invalid
+		heap.Fix(&bm.victims, i)
+		return
+	}
+	heap.Push(&bm.victims, victim{blk: blk, invalid: invalid})
+}
+
+// popVictim returns the next GC victim under the configured policy, or -1
+// when no block is reclaimable.
+func (bm *blockMgr) popVictim() flash.BlockID {
+	if bm.policy == GCCostBenefit {
+		return bm.popVictimCostBenefit()
+	}
+	for bm.victims.Len() > 0 {
+		v := heap.Pop(&bm.victims).(victim)
+		bm.heapIdx[v.blk] = -1
+		if bm.chip.ValidCount(v.blk) == bm.chip.Config().PagesPerBlock {
+			continue // defensive; re-keying should prevent this
+		}
+		return v.blk
+	}
+	return -1
+}
+
+// popVictimCostBenefit scans reclaimable blocks for the one maximizing the
+// classic cost-benefit score age*(1-u)/(2u), where u is the valid fraction
+// and age the time since the block's last invalidation. The chosen block is
+// also removed from the greedy heap so the two structures stay coherent.
+func (bm *blockMgr) popVictimCostBenefit() flash.BlockID {
+	ppb := bm.chip.Config().PagesPerBlock
+	best := flash.BlockID(-1)
+	bestScore := -1.0
+	for b := 0; b < len(bm.kinds); b++ {
+		blk := flash.BlockID(b)
+		if bm.kinds[blk] == blockFree || blk == bm.dataFrontier || blk == bm.transFrontier {
+			continue
+		}
+		if bm.chip.WritePtr(blk) < ppb {
+			continue
+		}
+		valid := bm.chip.ValidCount(blk)
+		invalid := ppb - valid
+		if invalid == 0 {
+			continue
+		}
+		age := float64(bm.tick - bm.lastMod[blk] + 1)
+		var score float64
+		if valid == 0 {
+			score = age * float64(ppb) * 2 // free win: prefer oldest empty block
+		} else {
+			u := float64(valid) / float64(ppb)
+			score = age * (1 - u) / (2 * u)
+		}
+		if score > bestScore {
+			bestScore, best = score, blk
+		}
+	}
+	if best >= 0 {
+		bm.removeFromHeap(best)
+	}
+	return best
+}
+
+// removeFromHeap drops blk's pending victim entry, if any. Callers that
+// collect a block outside popVictim (wear leveling) must use it to keep the
+// heap coherent.
+func (bm *blockMgr) removeFromHeap(blk flash.BlockID) {
+	if i := bm.heapIdx[blk]; i >= 0 {
+		heap.Remove(&bm.victims, i)
+		bm.heapIdx[blk] = -1
+	}
+}
+
+// release returns an erased block to the free list.
+func (bm *blockMgr) release(blk flash.BlockID) {
+	bm.kinds[blk] = blockFree
+	bm.free = append(bm.free, blk)
+}
+
+type victim struct {
+	blk     flash.BlockID
+	invalid int
+}
+
+// victimHeap is an indexed max-heap over invalid counts; bm.heapIdx tracks
+// each block's position so keys can be fixed in place.
+type victimHeap struct {
+	items []victim
+	bm    *blockMgr
+}
+
+func (h victimHeap) Len() int           { return len(h.items) }
+func (h victimHeap) Less(i, j int) bool { return h.items[i].invalid > h.items[j].invalid }
+func (h victimHeap) Swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.bm.heapIdx[h.items[i].blk] = i
+	h.bm.heapIdx[h.items[j].blk] = j
+}
+func (h *victimHeap) Push(x any) {
+	v := x.(victim)
+	h.bm.heapIdx[v.blk] = len(h.items)
+	h.items = append(h.items, v)
+}
+func (h *victimHeap) Pop() any {
+	n := len(h.items)
+	v := h.items[n-1]
+	h.items = h.items[:n-1]
+	return v
+}

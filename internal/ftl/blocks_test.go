@@ -1,0 +1,98 @@
+package ftl
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/flash"
+)
+
+// TestVictimHeapMatchesBruteForce randomly programs and invalidates pages
+// and checks that popVictim always returns a block with the maximum invalid
+// count among reclaimable full blocks.
+func TestVictimHeapMatchesBruteForce(t *testing.T) {
+	cfg := flash.DefaultConfig(32)
+	cfg.PagesPerBlock = 16
+	chip, err := flash.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm := newBlockMgr(chip)
+	rng := rand.New(rand.NewSource(1))
+
+	var live []flash.PPN
+	bruteMax := func() int {
+		max := 0
+		for b := 0; b < cfg.NumBlocks; b++ {
+			blk := flash.BlockID(b)
+			if blk == bm.dataFrontier || blk == bm.transFrontier || bm.kinds[blk] == blockFree {
+				continue
+			}
+			if chip.WritePtr(blk) < cfg.PagesPerBlock {
+				continue
+			}
+			if inv := cfg.PagesPerBlock - chip.ValidCount(blk); inv > max {
+				max = inv
+			}
+		}
+		return max
+	}
+
+	for step := 0; step < 4000; step++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4: // program a page
+			if bm.freeCount() < 2 {
+				break
+			}
+			ppn, err := bm.alloc(blockData)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := chip.Program(ppn, flash.Meta{Kind: flash.KindData, Tag: int64(step)}); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, ppn)
+		case 5, 6, 7, 8: // invalidate a random live page
+			if len(live) == 0 {
+				break
+			}
+			i := rng.Intn(len(live))
+			if err := bm.invalidate(live[i]); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live[:i], live[i+1:]...)
+		case 9: // pop a victim and verify greediness, then erase it
+			want := bruteMax()
+			got := bm.popVictim()
+			if got < 0 {
+				if want > 0 {
+					t.Fatalf("step %d: popVictim returned none, brute force found %d", step, want)
+				}
+				break
+			}
+			inv := cfg.PagesPerBlock - chip.ValidCount(got)
+			if inv != want {
+				t.Fatalf("step %d: victim has %d invalid, best is %d", step, inv, want)
+			}
+			// Erase it like GC would: drop valid pages, erase, release.
+			for off := 0; off < cfg.PagesPerBlock; off++ {
+				p := chip.PageAt(got, off)
+				if chip.State(p) == flash.PageValid {
+					if err := chip.Invalidate(p); err != nil {
+						t.Fatal(err)
+					}
+					for j, lp := range live {
+						if lp == p {
+							live = append(live[:j], live[j+1:]...)
+							break
+						}
+					}
+				}
+			}
+			if _, err := chip.Erase(got); err != nil {
+				t.Fatal(err)
+			}
+			bm.release(got)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package ftl
+
+import (
+	"time"
+
+	"repro/internal/flash"
+)
+
+// Config describes a simulated SSD.
+type Config struct {
+	// LogicalBytes is the advertised device capacity.
+	LogicalBytes int64
+	// PageSize and PagesPerBlock set flash geometry (default Table 3:
+	// 4 KB pages, 64 pages/block).
+	PageSize      int
+	PagesPerBlock int
+	// OverProvision is the fraction of extra physical capacity
+	// (default 0.15 per Table 3).
+	OverProvision float64
+	// ReadLatency, WriteLatency, EraseLatency override the flash timing
+	// when non-zero.
+	ReadLatency  time.Duration
+	WriteLatency time.Duration
+	EraseLatency time.Duration
+	// CacheBytes is the mapping-cache budget available to the Translator.
+	// The GTD is not charged against it (the paper sizes the cache as
+	// "block-level table plus the GTD", holding the GTD resident).
+	// Zero selects DefaultCacheBytes(LogicalBytes).
+	CacheBytes int64
+	// GCThresholdBlocks triggers garbage collection when the free-block
+	// count drops to it. Zero selects a default of max(4, 1% of blocks).
+	GCThresholdBlocks int
+	// GCPolicy selects the victim-selection policy (default GCGreedy).
+	GCPolicy GCPolicy
+	// WearLevelThreshold, when non-zero, enables static wear leveling:
+	// whenever the erase-count spread (hottest block minus coldest block)
+	// exceeds the threshold during GC, the coldest block's content is
+	// migrated so the block rejoins circulation (§2.3's wear-leveling
+	// discussion).
+	WearLevelThreshold int
+	// EraseLimit, if non-zero, injects endurance failures (see flash.Config).
+	EraseLimit int
+}
+
+// GCPolicy selects how garbage collection picks victim blocks.
+type GCPolicy uint8
+
+const (
+	// GCGreedy picks the block with the most invalid pages — minimal
+	// immediate migration cost, the policy of the paper's evaluation.
+	GCGreedy GCPolicy = iota
+	// GCCostBenefit picks the block maximizing age*(1-u)/(2u), the
+	// classic cost-benefit policy (Kawaguchi et al.): it prefers older
+	// blocks whose pages are likelier to stay valid, trading a little
+	// immediate cost for fewer re-migrations of cold data.
+	GCCostBenefit
+)
+
+func (p GCPolicy) String() string {
+	switch p {
+	case GCGreedy:
+		return "greedy"
+	case GCCostBenefit:
+		return "cost-benefit"
+	default:
+		return "GCPolicy(?)"
+	}
+}
+
+// DefaultConfig returns the paper's SSD configuration for the given logical
+// capacity.
+func DefaultConfig(logicalBytes int64) Config {
+	return Config{
+		LogicalBytes:  logicalBytes,
+		PageSize:      4096,
+		PagesPerBlock: 64,
+		OverProvision: 0.15,
+		ReadLatency:   25 * time.Microsecond,
+		WriteLatency:  200 * time.Microsecond,
+		EraseLatency:  1500 * time.Microsecond,
+		CacheBytes:    DefaultCacheBytes(logicalBytes),
+	}
+}
+
+// DefaultCacheBytes returns the paper's cache-size convention: the size of a
+// block-level FTL's mapping table for the same capacity (4 B per 256 KB
+// block). This yields 8 KB for a 512 MB device and 256 KB for 16 GB,
+// matching §5.1.
+func DefaultCacheBytes(logicalBytes int64) int64 {
+	blockBytes := int64(4096 * 64)
+	blocks := (logicalBytes + blockBytes - 1) / blockBytes
+	return blocks * 4
+}
+
+// normalize fills defaults and derives sizes.
+func (c Config) normalize() Config {
+	if c.PageSize == 0 {
+		c.PageSize = 4096
+	}
+	if c.PagesPerBlock == 0 {
+		c.PagesPerBlock = 64
+	}
+	if c.OverProvision == 0 {
+		c.OverProvision = 0.15
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = DefaultCacheBytes(c.LogicalBytes)
+	}
+	if c.ReadLatency == 0 {
+		c.ReadLatency = 25 * time.Microsecond
+	}
+	if c.WriteLatency == 0 {
+		c.WriteLatency = 200 * time.Microsecond
+	}
+	if c.EraseLatency == 0 {
+		c.EraseLatency = 1500 * time.Microsecond
+	}
+	return c
+}
+
+// LogicalPages returns the number of logical pages the device advertises.
+func (c Config) LogicalPages() int64 {
+	ps := c.PageSize
+	if ps == 0 {
+		ps = 4096
+	}
+	return c.LogicalBytes / int64(ps)
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	c = c.normalize()
+	switch {
+	case c.LogicalBytes <= 0:
+		return errf("non-positive logical capacity %d", c.LogicalBytes)
+	case c.LogicalBytes%int64(c.PageSize) != 0:
+		return errf("logical capacity %d not page aligned", c.LogicalBytes)
+	case c.OverProvision < 0:
+		return errf("negative over-provisioning %v", c.OverProvision)
+	case c.CacheBytes < 0:
+		return errf("negative cache budget %d", c.CacheBytes)
+	}
+	if c.LogicalPages() == 0 {
+		return errf("capacity smaller than one page")
+	}
+	return nil
+}
+
+// flashConfig derives the physical chip configuration. Physical capacity is
+// the logical capacity plus over-provisioning, plus room for the mapping
+// table itself (translation pages live in flash too) and a small GC reserve.
+func (c Config) flashConfig() flash.Config {
+	logicalPages := c.LogicalPages()
+	dataBlocks := (logicalPages + int64(c.PagesPerBlock) - 1) / int64(c.PagesPerBlock)
+	entriesPerTP := int64(c.PageSize / EntryBytesInFlash)
+	numTPs := (logicalPages + entriesPerTP - 1) / entriesPerTP
+	transBlocks := (numTPs + int64(c.PagesPerBlock) - 1) / int64(c.PagesPerBlock)
+	total := dataBlocks + transBlocks
+	phys := total + int64(float64(total)*c.OverProvision)
+	if min := total + int64(c.gcThreshold())*2 + 2; phys < min {
+		phys = min
+	}
+	return flash.Config{
+		PageSize:      c.PageSize,
+		PagesPerBlock: c.PagesPerBlock,
+		NumBlocks:     int(phys),
+		ReadLatency:   c.ReadLatency,
+		WriteLatency:  c.WriteLatency,
+		EraseLatency:  c.EraseLatency,
+		EraseLimit:    c.EraseLimit,
+	}
+}
+
+func (c Config) gcThreshold() int {
+	if c.GCThresholdBlocks > 0 {
+		return c.GCThresholdBlocks
+	}
+	logicalPages := c.LogicalPages()
+	blocks := int(logicalPages / int64(c.PagesPerBlock))
+	t := blocks / 100
+	if t < 4 {
+		t = 4
+	}
+	return t
+}

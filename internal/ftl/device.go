@@ -1,0 +1,541 @@
+package ftl
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/flash"
+	"repro/internal/trace"
+)
+
+// phase labels which activity flash operations are attributed to.
+type phase uint8
+
+const (
+	phaseAT phase = iota // address translation / user access
+	phaseGC
+)
+
+// Device is a simulated SSD: flash chip + block management + GC + the
+// on-flash mapping table, driven by a pluggable Translator (the
+// mapping-cache policy under study).
+type Device struct {
+	cfg  Config
+	chip *flash.Chip
+	bm   *blockMgr
+	tr   Translator
+
+	entriesPerTP int
+	numTPs       int
+	logicalPages int64
+
+	gtd     []flash.PPN // VTPN → physical translation page
+	persist []flash.PPN // LPN → PPN as stored in flash translation pages
+	truth   []flash.PPN // LPN → PPN ground truth (updated at write time)
+
+	tpBuf []flash.PPN // scratch returned by ReadTP
+
+	clock time.Duration // completion time of the last request
+	acc   time.Duration // latency accumulated by the in-flight request
+	seq   int64         // program sequence counter (crash-recovery ordering)
+	ph    phase
+	inGC  bool
+
+	m Metrics
+
+	// OnSample, if set, is invoked every SampleEvery user page accesses
+	// with the current page-access count; the Fig. 1/2 instrumentation
+	// hooks in here.
+	OnSample    func(pageAccesses int64)
+	SampleEvery int64
+
+	formatted bool
+}
+
+// NewDevice builds a device with the given configuration and policy.
+func NewDevice(cfg Config, tr Translator) (*Device, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.normalize()
+	chip, err := flash.New(cfg.flashConfig())
+	if err != nil {
+		return nil, err
+	}
+	entriesPerTP := cfg.PageSize / EntryBytesInFlash
+	logicalPages := cfg.LogicalPages()
+	numTPs := int((logicalPages + int64(entriesPerTP) - 1) / int64(entriesPerTP))
+	bm := newBlockMgr(chip)
+	bm.policy = cfg.GCPolicy
+	d := &Device{
+		cfg:          cfg,
+		chip:         chip,
+		bm:           bm,
+		tr:           tr,
+		entriesPerTP: entriesPerTP,
+		numTPs:       numTPs,
+		logicalPages: logicalPages,
+		gtd:          make([]flash.PPN, numTPs),
+		persist:      make([]flash.PPN, logicalPages),
+		truth:        make([]flash.PPN, logicalPages),
+		tpBuf:        make([]flash.PPN, entriesPerTP),
+	}
+	for i := range d.gtd {
+		d.gtd[i] = flash.InvalidPPN
+	}
+	for i := range d.persist {
+		d.persist[i] = flash.InvalidPPN
+		d.truth[i] = flash.InvalidPPN
+	}
+	return d, nil
+}
+
+// Config returns the device configuration (normalized).
+func (d *Device) Config() Config { return d.cfg }
+
+// Chip exposes the underlying flash chip (read-only use in tests/benches).
+func (d *Device) Chip() *flash.Chip { return d.chip }
+
+// Translator returns the device's mapping policy.
+func (d *Device) Translator() Translator { return d.tr }
+
+// Metrics returns a snapshot of the accumulated counters.
+func (d *Device) Metrics() Metrics { return d.m }
+
+// ResetMetrics zeroes the counters (e.g. after a warm-up phase).
+func (d *Device) ResetMetrics() { d.m = Metrics{} }
+
+// Now returns the simulated completion time of the last request.
+func (d *Device) Now() time.Duration { return d.clock }
+
+// Format pre-fills the device: every logical page is written once in LPN
+// order and the full mapping table is laid out in translation pages, putting
+// the SSD "in full use" as the paper's experiments assume. Formatting
+// bypasses the mapping cache and is excluded from all metrics.
+func (d *Device) Format() error {
+	if d.formatted {
+		return errf("device already formatted")
+	}
+	for lpn := int64(0); lpn < d.logicalPages; lpn++ {
+		ppn, err := d.bm.alloc(blockData)
+		if err != nil {
+			return err
+		}
+		if _, err := d.chip.Program(ppn, flash.Meta{Kind: flash.KindData, Tag: lpn, Seq: d.nextSeq()}); err != nil {
+			return err
+		}
+		d.truth[lpn] = ppn
+		d.persist[lpn] = ppn
+	}
+	for v := 0; v < d.numTPs; v++ {
+		ppn, err := d.bm.alloc(blockTrans)
+		if err != nil {
+			return err
+		}
+		if _, err := d.chip.Program(ppn, flash.Meta{Kind: flash.KindTranslation, Tag: int64(v), Seq: d.nextSeq()}); err != nil {
+			return err
+		}
+		d.gtd[v] = ppn
+	}
+	d.formatted = true
+	return nil
+}
+
+// Formatted reports whether Format has run.
+func (d *Device) Formatted() bool { return d.formatted }
+
+// Precondition ages the device into a GC steady state: it rewrites `writes`
+// uniformly random logical pages through the normal allocation and GC paths,
+// so block occupancy reaches the organic fragmentation a long-running device
+// shows, instead of the all-valid state Format leaves behind. The mapping
+// cache is bypassed (truth and persist are updated directly, as the
+// preconditioning agent knows the mapping), so measurements start with a
+// cold cache; GC triggered during preconditioning still exercises the real
+// Translator paths. Call ResetMetrics afterwards.
+func (d *Device) Precondition(writes int, seed int64) error {
+	return d.PreconditionRange(writes, d.logicalPages, seed)
+}
+
+// PreconditionRange is Precondition restricted to LPNs in [0, pages): aging
+// only a workload's footprint leaves the cold remainder consolidated in
+// fully-valid blocks, as on a long-running device.
+func (d *Device) PreconditionRange(writes int, pages int64, seed int64) error {
+	if !d.formatted {
+		return errf("Precondition requires a formatted device")
+	}
+	if pages <= 0 || pages > d.logicalPages {
+		pages = d.logicalPages
+	}
+	rng := rand.New(rand.NewSource(seed))
+	d.ph = phaseAT
+	for i := 0; i < writes; i++ {
+		lpn := LPN(rng.Int63n(pages))
+		if err := d.maybeGC(); err != nil {
+			return err
+		}
+		old := d.truth[lpn]
+		ppn, err := d.bm.alloc(blockData)
+		if err != nil {
+			return err
+		}
+		if _, err := d.chip.Program(ppn, flash.Meta{Kind: flash.KindData, Tag: int64(lpn), Seq: d.nextSeq()}); err != nil {
+			return err
+		}
+		if old.Valid() {
+			if err := d.bm.invalidate(old); err != nil {
+				return err
+			}
+		}
+		d.truth[lpn] = ppn
+		d.persist[lpn] = ppn
+	}
+	return nil
+}
+
+// Serve executes one request and returns its response time (queueing
+// included). Requests must be submitted in non-decreasing arrival order.
+func (d *Device) Serve(req trace.Request) (time.Duration, error) {
+	if err := req.Validate(); err != nil {
+		return 0, err
+	}
+	if req.End() > d.cfg.LogicalBytes {
+		return 0, errf("request [%d,%d) beyond capacity %d", req.Offset, req.End(), d.cfg.LogicalBytes)
+	}
+	arrival := time.Duration(req.Arrival)
+	start := d.clock
+	if arrival > start {
+		start = arrival
+	}
+	d.acc = 0
+	d.ph = phaseAT
+
+	first, last := req.Pages(d.cfg.PageSize)
+	d.tr.BeginRequest(LPN(first), LPN(last), req.Write)
+	for lpn := LPN(first); lpn <= LPN(last); lpn++ {
+		var err error
+		if req.Write {
+			err = d.writePage(lpn)
+		} else {
+			err = d.readPage(lpn)
+		}
+		if err != nil {
+			return 0, err
+		}
+		if d.SampleEvery > 0 && d.m.PageAccesses()%d.SampleEvery == 0 && d.OnSample != nil {
+			d.OnSample(d.m.PageAccesses())
+		}
+	}
+
+	d.clock = start + d.acc
+	resp := d.clock - arrival
+	d.m.Requests++
+	d.m.ServiceTime += d.acc
+	d.m.ResponseTime += resp
+	d.m.QueueTime += start - arrival
+	if resp > d.m.MaxResponse {
+		d.m.MaxResponse = resp
+	}
+	d.m.ObserveResponse(resp)
+	return resp, nil
+}
+
+// Run serves every request and returns the accumulated metrics.
+func (d *Device) Run(reqs []trace.Request) (Metrics, error) {
+	for i := range reqs {
+		if _, err := d.Serve(reqs[i]); err != nil {
+			return d.m, errf("request %d: %w", i, err)
+		}
+	}
+	return d.m, nil
+}
+
+func (d *Device) readPage(lpn LPN) error {
+	d.m.PageReads++
+	ppn, err := d.tr.Translate(d, lpn)
+	if err != nil {
+		return err
+	}
+	if ppn != d.truth[lpn] {
+		return errf("%s mistranslated read of lpn %d: got ppn %d, truth %d",
+			d.tr.Name(), lpn, ppn, d.truth[lpn])
+	}
+	if !ppn.Valid() {
+		d.m.UnmappedReads++
+		return nil
+	}
+	lat, err := d.chip.Read(ppn)
+	if err != nil {
+		return err
+	}
+	d.addLat(lat)
+	d.m.FlashReads++
+	return nil
+}
+
+func (d *Device) writePage(lpn LPN) error {
+	d.m.PageWrites++
+	old, err := d.tr.Translate(d, lpn)
+	if err != nil {
+		return err
+	}
+	if old != d.truth[lpn] {
+		return errf("%s mistranslated write of lpn %d: got ppn %d, truth %d",
+			d.tr.Name(), lpn, old, d.truth[lpn])
+	}
+	if err := d.maybeGC(); err != nil {
+		return err
+	}
+	// GC may just have migrated this page; invalidate its current
+	// location, not the pre-GC one returned by the translator.
+	old = d.truth[lpn]
+	ppn, err := d.bm.alloc(blockData)
+	if err != nil {
+		return err
+	}
+	lat, err := d.chip.Program(ppn, flash.Meta{Kind: flash.KindData, Tag: int64(lpn), Seq: d.nextSeq()})
+	if err != nil {
+		return err
+	}
+	d.addLat(lat)
+	d.m.FlashPrograms++
+	if old.Valid() {
+		if err := d.bm.invalidate(old); err != nil {
+			return err
+		}
+	}
+	d.truth[lpn] = ppn
+	return d.tr.Update(d, lpn, ppn)
+}
+
+func (d *Device) addLat(lat time.Duration) {
+	d.acc += lat
+	if d.ph == phaseGC {
+		d.m.GCTime += lat
+	}
+}
+
+// --- Env implementation -------------------------------------------------
+
+// EntriesPerTP implements Env.
+func (d *Device) EntriesPerTP() int { return d.entriesPerTP }
+
+// NumTPs implements Env.
+func (d *Device) NumTPs() int { return d.numTPs }
+
+// NumLPNs implements Env.
+func (d *Device) NumLPNs() int64 { return d.logicalPages }
+
+// ReadTP implements Env: it reads translation page v from flash and returns
+// its entries. If the page has never been written (unformatted device), no
+// flash operation is charged.
+func (d *Device) ReadTP(v VTPN) ([]flash.PPN, error) {
+	if v < 0 || int(v) >= d.numTPs {
+		return nil, errf("ReadTP: vtpn %d out of range [0,%d)", v, d.numTPs)
+	}
+	if phys := d.gtd[v]; phys.Valid() {
+		lat, err := d.chip.Read(phys)
+		if err != nil {
+			return nil, err
+		}
+		d.addLat(lat)
+		d.m.FlashReads++
+		if d.ph == phaseGC {
+			d.m.TransReadsGC++
+		} else {
+			d.m.TransReadsAT++
+		}
+	}
+	lo := int64(v) * int64(d.entriesPerTP)
+	n := copy(d.tpBuf, d.persist[lo:min64(lo+int64(d.entriesPerTP), d.logicalPages)])
+	for i := n; i < d.entriesPerTP; i++ {
+		d.tpBuf[i] = flash.InvalidPPN
+	}
+	return d.tpBuf, nil
+}
+
+// WriteTP implements Env: a translation-page update. Without fullPage it is
+// a read-modify-write (Tfr+Tfw, Eq. 1); with fullPage only the program is
+// charged (S-FTL's whole-page writeback).
+func (d *Device) WriteTP(v VTPN, updates []EntryUpdate, fullPage bool) error {
+	if v < 0 || int(v) >= d.numTPs {
+		return errf("WriteTP: vtpn %d out of range [0,%d)", v, d.numTPs)
+	}
+	// Apply the content updates before anything that can trigger GC: a GC
+	// run below may itself update this page's persisted entries with
+	// fresher values (migrated data pages), which must not be overwritten
+	// by the caller's older snapshot afterwards.
+	base := int64(v) * int64(d.entriesPerTP)
+	for _, u := range updates {
+		if u.Off < 0 || u.Off >= d.entriesPerTP {
+			return errf("WriteTP: offset %d out of range", u.Off)
+		}
+		lpn := base + int64(u.Off)
+		if lpn >= d.logicalPages {
+			return errf("WriteTP: update beyond logical space (vtpn %d off %d)", v, u.Off)
+		}
+		d.persist[lpn] = u.PPN
+	}
+	if err := d.maybeGC(); err != nil {
+		return err
+	}
+	old := d.gtd[v]
+	if old.Valid() && !fullPage {
+		lat, err := d.chip.Read(old)
+		if err != nil {
+			return err
+		}
+		d.addLat(lat)
+		d.m.FlashReads++
+		if d.ph == phaseGC {
+			d.m.TransReadsGC++
+		} else {
+			d.m.TransReadsAT++
+		}
+	}
+	ppn, err := d.bm.alloc(blockTrans)
+	if err != nil {
+		return err
+	}
+	lat, err := d.chip.Program(ppn, flash.Meta{Kind: flash.KindTranslation, Tag: int64(v), Seq: d.nextSeq()})
+	if err != nil {
+		return err
+	}
+	d.addLat(lat)
+	d.m.FlashPrograms++
+	if d.ph == phaseGC {
+		d.m.TransWritesGC++
+	} else {
+		d.m.TransWritesAT++
+	}
+	if old.Valid() {
+		if err := d.bm.invalidate(old); err != nil {
+			return err
+		}
+	}
+	d.gtd[v] = ppn
+	return nil
+}
+
+// NoteLookup implements Env.
+func (d *Device) NoteLookup(hit bool) {
+	d.m.Lookups++
+	if hit {
+		d.m.Hits++
+	}
+}
+
+// NoteReplacement implements Env.
+func (d *Device) NoteReplacement(dirty bool) {
+	d.m.Replacements++
+	if dirty {
+		d.m.DirtyReplaced++
+	}
+}
+
+// NoteGCMapUpdate implements Env.
+func (d *Device) NoteGCMapUpdate(hit bool) {
+	d.m.GCMapUpdates++
+	if hit {
+		d.m.GCMapHits++
+	}
+}
+
+// NoteBatchWriteback implements Env.
+func (d *Device) NoteBatchWriteback(cleaned int) {
+	if cleaned > 0 {
+		d.m.BatchWritebacks++
+		d.m.BatchCleaned += int64(cleaned)
+	}
+}
+
+// NotePrefetch records entries loaded beyond the demanded one; used by
+// prefetching translators.
+func (d *Device) NotePrefetch(n int) { d.m.PrefetchedLoaded += int64(n) }
+
+// nextSeq returns the next program sequence number; every programmed page
+// carries one in its OOB metadata so crash recovery can order versions.
+func (d *Device) nextSeq() int64 {
+	d.seq++
+	return d.seq
+}
+
+// --- Verification helpers (tests) ----------------------------------------
+
+// Truth returns the ground-truth PPN for lpn.
+func (d *Device) Truth(lpn LPN) flash.PPN { return d.truth[lpn] }
+
+// Persisted returns the PPN recorded in flash translation pages for lpn.
+func (d *Device) Persisted(lpn LPN) flash.PPN { return d.persist[lpn] }
+
+// GTDEntry returns the physical page of translation page v.
+func (d *Device) GTDEntry(v VTPN) flash.PPN { return d.gtd[v] }
+
+// EraseSpread returns the minimum and maximum per-block erase counts — the
+// wear imbalance that wear leveling bounds.
+func (d *Device) EraseSpread() (min, max int) {
+	n := d.chip.Config().NumBlocks
+	if n == 0 {
+		return 0, 0
+	}
+	min = d.chip.EraseCount(0)
+	for b := 1; b < n; b++ {
+		ec := d.chip.EraseCount(flash.BlockID(b))
+		if ec < min {
+			min = ec
+		}
+		if ec > max {
+			max = ec
+		}
+	}
+	return min, max
+}
+
+// CheckConsistency validates the device-wide invariants: chip bookkeeping,
+// GTD pointing at valid translation pages, and — given the set of
+// dirty-cached LPNs from the translator — the truth/persist relationship:
+// truth differs from persist exactly for LPNs with a dirty cached entry.
+func (d *Device) CheckConsistency(dirtyCached map[LPN]flash.PPN) error {
+	if err := d.chip.CheckInvariants(); err != nil {
+		return err
+	}
+	for v, ppn := range d.gtd {
+		if !ppn.Valid() {
+			continue
+		}
+		if st := d.chip.State(ppn); st != flash.PageValid {
+			return errf("gtd[%d] = %d in state %v", v, ppn, st)
+		}
+		if m := d.chip.MetaOf(ppn); m.Kind != flash.KindTranslation || m.Tag != int64(v) {
+			return errf("gtd[%d] = %d has meta %+v", v, ppn, m)
+		}
+	}
+	for lpn := int64(0); lpn < d.logicalPages; lpn++ {
+		t, p := d.truth[lpn], d.persist[lpn]
+		if t.Valid() {
+			if st := d.chip.State(t); st != flash.PageValid {
+				return errf("truth[%d] = %d in state %v", lpn, t, st)
+			}
+			if m := d.chip.MetaOf(t); m.Kind != flash.KindData || m.Tag != lpn {
+				return errf("truth[%d] = %d has meta %+v", lpn, t, m)
+			}
+		}
+		if dirtyCached == nil {
+			continue
+		}
+		dirtyPPN, dirty := dirtyCached[LPN(lpn)]
+		if dirty && dirtyPPN != t {
+			return errf("dirty cache entry for lpn %d holds %d, truth %d", lpn, dirtyPPN, t)
+		}
+		if t != p && !dirty {
+			return errf("lpn %d: truth %d != persist %d with no dirty cache entry", lpn, t, p)
+		}
+	}
+	return nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

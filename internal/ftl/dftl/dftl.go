@@ -1,0 +1,254 @@
+// Package dftl implements DFTL (Gupta et al., ASPLOS 2009), the first
+// demand-based page-level FTL and the baseline of the TPFTL paper.
+//
+// DFTL caches individual mapping entries (8 B each) in a segmented LRU list
+// (a probationary segment absorbs one-touch entries; re-referenced entries
+// are promoted to a protected segment). On a miss the requested entry — and
+// only it — is loaded from its translation page. On eviction of a dirty
+// entry, only that entry is written back (a read-modify-write of its
+// translation page); the paper's §3.2 identifies this per-entry writeback as
+// DFTL's key inefficiency. During GC, mapping updates for migrated data
+// pages that share a translation page are batched into one update, as in the
+// original DFTL design.
+package dftl
+
+import (
+	"repro/internal/flash"
+	"repro/internal/ftl"
+	"repro/internal/lru"
+)
+
+// entry is one cached mapping entry.
+type entry struct {
+	node      lru.Node
+	lpn       ftl.LPN
+	ppn       flash.PPN
+	dirty     bool
+	protected bool
+}
+
+// Config tunes the cache.
+type Config struct {
+	// CacheBytes is the mapping-cache budget.
+	CacheBytes int64
+	// ProtectedFraction of the budget is reserved for the protected
+	// segment of the segmented LRU (default 0.5).
+	ProtectedFraction float64
+	// EntryBytes is the RAM cost per cached entry (default 8).
+	EntryBytes int
+}
+
+// FTL is the DFTL translator. Create with New.
+type FTL struct {
+	cfg      Config
+	capacity int // max cached entries
+
+	entries map[ftl.LPN]*entry
+	prob    lru.List // probationary segment, MRU..LRU
+	prot    lru.List // protected segment, MRU..LRU
+	protCap int
+
+	ePerTP int // learned from the Env; snapshot grouping granularity
+}
+
+var _ ftl.Translator = (*FTL)(nil)
+var _ ftl.Inspector = (*FTL)(nil)
+
+// New returns a DFTL instance with the given cache budget.
+func New(cfg Config) *FTL {
+	if cfg.EntryBytes == 0 {
+		cfg.EntryBytes = ftl.EntryBytesRAM
+	}
+	if cfg.ProtectedFraction == 0 {
+		cfg.ProtectedFraction = 0.5
+	}
+	capacity := int(cfg.CacheBytes / int64(cfg.EntryBytes))
+	if capacity < 4 {
+		capacity = 4
+	}
+	return &FTL{
+		cfg:      cfg,
+		capacity: capacity,
+		entries:  make(map[ftl.LPN]*entry, capacity),
+		protCap:  int(float64(capacity) * cfg.ProtectedFraction),
+		ePerTP:   4096 / ftl.EntryBytesInFlash,
+	}
+}
+
+// Name implements ftl.Translator.
+func (f *FTL) Name() string { return "DFTL" }
+
+// Capacity returns the maximum number of cached entries.
+func (f *FTL) Capacity() int { return f.capacity }
+
+// Len returns the number of cached entries.
+func (f *FTL) Len() int { return len(f.entries) }
+
+// BeginRequest implements ftl.Translator. DFTL has no request-level state.
+func (f *FTL) BeginRequest(first, last ftl.LPN, write bool) {}
+
+// Translate implements ftl.Translator.
+func (f *FTL) Translate(env ftl.Env, lpn ftl.LPN) (flash.PPN, error) {
+	f.ePerTP = env.EntriesPerTP()
+	if e, ok := f.entries[lpn]; ok {
+		env.NoteLookup(true)
+		f.touch(e)
+		return e.ppn, nil
+	}
+	env.NoteLookup(false)
+	// Make room before reading: the writeback of a dirty victim can
+	// trigger GC, which may migrate the very data page being looked up.
+	// Reading the translation page only after all evictions guarantees
+	// the loaded value is current (ReadTP itself cannot trigger GC).
+	if err := f.reserve(env, 1); err != nil {
+		return flash.InvalidPPN, err
+	}
+	vals, err := env.ReadTP(ftl.VTPNOf(lpn, env.EntriesPerTP()))
+	if err != nil {
+		return flash.InvalidPPN, err
+	}
+	ppn := vals[ftl.OffOf(lpn, env.EntriesPerTP())]
+	f.add(lpn, ppn, false)
+	return ppn, nil
+}
+
+// Update implements ftl.Translator.
+func (f *FTL) Update(env ftl.Env, lpn ftl.LPN, ppn flash.PPN) error {
+	if e, ok := f.entries[lpn]; ok {
+		e.ppn = ppn
+		e.dirty = true
+		f.touch(e)
+		return nil
+	}
+	// Unreachable in the normal write path (Translate just inserted the
+	// entry), but a standalone Update must still work.
+	if err := f.reserve(env, 1); err != nil {
+		return err
+	}
+	f.add(lpn, ppn, true)
+	return nil
+}
+
+// touch applies the segmented-LRU promotion rule.
+func (f *FTL) touch(e *entry) {
+	if e.protected {
+		f.prot.MoveToFront(&e.node)
+		return
+	}
+	// Promote to protected.
+	f.prob.Remove(&e.node)
+	e.protected = true
+	f.prot.PushFront(&e.node)
+	// Keep the protected segment within its share by demoting its LRU.
+	for f.prot.Len() > f.protCap {
+		lrun := f.prot.Back()
+		d := lrun.Value.(*entry)
+		f.prot.Remove(lrun)
+		d.protected = false
+		f.prob.PushFront(lrun)
+	}
+}
+
+// reserve evicts entries until n slots are free.
+func (f *FTL) reserve(env ftl.Env, n int) error {
+	for len(f.entries)+n > f.capacity {
+		if err := f.evictOne(env); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// add inserts a new entry; the caller must have reserved space.
+func (f *FTL) add(lpn ftl.LPN, ppn flash.PPN, dirty bool) {
+	e := &entry{lpn: lpn, ppn: ppn, dirty: dirty}
+	e.node.Value = e
+	f.entries[lpn] = e
+	f.prob.PushFront(&e.node)
+}
+
+// evictOne removes the coldest entry (probationary LRU first), writing it
+// back if dirty. The victim is fully unlinked before the writeback so that
+// a GC triggered by the flash write sees a consistent cache.
+func (f *FTL) evictOne(env ftl.Env) error {
+	n := f.prob.Back()
+	if n == nil {
+		n = f.prot.Back()
+	}
+	if n == nil {
+		return nil
+	}
+	e := n.Value.(*entry)
+	if e.protected {
+		f.prot.Remove(n)
+	} else {
+		f.prob.Remove(n)
+	}
+	delete(f.entries, e.lpn)
+	env.NoteReplacement(e.dirty)
+	if e.dirty {
+		v := ftl.VTPNOf(e.lpn, env.EntriesPerTP())
+		up := []ftl.EntryUpdate{{Off: ftl.OffOf(e.lpn, env.EntriesPerTP()), PPN: e.ppn}}
+		if err := env.WriteTP(v, up, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OnGCDataMoves implements ftl.Translator. Updates for moves whose entries
+// are cached happen in RAM (GC hits); the rest are grouped by translation
+// page and applied in one batch update per page — DFTL's original GC-time
+// batching.
+func (f *FTL) OnGCDataMoves(env ftl.Env, moves []ftl.GCMove) error {
+	e := env.EntriesPerTP()
+	pending := map[ftl.VTPN][]ftl.EntryUpdate{}
+	for _, mv := range moves {
+		if ent, ok := f.entries[mv.LPN]; ok {
+			ent.ppn = mv.NewPPN
+			ent.dirty = true
+			env.NoteGCMapUpdate(true)
+			continue
+		}
+		env.NoteGCMapUpdate(false)
+		v := ftl.VTPNOf(mv.LPN, e)
+		pending[v] = append(pending[v], ftl.EntryUpdate{Off: ftl.OffOf(mv.LPN, e), PPN: mv.NewPPN})
+	}
+	for v, ups := range pending {
+		if err := env.WriteTP(v, ups, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot implements ftl.Inspector.
+func (f *FTL) Snapshot() ftl.CacheSnapshot {
+	s := ftl.CacheSnapshot{DirtyPerPage: map[ftl.VTPN]int{}}
+	for lpn, e := range f.entries {
+		s.Entries++
+		v := ftl.VTPNOf(lpn, f.ePerTP)
+		if _, ok := s.DirtyPerPage[v]; !ok {
+			s.DirtyPerPage[v] = 0
+		}
+		if e.dirty {
+			s.DirtyEntries++
+			s.DirtyPerPage[v]++
+		}
+	}
+	s.TPNodes = len(s.DirtyPerPage)
+	s.UsedBytes = int64(len(f.entries)) * int64(f.cfg.EntryBytes)
+	return s
+}
+
+// DirtyCached returns the LPN→PPN map of dirty cached entries; consistency
+// tests feed it to Device.CheckConsistency.
+func (f *FTL) DirtyCached() map[ftl.LPN]flash.PPN {
+	out := make(map[ftl.LPN]flash.PPN)
+	for lpn, e := range f.entries {
+		if e.dirty {
+			out[lpn] = e.ppn
+		}
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package ftl_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/flash"
+	"repro/internal/ftl"
+	"repro/internal/trace"
+)
+
+// TestInjectedErrorsPropagate checks that chip failures injected at each
+// operation kind surface as errors from Serve rather than being swallowed,
+// for write paths that traverse translation-page updates and GC.
+func TestInjectedErrorsPropagate(t *testing.T) {
+	boom := errors.New("injected")
+
+	t.Run("program during write", func(t *testing.T) {
+		d, _ := newDFTLDevice(t, testConfig())
+		d.Chip().FailNext("program", boom)
+		if _, err := d.Serve(wr(0, 1)); !errors.Is(err, boom) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+
+	t.Run("read during translation miss", func(t *testing.T) {
+		d, _ := newDFTLDevice(t, testConfig())
+		d.Chip().FailNext("read", boom)
+		// A read miss must read a translation page first: the injected
+		// error hits that read.
+		if _, err := d.Serve(rd(0, 700)); !errors.Is(err, boom) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+
+	t.Run("erase during GC", func(t *testing.T) {
+		cfg := testConfig()
+		d, _ := newDFTLDevice(t, cfg)
+		// Push the device into GC territory, then inject an erase error;
+		// the next GC must fail loudly.
+		arrival := int64(0)
+		d.Chip().FailNext("erase", boom)
+		var sawErr bool
+		for i := 0; i < 30000; i++ {
+			arrival += int64(50 * time.Microsecond)
+			if _, err := d.Serve(wr(arrival, int64(i%512))); err != nil {
+				if !errors.Is(err, boom) {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				sawErr = true
+				break
+			}
+		}
+		if !sawErr {
+			t.Fatal("erase error never surfaced despite GC pressure")
+		}
+	})
+}
+
+// TestEnduranceFailureSurfaces: with a tiny erase limit, a worn-out block
+// eventually fails a program/erase, and the device reports it instead of
+// corrupting state.
+func TestEnduranceFailureSurfaces(t *testing.T) {
+	cfg := testConfig()
+	cfg.EraseLimit = 8
+	d, _ := newDFTLDevice(t, cfg)
+	arrival := int64(0)
+	var failed bool
+	for i := 0; i < 200000; i++ {
+		arrival += int64(50 * time.Microsecond)
+		if _, err := d.Serve(wr(arrival, int64(i%256))); err != nil {
+			var opErr *flash.OpError
+			if !errors.As(err, &opErr) {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+			failed = true
+			break
+		}
+	}
+	if !failed {
+		t.Fatal("device survived indefinitely despite erase limit 8")
+	}
+}
+
+// TestGCPolicyAndWearLevelViaConfig checks the Config plumbing end to end.
+func TestGCPolicyAndWearLevelViaConfig(t *testing.T) {
+	cfg := testConfig()
+	cfg.GCPolicy = ftl.GCCostBenefit
+	cfg.WearLevelThreshold = 8
+	d, tr := newDFTLDevice(t, cfg)
+	arrival := int64(0)
+	for i := 0; i < 30000; i++ {
+		arrival += int64(50 * time.Microsecond)
+		if _, err := d.Serve(wr(arrival, int64(i%512))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Metrics().GCDataCollections == 0 {
+		t.Fatal("no GC")
+	}
+	if err := d.CheckConsistency(tr.DirtyCached()); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.VerifyRecoverable(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeRejectsOutOfOrderTimeTravel documents the FCFS contract: requests
+// with decreasing arrivals are still served (clock clamps), never panic.
+func TestServeToleratesEqualArrivals(t *testing.T) {
+	d, _ := newOptimalDevice(t, testConfig())
+	reqs := []trace.Request{rd(100, 1), rd(100, 2), rd(100, 3)}
+	for _, r := range reqs {
+		if _, err := d.Serve(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Metrics().Requests != 3 {
+		t.Fatal("not all served")
+	}
+}

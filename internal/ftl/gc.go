@@ -1,0 +1,195 @@
+package ftl
+
+import (
+	"repro/internal/flash"
+)
+
+// maybeGC runs garbage collection until the free-block count exceeds the
+// configured threshold. It is a no-op while GC itself is running (migrations
+// allocate pages; recursing would deadlock the free-list accounting).
+func (d *Device) maybeGC() error {
+	if d.inGC {
+		return nil
+	}
+	threshold := d.cfg.gcThreshold()
+	if d.bm.freeCount() > threshold {
+		return nil
+	}
+	d.inGC = true
+	prevPhase := d.ph
+	d.ph = phaseGC
+	defer func() {
+		d.inGC = false
+		d.ph = prevPhase
+	}()
+	for d.bm.freeCount() <= threshold {
+		victim := d.bm.popVictim()
+		if victim < 0 {
+			return errf("GC: no reclaimable block (free %d ≤ threshold %d)",
+				d.bm.freeCount(), threshold)
+		}
+		if err := d.collect(victim); err != nil {
+			return err
+		}
+	}
+	if d.cfg.WearLevelThreshold > 0 {
+		if err := d.maybeWearLevel(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// maybeWearLevel performs static wear leveling: while the erase-count
+// spread exceeds the configured threshold, the coldest full block's content
+// is migrated to the write frontier and the block erased, so cold data
+// stops pinning low-wear blocks out of circulation.
+func (d *Device) maybeWearLevel() error {
+	ppb := d.cfg.PagesPerBlock
+	for {
+		minBlk, minErase, maxErase := flash.BlockID(-1), int(^uint(0)>>1), 0
+		for b := 0; b < d.chip.Config().NumBlocks; b++ {
+			blk := flash.BlockID(b)
+			ec := d.chip.EraseCount(blk)
+			if ec > maxErase {
+				maxErase = ec
+			}
+			if ec < minErase && d.bm.kinds[blk] != blockFree &&
+				blk != d.bm.dataFrontier && blk != d.bm.transFrontier &&
+				d.chip.WritePtr(blk) == ppb {
+				minErase = ec
+				minBlk = blk
+			}
+		}
+		if minBlk < 0 || maxErase-minErase <= d.cfg.WearLevelThreshold {
+			return nil
+		}
+		// A leveling move consumes frontier space (the migrated pages plus
+		// their mapping updates) and frees only the cold block; keep free
+		// headroom by reclaiming a regular victim first — and rescan, since
+		// that victim may have been the chosen cold block. Stop leveling
+		// when no victim is available rather than running the device dry.
+		if d.bm.freeCount() <= d.cfg.gcThreshold()+2 {
+			victim := d.bm.popVictim()
+			if victim < 0 {
+				return nil
+			}
+			if err := d.collect(victim); err != nil {
+				return err
+			}
+			continue
+		}
+		d.bm.removeFromHeap(minBlk)
+		if err := d.collect(minBlk); err != nil {
+			return err
+		}
+		d.m.WearLevelMoves++
+	}
+}
+
+// collect reclaims one victim block: migrate its valid pages, update the
+// affected mappings (via the Translator for data pages, the GTD for
+// translation pages), erase it and return it to the free list.
+func (d *Device) collect(blk flash.BlockID) error {
+	kind := d.bm.kinds[blk]
+	ppb := d.cfg.PagesPerBlock
+	validCount := d.chip.ValidCount(blk)
+
+	var moves []GCMove
+	for off := 0; off < ppb; off++ {
+		ppn := d.chip.PageAt(blk, off)
+		if d.chip.State(ppn) != flash.PageValid {
+			continue
+		}
+		meta := d.chip.MetaOf(ppn)
+		switch meta.Kind {
+		case flash.KindData:
+			lpn := LPN(meta.Tag)
+			if d.truth[lpn] != ppn {
+				return errf("GC: stale meta: lpn %d maps to %d, victim page %d", lpn, d.truth[lpn], ppn)
+			}
+			newPPN, err := d.migratePage(ppn, meta)
+			if err != nil {
+				return err
+			}
+			d.truth[lpn] = newPPN
+			d.m.GCDataMigrations++
+			moves = append(moves, GCMove{LPN: lpn, OldPPN: ppn, NewPPN: newPPN})
+		case flash.KindTranslation:
+			v := VTPN(meta.Tag)
+			if d.gtd[v] != ppn {
+				return errf("GC: stale meta: vtpn %d maps to %d, victim page %d", v, d.gtd[v], ppn)
+			}
+			newPPN, err := d.migratePage(ppn, meta)
+			if err != nil {
+				return err
+			}
+			d.gtd[v] = newPPN
+			d.m.GCTransMigrations++
+		default:
+			return errf("GC: page %d has kind %v", ppn, meta.Kind)
+		}
+	}
+
+	if len(moves) > 0 {
+		// The migrated data pages' mapping entries must be updated; the
+		// Translator batches updates sharing a translation page (all
+		// schemes inherit DFTL's GC-time batch update).
+		if err := d.tr.OnGCDataMoves(d, moves); err != nil {
+			return err
+		}
+	}
+
+	lat, err := d.chip.Erase(blk)
+	if err != nil {
+		return err
+	}
+	d.addLat(lat)
+	d.m.FlashErases++
+	switch kind {
+	case blockData:
+		d.m.GCDataCollections++
+		d.m.GCDataValidSum += int64(validCount)
+	case blockTrans:
+		d.m.GCTransCollections++
+		d.m.GCTransValidSum += int64(validCount)
+	default:
+		return errf("GC: victim %d has kind %v", blk, kind)
+	}
+	d.bm.release(blk)
+	return nil
+}
+
+// migratePage copies one valid page to the write frontier of its kind
+// (read + program) and invalidates the original.
+func (d *Device) migratePage(ppn flash.PPN, meta flash.Meta) (flash.PPN, error) {
+	kind := blockData
+	if meta.Kind == flash.KindTranslation {
+		kind = blockTrans
+	}
+	lat, err := d.chip.Read(ppn)
+	if err != nil {
+		return flash.InvalidPPN, err
+	}
+	d.addLat(lat)
+	d.m.FlashReads++
+	newPPN, err := d.bm.alloc(kind)
+	if err != nil {
+		return flash.InvalidPPN, err
+	}
+	// The migrated copy is the newer physical version of the same logical
+	// page; a fresh sequence number lets crash recovery prefer it.
+	meta.Seq = d.nextSeq()
+	lat, err = d.chip.Program(newPPN, meta)
+	if err != nil {
+		return flash.InvalidPPN, err
+	}
+	d.addLat(lat)
+	d.m.FlashPrograms++
+	// Invalidate directly on the chip: the old page is inside the victim
+	// block being collected, which must not re-enter the GC candidate heap.
+	if err := d.chip.Invalidate(ppn); err != nil {
+		return flash.InvalidPPN, err
+	}
+	return newPPN, nil
+}

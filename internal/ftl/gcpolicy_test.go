@@ -1,0 +1,131 @@
+package ftl_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/ftl"
+	"repro/internal/ftl/dftl"
+	"repro/internal/trace"
+)
+
+// hotColdWrites drives a device with a skewed update pattern: 90 % of
+// writes hit the first eighth of the space, the rest trickle everywhere.
+func hotColdWrites(t *testing.T, d *ftl.Device, n int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	arrival := int64(0)
+	pages := int64(d.Config().LogicalPages())
+	for i := 0; i < n; i++ {
+		var p int64
+		if rng.Intn(10) < 9 {
+			p = rng.Int63n(pages / 8)
+		} else {
+			p = rng.Int63n(pages)
+		}
+		arrival += int64(50 * time.Microsecond)
+		req := trace.Request{Arrival: arrival, Offset: p * 4096, Length: 4096, Write: true}
+		if _, err := d.Serve(req); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+}
+
+func buildDevice(t *testing.T, mut func(*ftl.Config)) (*ftl.Device, *dftl.FTL) {
+	t.Helper()
+	cfg := ftl.Config{
+		LogicalBytes:  16 << 20,
+		PageSize:      4096,
+		PagesPerBlock: 32,
+		OverProvision: 0.15,
+		CacheBytes:    1024,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	tr := dftl.New(dftl.Config{CacheBytes: cfg.CacheBytes})
+	d, err := ftl.NewDevice(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Format(); err != nil {
+		t.Fatal(err)
+	}
+	return d, tr
+}
+
+func TestGCPolicyString(t *testing.T) {
+	if ftl.GCGreedy.String() != "greedy" || ftl.GCCostBenefit.String() != "cost-benefit" {
+		t.Fatal("policy strings")
+	}
+}
+
+// TestCostBenefitGCWorks runs the cost-benefit policy through a skewed
+// workload and checks correctness plus basic sanity (it must reclaim space
+// and keep every mapping consistent).
+func TestCostBenefitGCWorks(t *testing.T) {
+	d, tr := buildDevice(t, func(c *ftl.Config) { c.GCPolicy = ftl.GCCostBenefit })
+	hotColdWrites(t, d, 15000, 1)
+	m := d.Metrics()
+	if m.GCDataCollections == 0 {
+		t.Fatal("cost-benefit GC never ran")
+	}
+	if err := d.CheckConsistency(tr.DirtyCached()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCostBenefitAvoidsRecopyingColdData compares the two policies on a
+// hot/cold workload: cost-benefit should migrate no more valid pages than
+// greedy does once age matters... in small devices the difference is noisy,
+// so the assertion is loose: both complete and stay within 2× of each other.
+func TestCostBenefitVsGreedyMigrations(t *testing.T) {
+	dG, _ := buildDevice(t, nil)
+	hotColdWrites(t, dG, 15000, 2)
+	dC, _ := buildDevice(t, func(c *ftl.Config) { c.GCPolicy = ftl.GCCostBenefit })
+	hotColdWrites(t, dC, 15000, 2)
+	g, c := dG.Metrics().GCDataMigrations, dC.Metrics().GCDataMigrations
+	if g == 0 || c == 0 {
+		t.Fatalf("migrations g=%d c=%d", g, c)
+	}
+	if c > 2*g {
+		t.Fatalf("cost-benefit migrated %d pages, greedy %d — implausible gap", c, g)
+	}
+}
+
+// TestWearLevelingBoundsSpread checks that static wear leveling keeps the
+// erase-count spread near its threshold under a pathologically skewed
+// workload, while the unleveled device lets cold blocks fall far behind.
+func TestWearLevelingBoundsSpread(t *testing.T) {
+	dOff, _ := buildDevice(t, nil)
+	hotColdWrites(t, dOff, 25000, 3)
+	minOff, maxOff := dOff.EraseSpread()
+
+	dOn, trOn := buildDevice(t, func(c *ftl.Config) { c.WearLevelThreshold = 8 })
+	hotColdWrites(t, dOn, 25000, 3)
+	minOn, maxOn := dOn.EraseSpread()
+
+	if dOn.Metrics().WearLevelMoves == 0 {
+		t.Fatal("wear leveling never triggered")
+	}
+	if spreadOn, spreadOff := maxOn-minOn, maxOff-minOff; spreadOn >= spreadOff {
+		t.Fatalf("wear leveling did not reduce spread: %d (on) vs %d (off)", spreadOn, spreadOff)
+	}
+	// The spread may exceed the threshold transiently (leveling reacts one
+	// block at a time) but must stay in its vicinity.
+	if maxOn-minOn > 4*8 {
+		t.Fatalf("spread %d far above threshold", maxOn-minOn)
+	}
+	if err := dOn.CheckConsistency(trOn.DirtyCached()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWearLevelingOffByDefault(t *testing.T) {
+	d, _ := buildDevice(t, nil)
+	hotColdWrites(t, d, 5000, 4)
+	if d.Metrics().WearLevelMoves != 0 {
+		t.Fatal("wear leveling ran without being enabled")
+	}
+}

@@ -1,0 +1,152 @@
+package ftl
+
+import (
+	"math/bits"
+	"time"
+)
+
+// Metrics accumulates the counters the paper's evaluation reports. Field
+// names follow Table 1's symbols where one exists.
+type Metrics struct {
+	// User-visible request accounting.
+	Requests      int64
+	PageReads     int64 // user data page reads
+	PageWrites    int64 // user data page writes (Npa*Rw)
+	ServiceTime   time.Duration
+	ResponseTime  time.Duration // service + queueing, summed
+	MaxResponse   time.Duration
+	QueueTime     time.Duration
+	UnmappedReads int64 // reads of never-written pages (no flash op)
+
+	// Address-translation phase.
+	Lookups          int64 // cache lookups (hits+misses)
+	Hits             int64 // Hr = Hits/Lookups
+	Replacements     int64 // cache entry replacements
+	DirtyReplaced    int64 // Prd = DirtyReplaced/Replacements
+	TransReadsAT     int64 // translation page reads during address translation
+	TransWritesAT    int64 // Ntw: translation page writes during address translation
+	BatchWritebacks  int64 // translation-page updates that cleaned ≥1 cached entry
+	BatchCleaned     int64 // dirty entries cleaned by those updates
+	PrefetchedLoaded int64 // entries loaded beyond the requested one
+
+	// Garbage collection.
+	GCDataCollections  int64 // Ngcd
+	GCTransCollections int64 // Ngct
+	GCDataMigrations   int64 // Nmd: valid data pages moved
+	GCTransMigrations  int64 // Nmt: valid translation pages moved
+	GCMapUpdates       int64 // migrated data pages needing a mapping update
+	GCMapHits          int64 // Hgcr = GCMapHits/GCMapUpdates
+	TransReadsGC       int64 // translation page reads during GC
+	TransWritesGC      int64 // Ndt: translation page writes during GC (mapping updates)
+	GCDataValidSum     int64 // Σ valid pages over collected data blocks (Vd mean)
+	GCTransValidSum    int64 // Σ valid pages over collected translation blocks (Vt mean)
+	GCTime             time.Duration
+	WearLevelMoves     int64 // blocks recycled by static wear leveling
+
+	// Flash totals (excluding the formatting pre-fill).
+	FlashReads    int64
+	FlashPrograms int64
+	FlashErases   int64
+
+	// RespHist is a log2 histogram of response times in microseconds:
+	// bucket i counts responses in [2^(i-1), 2^i) µs (bucket 0: < 1 µs).
+	// It feeds the percentile estimates.
+	RespHist [48]int64
+}
+
+// ObserveResponse records one response time in the histogram.
+func (m *Metrics) ObserveResponse(d time.Duration) {
+	us := d.Microseconds()
+	b := bits.Len64(uint64(us))
+	if b >= len(m.RespHist) {
+		b = len(m.RespHist) - 1
+	}
+	m.RespHist[b]++
+}
+
+// ResponsePercentile returns an upper-bound estimate of the p-quantile
+// (0 < p ≤ 1) of response times, at log2 resolution.
+func (m *Metrics) ResponsePercentile(p float64) time.Duration {
+	var total int64
+	for _, c := range m.RespHist {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := int64(p * float64(total))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range m.RespHist {
+		cum += c
+		if cum >= target {
+			return time.Duration(int64(1)<<uint(i)) * time.Microsecond
+		}
+	}
+	return m.MaxResponse
+}
+
+// Hr returns the cache hit ratio of address translation.
+func (m *Metrics) Hr() float64 { return ratio(m.Hits, m.Lookups) }
+
+// Prd returns the probability that a replaced cache entry was dirty.
+func (m *Metrics) Prd() float64 { return ratio(m.DirtyReplaced, m.Replacements) }
+
+// Hgcr returns the GC-time mapping-cache hit ratio.
+func (m *Metrics) Hgcr() float64 { return ratio(m.GCMapHits, m.GCMapUpdates) }
+
+// Rw returns the write ratio among user page accesses.
+func (m *Metrics) Rw() float64 { return ratio(m.PageWrites, m.PageReads+m.PageWrites) }
+
+// PageAccesses returns Npa, the number of user page accesses.
+func (m *Metrics) PageAccesses() int64 { return m.PageReads + m.PageWrites }
+
+// TransReads returns all translation page reads (AT phase + GC).
+func (m *Metrics) TransReads() int64 { return m.TransReadsAT + m.TransReadsGC }
+
+// TransWrites returns all translation page writes including migrations
+// (Ntw + Ndt + Nmt).
+func (m *Metrics) TransWrites() int64 {
+	return m.TransWritesAT + m.TransWritesGC + m.GCTransMigrations
+}
+
+// Vd returns the mean number of valid pages in collected data blocks.
+func (m *Metrics) Vd() float64 { return ratio(m.GCDataValidSum, m.GCDataCollections) }
+
+// Vt returns the mean number of valid pages in collected translation blocks.
+func (m *Metrics) Vt() float64 { return ratio(m.GCTransValidSum, m.GCTransCollections) }
+
+// WriteAmplification returns Eq. 12: all flash page programs over user page
+// writes. Infinite WA (read-only workload) reports 0.
+func (m *Metrics) WriteAmplification() float64 {
+	if m.PageWrites == 0 {
+		return 0
+	}
+	extra := m.TransWritesAT + m.TransWritesGC + m.GCTransMigrations + m.GCDataMigrations
+	return float64(m.PageWrites+extra) / float64(m.PageWrites)
+}
+
+// AvgResponse returns the mean request response time (queueing included).
+func (m *Metrics) AvgResponse() time.Duration {
+	if m.Requests == 0 {
+		return 0
+	}
+	return m.ResponseTime / time.Duration(m.Requests)
+}
+
+// AvgService returns the mean request service time (queueing excluded).
+func (m *Metrics) AvgService() time.Duration {
+	if m.Requests == 0 {
+		return 0
+	}
+	return m.ServiceTime / time.Duration(m.Requests)
+}
+
+func ratio(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}

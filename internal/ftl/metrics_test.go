@@ -1,0 +1,47 @@
+package ftl
+
+import (
+	"testing"
+	"time"
+)
+
+func TestResponseHistogram(t *testing.T) {
+	var m Metrics
+	if m.ResponsePercentile(0.5) != 0 {
+		t.Fatal("empty histogram must report 0")
+	}
+	// 90 fast (≈100 µs) + 10 slow (≈10 ms) responses.
+	for i := 0; i < 90; i++ {
+		m.ObserveResponse(100 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		m.ObserveResponse(10 * time.Millisecond)
+	}
+	p50 := m.ResponsePercentile(0.5)
+	p99 := m.ResponsePercentile(0.99)
+	if p50 < 64*time.Microsecond || p50 > 256*time.Microsecond {
+		t.Fatalf("p50 = %v, want ≈128 µs bucket", p50)
+	}
+	if p99 < 8*time.Millisecond || p99 > 32*time.Millisecond {
+		t.Fatalf("p99 = %v, want ≈16 ms bucket", p99)
+	}
+	if p99 <= p50 {
+		t.Fatal("p99 must exceed p50")
+	}
+}
+
+func TestResponseHistogramExtremes(t *testing.T) {
+	var m Metrics
+	m.ObserveResponse(0)
+	m.ObserveResponse(time.Hour)
+	if m.RespHist[0] != 1 {
+		t.Fatal("sub-microsecond response not in bucket 0")
+	}
+	// time.Hour = 3.6e9 µs, whose bit length is 32 → bucket 32.
+	if m.RespHist[32] != 1 {
+		t.Fatal("hour-long response not in bucket 32")
+	}
+	if p := m.ResponsePercentile(1); p <= 0 {
+		t.Fatalf("p100 = %v", p)
+	}
+}

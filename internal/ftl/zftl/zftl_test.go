@@ -1,0 +1,158 @@
+package zftl
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/ftl"
+	"repro/internal/trace"
+)
+
+func newDevice(t *testing.T, cacheBytes int64) (*ftl.Device, *FTL) {
+	t.Helper()
+	tr := New(Config{CacheBytes: cacheBytes, ZoneTPs: 2})
+	d, err := ftl.NewDevice(ftl.Config{
+		LogicalBytes:  16 << 20, // 4096 pages → 4 TPs → 2 zones
+		PageSize:      4096,
+		PagesPerBlock: 32,
+		OverProvision: 0.15,
+		CacheBytes:    cacheBytes,
+	}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Format(); err != nil {
+		t.Fatal(err)
+	}
+	return d, tr
+}
+
+func wr(arrival, page int64) trace.Request {
+	return trace.Request{Arrival: arrival, Offset: page * 4096, Length: 4096, Write: true}
+}
+
+func rd(arrival, page int64) trace.Request {
+	return trace.Request{Arrival: arrival, Offset: page * 4096, Length: 4096, Write: false}
+}
+
+func TestZoneSwitchOnCrossZoneAccess(t *testing.T) {
+	d, tr := newDevice(t, 8<<10)
+	if _, err := d.Serve(rd(0, 10)); err != nil { // zone 0
+		t.Fatal(err)
+	}
+	if tr.ActiveZone() != 0 || tr.ZoneSwitches() != 1 {
+		t.Fatalf("zone %d switches %d", tr.ActiveZone(), tr.ZoneSwitches())
+	}
+	if _, err := d.Serve(rd(1e6, 3000)); err != nil { // zone 1 (TPs 2-3)
+		t.Fatal(err)
+	}
+	if tr.ActiveZone() != 1 || tr.ZoneSwitches() != 2 {
+		t.Fatalf("zone %d switches %d", tr.ActiveZone(), tr.ZoneSwitches())
+	}
+	// Back to zone 0: another cumbersome switch.
+	if _, err := d.Serve(rd(2e6, 11)); err != nil {
+		t.Fatal(err)
+	}
+	if tr.ZoneSwitches() != 3 {
+		t.Fatalf("switches = %d", tr.ZoneSwitches())
+	}
+}
+
+func TestInZoneAccessesHitTier2(t *testing.T) {
+	d, _ := newDevice(t, 8<<10)
+	if _, err := d.Serve(rd(0, 10)); err != nil {
+		t.Fatal(err)
+	}
+	reads := d.Metrics().TransReadsAT
+	// Same translation page: must hit tier 2.
+	if _, err := d.Serve(rd(1e6, 11)); err != nil {
+		t.Fatal(err)
+	}
+	m := d.Metrics()
+	if m.TransReadsAT != reads {
+		t.Fatal("in-page access read flash again")
+	}
+	if m.Hits != 1 {
+		t.Fatalf("hits = %d", m.Hits)
+	}
+}
+
+func TestZoneSwitchFlushesDirty(t *testing.T) {
+	d, tr := newDevice(t, 8<<10)
+	arrival := int64(0)
+	for p := int64(0); p < 5; p++ { // dirty entries in zone 0
+		if _, err := d.Serve(wr(arrival, p)); err != nil {
+			t.Fatal(err)
+		}
+		arrival += int64(time.Millisecond)
+	}
+	writesBefore := d.Metrics().TransWritesAT
+	if _, err := d.Serve(rd(arrival, 3000)); err != nil { // switch to zone 1
+		t.Fatal(err)
+	}
+	if got := d.Metrics().TransWritesAT; got <= writesBefore {
+		t.Fatal("zone switch did not flush dirty entries")
+	}
+	if err := d.CheckConsistency(tr.DirtyCached()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTier1BatchEviction(t *testing.T) {
+	tr := New(Config{CacheBytes: 8 << 10, ZoneTPs: 2, Tier1Entries: 4})
+	d, err := ftl.NewDevice(ftl.Config{
+		LogicalBytes: 16 << 20, PageSize: 4096, PagesPerBlock: 32,
+		OverProvision: 0.15, CacheBytes: 8 << 10,
+	}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Format(); err != nil {
+		t.Fatal(err)
+	}
+	// Updates land in tier 1 when their page is not in tier 2. Force that
+	// by updating pages of a zone while tier 2 holds other pages... easier:
+	// Update directly (standalone).
+	for i := int64(0); i < 6; i++ {
+		if err := tr.Update(d, ftl.LPN(i), d.Truth(ftl.LPN(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Metrics().TransWritesAT == 0 {
+		t.Fatal("tier-1 overflow did not batch-evict")
+	}
+	if err := d.CheckConsistency(tr.DirtyCached()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomOpsConsistency(t *testing.T) {
+	d, tr := newDevice(t, 8<<10)
+	rng := rand.New(rand.NewSource(8))
+	arrival := int64(0)
+	for batch := 0; batch < 10; batch++ {
+		for i := 0; i < 300; i++ {
+			p := int64(rng.Intn(4096))
+			arrival += int64(rng.Intn(300_000))
+			var req trace.Request
+			if rng.Intn(2) == 0 {
+				req = rd(arrival, p)
+			} else {
+				req = wr(arrival, p)
+			}
+			if _, err := d.Serve(req); err != nil {
+				t.Fatalf("batch %d op %d: %v", batch, i, err)
+			}
+		}
+		if err := d.CheckConsistency(tr.DirtyCached()); err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+	}
+}
+
+func TestName(t *testing.T) {
+	if New(Config{}).Name() != "ZFTL" {
+		t.Fatal("name")
+	}
+}

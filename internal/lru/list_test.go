@@ -1,0 +1,322 @@
+package lru
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newNode(v int) *Node {
+	n := &Node{}
+	n.Value = v
+	return n
+}
+
+func collect(l *List) []int {
+	var out []int
+	l.Each(func(n *Node) bool {
+		out = append(out, n.Value.(int))
+		return true
+	})
+	return out
+}
+
+func eq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEmptyList(t *testing.T) {
+	var l List
+	if l.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", l.Len())
+	}
+	if l.Front() != nil || l.Back() != nil {
+		t.Fatal("empty list has non-nil ends")
+	}
+	if err := l.check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPushFrontOrder(t *testing.T) {
+	var l List
+	for i := 0; i < 5; i++ {
+		l.PushFront(newNode(i))
+	}
+	if got, want := collect(&l), []int{4, 3, 2, 1, 0}; !eq(got, want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+	if err := l.check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPushBackOrder(t *testing.T) {
+	var l List
+	for i := 0; i < 5; i++ {
+		l.PushBack(newNode(i))
+	}
+	if got, want := collect(&l), []int{0, 1, 2, 3, 4}; !eq(got, want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	var l List
+	nodes := make([]*Node, 5)
+	for i := range nodes {
+		nodes[i] = newNode(i)
+		l.PushBack(nodes[i])
+	}
+	l.Remove(nodes[2])
+	if got, want := collect(&l), []int{0, 1, 3, 4}; !eq(got, want) {
+		t.Fatalf("after middle remove: %v, want %v", got, want)
+	}
+	l.Remove(nodes[0])
+	if got, want := collect(&l), []int{1, 3, 4}; !eq(got, want) {
+		t.Fatalf("after front remove: %v, want %v", got, want)
+	}
+	l.Remove(nodes[4])
+	if got, want := collect(&l), []int{1, 3}; !eq(got, want) {
+		t.Fatalf("after back remove: %v, want %v", got, want)
+	}
+	if nodes[2].InList() {
+		t.Fatal("removed node still reports InList")
+	}
+	if err := l.check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveLastNode(t *testing.T) {
+	var l List
+	n := newNode(7)
+	l.PushFront(n)
+	l.Remove(n)
+	if l.Len() != 0 || l.Front() != nil || l.Back() != nil {
+		t.Fatal("list not empty after removing only node")
+	}
+	// Node must be reusable.
+	l.PushBack(n)
+	if l.Front() != n || l.Back() != n {
+		t.Fatal("node not reinserted correctly")
+	}
+}
+
+func TestMoveToFront(t *testing.T) {
+	var l List
+	nodes := make([]*Node, 4)
+	for i := range nodes {
+		nodes[i] = newNode(i)
+		l.PushBack(nodes[i])
+	}
+	l.MoveToFront(nodes[3])
+	if got, want := collect(&l), []int{3, 0, 1, 2}; !eq(got, want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+	l.MoveToFront(nodes[3]) // no-op on front node
+	if got, want := collect(&l), []int{3, 0, 1, 2}; !eq(got, want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+	if err := l.check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMoveToBack(t *testing.T) {
+	var l List
+	nodes := make([]*Node, 4)
+	for i := range nodes {
+		nodes[i] = newNode(i)
+		l.PushBack(nodes[i])
+	}
+	l.MoveToBack(nodes[0])
+	if got, want := collect(&l), []int{1, 2, 3, 0}; !eq(got, want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+	l.MoveToBack(nodes[0]) // no-op on back node
+	if got, want := collect(&l), []int{1, 2, 3, 0}; !eq(got, want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+}
+
+func TestInsertBeforeAfter(t *testing.T) {
+	var l List
+	a, b, c := newNode(0), newNode(1), newNode(2)
+	l.PushBack(a)
+	l.PushBack(c)
+	l.InsertAfter(b, a)
+	if got, want := collect(&l), []int{0, 1, 2}; !eq(got, want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+	d := newNode(3)
+	l.InsertBefore(d, a)
+	if got, want := collect(&l), []int{3, 0, 1, 2}; !eq(got, want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+	e := newNode(4)
+	l.InsertAfter(e, c)
+	if got, want := collect(&l), []int{3, 0, 1, 2, 4}; !eq(got, want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+	if l.Back() != e || l.Front() != d {
+		t.Fatal("ends not updated by insert")
+	}
+	if err := l.check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanicsOnMisuse(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	var l1, l2 List
+	n := newNode(0)
+	l1.PushFront(n)
+	mustPanic("double insert", func() { l2.PushFront(n) })
+	mustPanic("remove from wrong list", func() { l2.Remove(n) })
+	mustPanic("move in wrong list", func() { l2.MoveToFront(n) })
+	other := newNode(1)
+	mustPanic("insert before unlinked mark", func() { l1.InsertBefore(newNode(2), other) })
+}
+
+func TestNextPrevTraversal(t *testing.T) {
+	var l List
+	for i := 0; i < 3; i++ {
+		l.PushBack(newNode(i))
+	}
+	n := l.Front()
+	var fwd []int
+	for ; n != nil; n = n.Next() {
+		fwd = append(fwd, n.Value.(int))
+	}
+	if !eq(fwd, []int{0, 1, 2}) {
+		t.Fatalf("forward = %v", fwd)
+	}
+	var rev []int
+	for n = l.Back(); n != nil; n = n.Prev() {
+		rev = append(rev, n.Value.(int))
+	}
+	if !eq(rev, []int{2, 1, 0}) {
+		t.Fatalf("reverse = %v", rev)
+	}
+}
+
+func TestEachEarlyStop(t *testing.T) {
+	var l List
+	for i := 0; i < 10; i++ {
+		l.PushBack(newNode(i))
+	}
+	count := 0
+	l.Each(func(*Node) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("visited %d nodes, want 3", count)
+	}
+}
+
+// TestQuickAgainstModel drives the intrusive list with random operations and
+// compares it against a plain-slice model after every step.
+func TestQuickAgainstModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var l List
+		var model []*Node // front..back
+		pool := make([]*Node, 32)
+		for i := range pool {
+			pool[i] = newNode(i)
+		}
+		idxOf := func(n *Node) int {
+			for i, m := range model {
+				if m == n {
+					return i
+				}
+			}
+			return -1
+		}
+		for step := 0; step < 300; step++ {
+			switch op := rng.Intn(6); {
+			case op == 0: // PushFront
+				n := pool[rng.Intn(len(pool))]
+				if n.InList() {
+					continue
+				}
+				l.PushFront(n)
+				model = append([]*Node{n}, model...)
+			case op == 1: // PushBack
+				n := pool[rng.Intn(len(pool))]
+				if n.InList() {
+					continue
+				}
+				l.PushBack(n)
+				model = append(model, n)
+			case op == 2 && len(model) > 0: // Remove
+				i := rng.Intn(len(model))
+				l.Remove(model[i])
+				model = append(model[:i], model[i+1:]...)
+			case op == 3 && len(model) > 0: // MoveToFront
+				i := rng.Intn(len(model))
+				n := model[i]
+				l.MoveToFront(n)
+				model = append(model[:i], model[i+1:]...)
+				model = append([]*Node{n}, model...)
+			case op == 4 && len(model) > 0: // MoveToBack
+				i := rng.Intn(len(model))
+				n := model[i]
+				l.MoveToBack(n)
+				model = append(model[:i], model[i+1:]...)
+				model = append(model, n)
+			case op == 5 && len(model) > 0: // InsertAfter random mark
+				n := pool[rng.Intn(len(pool))]
+				if n.InList() {
+					continue
+				}
+				mark := model[rng.Intn(len(model))]
+				l.InsertAfter(n, mark)
+				mi := idxOf(mark)
+				model = append(model[:mi+1], append([]*Node{n}, model[mi+1:]...)...)
+			}
+			if err := l.check(); err != nil {
+				t.Logf("seed %d step %d: %v", seed, step, err)
+				return false
+			}
+			if l.Len() != len(model) {
+				return false
+			}
+			i := 0
+			ok := true
+			l.Each(func(n *Node) bool {
+				if model[i] != n {
+					ok = false
+					return false
+				}
+				i++
+				return true
+			})
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

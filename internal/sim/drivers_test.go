@@ -1,0 +1,83 @@
+package sim
+
+import "testing"
+
+// TestExperimentDriversTinyScale exercises every per-figure driver at a
+// tiny scale so their plumbing (sampling, aggregation, normalization) is
+// covered even when the heavy paper-scale suite is skipped.
+func TestExperimentDriversTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("several small runs")
+	}
+	e := ExpConfig{Requests: 12_000, MSRScale: 32 << 20, Seed: 7, Warmup: 1_200, Precondition: 1}
+
+	// Fig. 1 samples every 10,000 page accesses (the paper's interval), so
+	// the run must span at least that many.
+	dist, err := e.RunCacheDistribution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dist) != 4 {
+		t.Fatalf("distribution results = %d", len(dist))
+	}
+	for _, r := range dist {
+		if len(r.AvgEntriesPerTP) == 0 {
+			t.Fatalf("%s: no Fig. 1a samples", r.Workload)
+		}
+		if len(r.DirtyCDF) > 0 {
+			last := r.DirtyCDF[len(r.DirtyCDF)-1]
+			if last < 0.999 || last > 1.001 {
+				t.Fatalf("%s: CDF does not end at 1 (%v)", r.Workload, last)
+			}
+			for i := 1; i < len(r.DirtyCDF); i++ {
+				if r.DirtyCDF[i] < r.DirtyCDF[i-1] {
+					t.Fatalf("%s: CDF not monotone at %d", r.Workload, i)
+				}
+			}
+		}
+	}
+
+	spatial, err := e.RunSpatialLocality()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spatial.TPNodes) == 0 || len(spatial.TPNodes) != len(spatial.PageAccesses) {
+		t.Fatalf("spatial series: %d nodes, %d accesses", len(spatial.TPNodes), len(spatial.PageAccesses))
+	}
+
+	util, err := e.RunSpaceUtilization()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(util) == 0 {
+		t.Fatal("no utilization cells")
+	}
+	for _, c := range util {
+		// The compression bound: never beyond 8B/6B − 1 ≈ 33% plus noise.
+		if c.Improvement > 0.40 || c.Improvement < -0.05 {
+			t.Fatalf("%s@%v: improvement %.3f out of plausible range", c.Workload, c.Fraction, c.Improvement)
+		}
+	}
+
+	sweep, err := ExpConfig{
+		Requests: 2_000, MSRScale: 32 << 20, Seed: 7, Warmup: 200, Precondition: 1,
+	}.RunCacheSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) != 4*len(SweepFractions()) {
+		t.Fatalf("sweep cells = %d", len(sweep))
+	}
+	SortSweep(sweep)
+	for i := 1; i < len(sweep); i++ {
+		if sweep[i].Workload == sweep[i-1].Workload && sweep[i].Fraction <= sweep[i-1].Fraction {
+			t.Fatal("SortSweep did not order fractions")
+		}
+	}
+}
+
+func TestFmtPct(t *testing.T) {
+	if got := FmtPct(0.1234); got != "12.3%" {
+		t.Fatalf("FmtPct = %q", got)
+	}
+}

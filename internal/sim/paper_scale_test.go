@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestPaperScaleShapes runs the four workloads at (near-)paper scale and
+// asserts the comparative shapes of the paper's Figs. 6/7a. It is the
+// repository's heaviest test (~20 s); -short skips it.
+func TestPaperScaleShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale comparison (~20s)")
+	}
+	profiles := []workload.Profile{
+		workload.Financial1(),
+		workload.Financial2(),
+		workload.MSRts().Scale(2 << 30),
+		workload.MSRsrc().Scale(2 << 30),
+	}
+	for _, p := range profiles {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			res := map[Scheme]*Result{}
+			for _, s := range Schemes() {
+				r, err := Run(Options{
+					Scheme: s, Profile: p, Requests: 300_000, Seed: 7,
+					ResetAfterWarmup: 50_000, Precondition: 1.5,
+				})
+				if err != nil {
+					t.Fatalf("%s: %v", s, err)
+				}
+				res[s] = r
+				m := r.M
+				t.Logf("%-8s Prd=%.3f Hr=%.3f TW=%-8d TR=%-8d resp=%-13v WA=%.2f erases=%d",
+					s, m.Prd(), m.Hr(), m.TransWrites(), m.TransReads(),
+					m.AvgResponse(), m.WriteAmplification(), m.FlashErases)
+			}
+			dftl, tpftl, sftl, opt := res[SchemeDFTL].M, res[SchemeTPFTL].M, res[SchemeSFTL].M, res[SchemeOptimal].M
+
+			// Optimal bounds (Fig. 6: zero translation overhead).
+			if opt.Hr() != 1 || opt.TransWrites() != 0 || opt.Prd() != 0 {
+				t.Error("optimal FTL shows translation overhead")
+			}
+			// Fig. 6a: TPFTL's Prd is far below DFTL's (<10% absolute here;
+			// the paper reports <4% at its trace lengths).
+			if tpftl.Prd() > 0.15 || tpftl.Prd() >= dftl.Prd() {
+				t.Errorf("TPFTL Prd %.3f vs DFTL %.3f", tpftl.Prd(), dftl.Prd())
+			}
+			// Fig. 6b: TPFTL's hit ratio beats DFTL's.
+			if tpftl.Hr() <= dftl.Hr() {
+				t.Errorf("TPFTL Hr %.3f not above DFTL %.3f", tpftl.Hr(), dftl.Hr())
+			}
+			// Fig. 6c/6d: fewer translation page reads and writes.
+			if tpftl.TransWrites() >= dftl.TransWrites() {
+				t.Errorf("TPFTL TW %d not below DFTL %d", tpftl.TransWrites(), dftl.TransWrites())
+			}
+			if tpftl.TransReads() >= dftl.TransReads() {
+				t.Errorf("TPFTL TR %d not below DFTL %d", tpftl.TransReads(), dftl.TransReads())
+			}
+			// Fig. 6e/6f, 7a: response time, WA and erases ordered
+			// Optimal ≤ TPFTL ≤ DFTL.
+			if tpftl.AvgResponse() > dftl.AvgResponse() {
+				t.Errorf("TPFTL resp %v above DFTL %v", tpftl.AvgResponse(), dftl.AvgResponse())
+			}
+			if opt.AvgResponse() > tpftl.AvgResponse() {
+				t.Errorf("Optimal resp %v above TPFTL %v", opt.AvgResponse(), tpftl.AvgResponse())
+			}
+			if tpftl.WriteAmplification() > dftl.WriteAmplification() {
+				t.Errorf("TPFTL WA %.2f above DFTL %.2f", tpftl.WriteAmplification(), dftl.WriteAmplification())
+			}
+			if tpftl.FlashErases > dftl.FlashErases {
+				t.Errorf("TPFTL erases %d above DFTL %d", tpftl.FlashErases, dftl.FlashErases)
+			}
+
+			switch p.Name {
+			case "Financial1", "Financial2":
+				// Fig. 6a: S-FTL's dirty buffer keeps its Prd below DFTL's
+				// on random-dominant workloads.
+				if sftl.Prd() >= dftl.Prd() {
+					t.Errorf("S-FTL Prd %.3f not below DFTL %.3f on random workload", sftl.Prd(), dftl.Prd())
+				}
+			case "MSR-ts", "MSR-src":
+				// Fig. 6b: TPFTL matches S-FTL's hit ratio on MSR.
+				if tpftl.Hr() < sftl.Hr()-0.05 {
+					t.Errorf("TPFTL Hr %.3f well below S-FTL %.3f on MSR", tpftl.Hr(), sftl.Hr())
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,276 @@
+// Package sim builds simulated SSDs, drives them with workloads and
+// collects the measurements the TPFTL paper's evaluation reports. It is the
+// layer underneath cmd/experiments, the examples and the benchmark harness.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/flash"
+	"repro/internal/ftl"
+	"repro/internal/ftl/cdftl"
+	"repro/internal/ftl/dftl"
+	"repro/internal/ftl/optimal"
+	"repro/internal/ftl/sftl"
+	"repro/internal/ftl/zftl"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Scheme names an FTL policy.
+type Scheme string
+
+// The schemes of the paper's evaluation (§5.1) plus CDFTL (§2.2).
+const (
+	SchemeDFTL    Scheme = "DFTL"
+	SchemeTPFTL   Scheme = "TPFTL"
+	SchemeSFTL    Scheme = "S-FTL"
+	SchemeCDFTL   Scheme = "CDFTL"
+	SchemeZFTL    Scheme = "ZFTL"
+	SchemeOptimal Scheme = "Optimal"
+)
+
+// Schemes returns the paper's comparison set in figure order.
+func Schemes() []Scheme {
+	return []Scheme{SchemeDFTL, SchemeTPFTL, SchemeSFTL, SchemeOptimal}
+}
+
+// Options configures one simulation run.
+type Options struct {
+	// Scheme selects the FTL policy.
+	Scheme Scheme
+	// TPFTL optionally overrides the TPFTL configuration (ablation
+	// variants, hotness ordering, compression); its CacheBytes is filled
+	// from the run's budget when zero. Ignored for other schemes.
+	TPFTL *core.Config
+
+	// Profile is the workload; AddressSpace (if non-zero) rescales it.
+	Profile      workload.Profile
+	AddressSpace int64
+	// Requests is the number of generated requests.
+	Requests int
+	// Seed makes the run deterministic.
+	Seed int64
+	// Trace, if non-nil, is replayed instead of generating from Profile.
+	Trace []trace.Request
+
+	// CacheBytes is the mapping-cache budget. Zero selects the paper's
+	// convention (block-level table size) unless CacheFraction is set.
+	CacheBytes int64
+	// CacheFraction, if non-zero, sets the budget to this fraction of the
+	// full page-level mapping table (8 B per entry), the Fig. 8c/9/10
+	// x-axis. 1/128 equals the default convention.
+	CacheFraction float64
+
+	// PagesPerBlock overrides the flash geometry (default 64).
+	PagesPerBlock int
+	// GCPolicy selects the device's GC victim policy (default greedy).
+	GCPolicy ftl.GCPolicy
+	// WearLevelThreshold enables static wear leveling (see ftl.Config).
+	WearLevelThreshold int
+	// Precondition ages the device before measuring: this many passes of
+	// uniformly random whole-device rewrites bring garbage collection to
+	// its organic steady state (a freshly formatted device starts with
+	// every block fully valid, which inflates early GC cost far beyond
+	// what a long-running SSD shows). 0 disables.
+	Precondition float64
+	// SampleEvery enables cache sampling every N page accesses (Fig. 1/2).
+	SampleEvery int64
+	// ResetAfterWarmup, if > 0, serves this many leading requests as
+	// warm-up and zeroes the metrics before the measured phase.
+	ResetAfterWarmup int
+}
+
+// Sample is one cache-distribution observation (Fig. 1/2 instrumentation).
+type Sample struct {
+	PageAccesses int64
+	Entries      int
+	TPNodes      int
+	DirtyEntries int
+	// DirtyHist counts cached translation pages by their number of dirty
+	// entries.
+	DirtyHist map[int]int
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Scheme     Scheme
+	Variant    string // TPFTL ablation monogram, "" otherwise
+	Workload   string
+	CacheBytes int64
+	M          ftl.Metrics
+	Samples    []Sample
+	TraceStats trace.Stats
+}
+
+// FullTableBytes returns the size of the entire page-level mapping table for
+// an address space (8 B per entry), the unit of Options.CacheFraction.
+func FullTableBytes(addressSpace int64) int64 {
+	return addressSpace / 4096 * ftl.EntryBytesRAM
+}
+
+// NewTranslator constructs the translator for a scheme.
+func NewTranslator(s Scheme, cacheBytes int64, logicalPages int64, tpftlCfg *core.Config) (ftl.Translator, error) {
+	switch s {
+	case SchemeDFTL:
+		return dftl.New(dftl.Config{CacheBytes: cacheBytes}), nil
+	case SchemeSFTL:
+		return sftl.New(sftl.Config{CacheBytes: cacheBytes}), nil
+	case SchemeCDFTL:
+		return cdftl.New(cdftl.Config{CacheBytes: cacheBytes}), nil
+	case SchemeZFTL:
+		return zftl.New(zftl.Config{CacheBytes: cacheBytes}), nil
+	case SchemeOptimal:
+		return optimal.New(logicalPages), nil
+	case SchemeTPFTL:
+		cfg := core.DefaultConfig(cacheBytes)
+		if tpftlCfg != nil {
+			cfg = *tpftlCfg
+			if cfg.CacheBytes == 0 {
+				cfg.CacheBytes = cacheBytes
+			}
+		}
+		return core.New(cfg), nil
+	default:
+		return nil, fmt.Errorf("sim: unknown scheme %q", s)
+	}
+}
+
+// Run executes one simulation.
+func Run(o Options) (*Result, error) {
+	space := o.Profile.AddressSpace
+	if o.AddressSpace != 0 {
+		space = o.AddressSpace
+	}
+	if space <= 0 {
+		return nil, fmt.Errorf("sim: no address space configured")
+	}
+	profile := o.Profile.Scale(space)
+
+	cacheBytes := o.CacheBytes
+	if o.CacheFraction > 0 {
+		cacheBytes = int64(float64(FullTableBytes(space)) * o.CacheFraction)
+	}
+	if cacheBytes == 0 {
+		cacheBytes = ftl.DefaultCacheBytes(space)
+	}
+
+	devCfg := ftl.DefaultConfig(space)
+	devCfg.CacheBytes = cacheBytes
+	devCfg.GCPolicy = o.GCPolicy
+	devCfg.WearLevelThreshold = o.WearLevelThreshold
+	if o.PagesPerBlock != 0 {
+		devCfg.PagesPerBlock = o.PagesPerBlock
+	}
+
+	tr, err := NewTranslator(o.Scheme, cacheBytes, devCfg.LogicalPages(), o.TPFTL)
+	if err != nil {
+		return nil, err
+	}
+	dev, err := ftl.NewDevice(devCfg, tr)
+	if err != nil {
+		return nil, err
+	}
+	if err := dev.Format(); err != nil {
+		return nil, err
+	}
+
+	reqs := o.Trace
+	if reqs == nil {
+		reqs, err = workload.Generate(profile, o.Requests, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	stats := trace.Summarize(reqs)
+
+	if o.Precondition > 0 {
+		// Age only the workload's footprint: the cold remainder stays in
+		// its pristine fully-valid blocks, exactly where a long-running
+		// device's GC would have consolidated it. For replayed traces the
+		// footprint is taken from the trace's own address high-water mark.
+		footBytes := profile.FootprintBytes()
+		if o.Trace != nil && stats.MaxEnd > 0 && stats.MaxEnd < footBytes {
+			footBytes = stats.MaxEnd
+		}
+		footPages := footBytes / int64(devCfg.PageSize)
+		writes := int(o.Precondition * float64(footPages))
+		if err := dev.PreconditionRange(writes, footPages, o.Seed+1); err != nil {
+			return nil, err
+		}
+		dev.ResetMetrics()
+	}
+	// Warm after preconditioning: the optimal FTL snapshots the live
+	// mapping (it holds the authoritative table in RAM and never reads
+	// the persisted translation pages).
+	if w, ok := tr.(ftl.Warmer); ok {
+		w.Warm(dev.Truth)
+	}
+
+	res := &Result{
+		Scheme:     o.Scheme,
+		Workload:   profile.Name,
+		CacheBytes: cacheBytes,
+		TraceStats: stats,
+	}
+	if t, ok := tr.(*core.FTL); ok {
+		res.Variant = t.Variant()
+	}
+
+	if o.SampleEvery > 0 {
+		insp, ok := tr.(ftl.Inspector)
+		if ok {
+			dev.SampleEvery = o.SampleEvery
+			dev.OnSample = func(n int64) {
+				s := insp.Snapshot()
+				sample := Sample{
+					PageAccesses: n,
+					Entries:      s.Entries,
+					TPNodes:      s.TPNodes,
+					DirtyEntries: s.DirtyEntries,
+					DirtyHist:    map[int]int{},
+				}
+				for _, d := range s.DirtyPerPage {
+					sample.DirtyHist[d]++
+				}
+				res.Samples = append(res.Samples, sample)
+			}
+		}
+	}
+
+	warm := o.ResetAfterWarmup
+	if warm > len(reqs) {
+		warm = len(reqs)
+	}
+	if warm > 0 {
+		if _, err := dev.Run(reqs[:warm]); err != nil {
+			return nil, fmt.Errorf("sim: %s/%s warm-up: %w", o.Scheme, profile.Name, err)
+		}
+		dev.ResetMetrics()
+		reqs = reqs[warm:]
+	}
+	if _, err := dev.Run(reqs); err != nil {
+		return nil, fmt.Errorf("sim: %s/%s: %w", o.Scheme, profile.Name, err)
+	}
+	res.M = dev.Metrics()
+
+	// Consistency is part of every run: a scheme that survives the trace
+	// but corrupted its mapping must not produce results.
+	if err := dev.CheckConsistency(dirtySetOf(tr)); err != nil {
+		return nil, fmt.Errorf("sim: %s/%s post-run consistency: %w", o.Scheme, profile.Name, err)
+	}
+	return res, nil
+}
+
+// dirtySetOf extracts the dirty cached entries from any scheme that exposes
+// them; nil disables the truth/persist cross-check for schemes that do not.
+func dirtySetOf(tr ftl.Translator) map[ftl.LPN]flash.PPN {
+	type dirtier interface {
+		DirtyCached() map[ftl.LPN]flash.PPN
+	}
+	if d, ok := tr.(dirtier); ok {
+		return d.DirtyCached()
+	}
+	return nil
+}

@@ -1,0 +1,319 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Format identifies an on-disk trace format.
+type Format int
+
+const (
+	// FormatNative is this repository's CSV: arrival_ns,offset,length,op.
+	FormatNative Format = iota
+	// FormatSPC is the UMass trace repository SPC format used by the
+	// Financial1/Financial2 traces: ASU,LBA,Size,Opcode,Timestamp[,...].
+	// LBA is in 512-byte sectors; Size is in bytes.
+	FormatSPC
+	// FormatMSR is the MSR Cambridge CSV:
+	// Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime.
+	FormatMSR
+)
+
+// spcSectorSize is the unit of the LBA column in UMass SPC traces.
+const spcSectorSize = 512
+
+// ParseError reports a malformed trace line.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("trace: line %d: %s", e.Line, e.Msg)
+}
+
+// ParseSPC reads an SPC-format trace (UMass Financial1/2):
+//
+//	ASU,LBA,Size,Opcode,Timestamp
+//
+// where LBA is the address in 512-byte sectors, Size is in bytes, Opcode is
+// r/R or w/W, and Timestamp is in seconds (float). Extra trailing fields are
+// ignored. The paper's Financial traces use this format.
+func ParseSPC(r io.Reader) ([]Request, error) {
+	var out []Request
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Split(line, ",")
+		if len(f) < 5 {
+			return nil, &ParseError{lineNo, fmt.Sprintf("want ≥5 fields, got %d", len(f))}
+		}
+		lba, err := strconv.ParseInt(strings.TrimSpace(f[1]), 10, 64)
+		if err != nil {
+			return nil, &ParseError{lineNo, "bad LBA: " + err.Error()}
+		}
+		size, err := strconv.ParseInt(strings.TrimSpace(f[2]), 10, 64)
+		if err != nil {
+			return nil, &ParseError{lineNo, "bad size: " + err.Error()}
+		}
+		op := strings.TrimSpace(f[3])
+		var write bool
+		switch op {
+		case "w", "W":
+			write = true
+		case "r", "R":
+			write = false
+		default:
+			return nil, &ParseError{lineNo, "bad opcode " + op}
+		}
+		ts, err := strconv.ParseFloat(strings.TrimSpace(f[4]), 64)
+		if err != nil {
+			return nil, &ParseError{lineNo, "bad timestamp: " + err.Error()}
+		}
+		if size == 0 {
+			continue // some traces contain zero-length markers
+		}
+		req := Request{
+			Arrival: int64(ts * 1e9),
+			Offset:  lba * spcSectorSize,
+			Length:  size,
+			Write:   write,
+		}
+		if err := req.Validate(); err != nil {
+			return nil, &ParseError{lineNo, err.Error()}
+		}
+		out = append(out, req)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading SPC trace: %w", err)
+	}
+	return out, nil
+}
+
+// msrTicksPerSecond is the unit of the MSR Timestamp column (Windows
+// filetime: 100 ns ticks).
+const msrTicksPerSecond = 10_000_000
+
+// ParseMSR reads an MSR Cambridge CSV trace:
+//
+//	Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
+//
+// Timestamp is a Windows filetime (100 ns ticks), Offset and Size are in
+// bytes, Type is Read/Write. Arrival times are rebased so the first request
+// arrives at 0.
+func ParseMSR(r io.Reader) ([]Request, error) {
+	var out []Request
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lineNo := 0
+	var base int64 = -1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Split(line, ",")
+		if len(f) < 6 {
+			return nil, &ParseError{lineNo, fmt.Sprintf("want ≥6 fields, got %d", len(f))}
+		}
+		ts, err := strconv.ParseInt(strings.TrimSpace(f[0]), 10, 64)
+		if err != nil {
+			return nil, &ParseError{lineNo, "bad timestamp: " + err.Error()}
+		}
+		var write bool
+		switch op := strings.TrimSpace(f[3]); strings.ToLower(op) {
+		case "write", "w":
+			write = true
+		case "read", "r":
+			write = false
+		default:
+			return nil, &ParseError{lineNo, "bad type " + op}
+		}
+		off, err := strconv.ParseInt(strings.TrimSpace(f[4]), 10, 64)
+		if err != nil {
+			return nil, &ParseError{lineNo, "bad offset: " + err.Error()}
+		}
+		size, err := strconv.ParseInt(strings.TrimSpace(f[5]), 10, 64)
+		if err != nil {
+			return nil, &ParseError{lineNo, "bad size: " + err.Error()}
+		}
+		if size == 0 {
+			continue
+		}
+		if base < 0 {
+			base = ts
+		}
+		req := Request{
+			Arrival: (ts - base) * (1e9 / msrTicksPerSecond),
+			Offset:  off,
+			Length:  size,
+			Write:   write,
+		}
+		if err := req.Validate(); err != nil {
+			return nil, &ParseError{lineNo, err.Error()}
+		}
+		out = append(out, req)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading MSR trace: %w", err)
+	}
+	return out, nil
+}
+
+// ParseNative reads the native CSV format: arrival_ns,offset,length,op with
+// op ∈ {r,w}. Lines starting with '#' are comments.
+func ParseNative(r io.Reader) ([]Request, error) {
+	var out []Request
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Split(line, ",")
+		if len(f) != 4 {
+			return nil, &ParseError{lineNo, fmt.Sprintf("want 4 fields, got %d", len(f))}
+		}
+		arrival, err := strconv.ParseInt(strings.TrimSpace(f[0]), 10, 64)
+		if err != nil {
+			return nil, &ParseError{lineNo, "bad arrival: " + err.Error()}
+		}
+		off, err := strconv.ParseInt(strings.TrimSpace(f[1]), 10, 64)
+		if err != nil {
+			return nil, &ParseError{lineNo, "bad offset: " + err.Error()}
+		}
+		size, err := strconv.ParseInt(strings.TrimSpace(f[2]), 10, 64)
+		if err != nil {
+			return nil, &ParseError{lineNo, "bad length: " + err.Error()}
+		}
+		var write bool
+		switch op := strings.TrimSpace(f[3]); op {
+		case "w", "W":
+			write = true
+		case "r", "R":
+			write = false
+		default:
+			return nil, &ParseError{lineNo, "bad op " + op}
+		}
+		req := Request{Arrival: arrival, Offset: off, Length: size, Write: write}
+		if err := req.Validate(); err != nil {
+			return nil, &ParseError{lineNo, err.Error()}
+		}
+		out = append(out, req)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading native trace: %w", err)
+	}
+	return out, nil
+}
+
+// Parse reads a trace in the given format.
+func Parse(r io.Reader, f Format) ([]Request, error) {
+	switch f {
+	case FormatNative:
+		return ParseNative(r)
+	case FormatSPC:
+		return ParseSPC(r)
+	case FormatMSR:
+		return ParseMSR(r)
+	default:
+		return nil, fmt.Errorf("trace: unknown format %d", f)
+	}
+}
+
+// FormatByName maps user-facing names to Format values.
+func FormatByName(name string) (Format, error) {
+	switch strings.ToLower(name) {
+	case "native", "csv":
+		return FormatNative, nil
+	case "spc", "umass", "financial":
+		return FormatSPC, nil
+	case "msr", "cambridge":
+		return FormatMSR, nil
+	default:
+		return 0, fmt.Errorf("trace: unknown format %q (want native, spc or msr)", name)
+	}
+}
+
+// WriteNative writes reqs in the native CSV format.
+func WriteNative(w io.Writer, reqs []Request) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "# arrival_ns,offset,length,op"); err != nil {
+		return err
+	}
+	for _, r := range reqs {
+		op := "r"
+		if r.Write {
+			op = "w"
+		}
+		if _, err := fmt.Fprintf(bw, "%d,%d,%d,%s\n", r.Arrival, r.Offset, r.Length, op); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteSPC writes reqs in the UMass SPC format (ASU,LBA,Size,Opcode,
+// Timestamp), the format of the paper's Financial traces. Offsets are
+// rounded down to 512-byte sector boundaries.
+func WriteSPC(w io.Writer, reqs []Request) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range reqs {
+		op := "r"
+		if r.Write {
+			op = "w"
+		}
+		if _, err := fmt.Fprintf(bw, "0,%d,%d,%s,%.6f\n",
+			r.Offset/spcSectorSize, r.Length, op, float64(r.Arrival)/1e9); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteMSR writes reqs in the MSR Cambridge CSV format (Timestamp,Hostname,
+// DiskNumber,Type,Offset,Size,ResponseTime), the format of the paper's
+// MSR-ts/MSR-src traces.
+func WriteMSR(w io.Writer, reqs []Request) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range reqs {
+		op := "Read"
+		if r.Write {
+			op = "Write"
+		}
+		ticks := r.Arrival / (1e9 / msrTicksPerSecond)
+		if _, err := fmt.Fprintf(bw, "%d,host,0,%s,%d,%d,0\n",
+			ticks, op, r.Offset, r.Length); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Write serializes reqs in the given format.
+func Write(w io.Writer, reqs []Request, f Format) error {
+	switch f {
+	case FormatNative:
+		return WriteNative(w, reqs)
+	case FormatSPC:
+		return WriteSPC(w, reqs)
+	case FormatMSR:
+		return WriteMSR(w, reqs)
+	default:
+		return fmt.Errorf("trace: unknown format %d", f)
+	}
+}

@@ -1,0 +1,145 @@
+package tpftl_test
+
+import (
+	"strings"
+	"testing"
+
+	tpftl "repro"
+)
+
+// TestPublicAPIQuickstart exercises the facade end to end the way the
+// README's quickstart does.
+func TestPublicAPIQuickstart(t *testing.T) {
+	const capacity = 16 << 20
+	devCfg := tpftl.DefaultDeviceConfig(capacity)
+	tr := tpftl.NewTPFTL(tpftl.DefaultCacheBytes(capacity))
+	dev, err := tpftl.NewDevice(devCfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Format(); err != nil {
+		t.Fatal(err)
+	}
+	p := tpftl.Financial1()
+	p.AddressSpace = capacity
+	reqs, err := tpftl.GenerateWorkload(p, 2_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reqs {
+		if _, err := dev.Serve(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := dev.Metrics()
+	if m.Requests != 2_000 || m.Hr() <= 0 {
+		t.Fatalf("metrics: %+v", m)
+	}
+}
+
+func TestPublicRunAllSchemes(t *testing.T) {
+	p := tpftl.Financial2()
+	p.AddressSpace = 16 << 20
+	for _, s := range []tpftl.Scheme{tpftl.TPFTL, tpftl.DFTL, tpftl.SFTL, tpftl.CDFTL, tpftl.ZFTL, tpftl.Optimal} {
+		r, err := tpftl.Run(tpftl.Options{Scheme: s, Profile: p, Requests: 1_000, Seed: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if r.M.PageAccesses() == 0 {
+			t.Fatalf("%s: no page accesses", s)
+		}
+	}
+}
+
+func TestPublicTraceRoundTrip(t *testing.T) {
+	p := tpftl.MSRts()
+	p.AddressSpace = 16 << 20
+	reqs, err := tpftl.GenerateWorkload(p, 500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tpftl.WriteTrace(&sb, reqs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tpftl.ParseTrace(strings.NewReader(sb.String()), "native")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(reqs) {
+		t.Fatalf("round trip %d → %d", len(reqs), len(got))
+	}
+	s := tpftl.SummarizeTrace(got)
+	if s.Requests != 500 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestPublicProfiles(t *testing.T) {
+	ps := tpftl.Profiles()
+	if len(ps) != 4 {
+		t.Fatalf("profiles = %d", len(ps))
+	}
+	names := map[string]bool{}
+	for _, p := range ps {
+		names[p.Name] = true
+	}
+	for _, want := range []string{"Financial1", "Financial2", "MSR-ts", "MSR-src"} {
+		if !names[want] {
+			t.Fatalf("missing profile %s", want)
+		}
+	}
+}
+
+func TestPublicTaxonomyDevices(t *testing.T) {
+	cfg := tpftl.DeviceConfig{LogicalBytes: 4 << 20, PageSize: 4096, PagesPerBlock: 32, OverProvision: 0.15}
+	bd, err := tpftl.NewBlockDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hd, err := tpftl.NewHybridDevice(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := tpftl.Request{Arrival: 0, Offset: 0, Length: 4096, Write: true}
+	if _, err := bd.Serve(req); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hd.Serve(req); err != nil {
+		t.Fatal(err)
+	}
+
+	devCfg := tpftl.DefaultDeviceConfig(4 << 20)
+	dev, err := tpftl.NewDevice(devCfg, tpftl.NewTPFTL(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Format(); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := tpftl.NewDataBuffer(dev, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buf.Serve(req); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 1 {
+		t.Fatalf("buffered = %d", buf.Len())
+	}
+}
+
+func TestNewTranslatorByScheme(t *testing.T) {
+	for _, s := range []tpftl.Scheme{tpftl.TPFTL, tpftl.DFTL, tpftl.SFTL, tpftl.CDFTL, tpftl.ZFTL, tpftl.Optimal} {
+		tr, err := tpftl.NewTranslator(s, 4096, 1024, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if tr.Name() == "" {
+			t.Fatalf("%s: empty name", s)
+		}
+	}
+	if _, err := tpftl.NewTranslator("bogus", 4096, 1024, nil); err == nil {
+		t.Fatal("bogus scheme accepted")
+	}
+}
