@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race vet fuzz ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz pass over the crash-recovery property (seed corpus always runs
+# under plain `go test`; this explores beyond it).
+fuzz:
+	$(GO) test ./internal/sim -run '^$$' -fuzz FuzzCrashRecovery -fuzztime 30s
+
+ci: vet race

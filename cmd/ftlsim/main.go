@@ -6,6 +6,9 @@
 //	ftlsim -scheme DFTL -workload MSR-ts -scale 2147483648
 //	ftlsim -scheme TPFTL -trace fin1.spc -format spc -space 536870912
 //	ftlsim -scheme TPFTL -variant bc -workload Financial1
+//	ftlsim -scheme TPFTL -faults read=1e-4,program=1e-5
+//	ftlsim -scheme TPFTL -faults cut=12000
+//	ftlsim -scheme DFTL -cuts 50
 package main
 
 import (
@@ -38,17 +41,21 @@ func main() {
 		variant   = flag.String("variant", "", "TPFTL technique subset, e.g. \"rsbc\", \"bc\", \"-\" (default full)")
 		gcPolicy  = flag.String("gc", "greedy", "GC victim policy: greedy, cost-benefit")
 		wearLevel = flag.Int("wearlevel", 0, "static wear-leveling threshold in erases (0 = off)")
+		faults    = flag.String("faults", "", "fault plan, e.g. \"read=1e-4,program=1e-5\" or \"cut=12000\" (cut= switches to the crash-recovery harness)")
+		cuts      = flag.Int("cuts", 0, "verify crash recovery at this many random power-cut points instead of measuring")
 	)
 	flag.Parse()
 	if err := run(*scheme, *wl, *requests, *seed, *scale, *cache, *fraction,
-		*warmup, *precond, *traceFile, *format, *space, *variant, *gcPolicy, *wearLevel); err != nil {
+		*warmup, *precond, *traceFile, *format, *space, *variant, *gcPolicy, *wearLevel,
+		*faults, *cuts); err != nil {
 		fmt.Fprintln(os.Stderr, "ftlsim:", err)
 		os.Exit(1)
 	}
 }
 
 func run(scheme, wl string, requests int, seed, scale, cache int64, fraction float64,
-	warmup int, precond float64, traceFile, format string, space int64, variant, gcPolicy string, wearLevel int) error {
+	warmup int, precond float64, traceFile, format string, space int64, variant, gcPolicy string, wearLevel int,
+	faults string, cuts int) error {
 	profile, err := workload.ProfileByName(wl)
 	if err != nil {
 		return err
@@ -81,6 +88,40 @@ func run(scheme, wl string, requests int, seed, scale, cache int64, fraction flo
 		cfg := variantConfig(variant)
 		opts.TPFTL = &cfg
 	}
+
+	var plan *tpftl.FaultPlan
+	if faults != "" {
+		if plan, err = tpftl.ParseFaultPlan(faults); err != nil {
+			return err
+		}
+	}
+	if cuts > 0 || (plan != nil && plan.CutAtOp > 0) {
+		// Power-cut verification replaces the measurement run.
+		if traceFile != "" {
+			return fmt.Errorf("-cuts/-faults cut= verify generated workloads only (trace replay is not supported)")
+		}
+		co := tpftl.CrashOptions{
+			Scheme:       opts.Scheme,
+			TPFTL:        opts.TPFTL,
+			Profile:      opts.Profile,
+			AddressSpace: opts.AddressSpace,
+			Requests:     requests,
+			Seed:         seed,
+			CacheBytes:   cache,
+			Cuts:         cuts,
+		}
+		if plan != nil {
+			co.CutAtOp = plan.CutAtOp
+			co.FaultProb = plan.ReadProb // one knob for all ops on the CLI path
+		}
+		rep, err := tpftl.RunCrash(co)
+		if err != nil {
+			return err
+		}
+		printCrashReport(rep)
+		return nil
+	}
+	opts.Faults = plan
 
 	if traceFile != "" {
 		f, err := os.Open(traceFile)
@@ -156,4 +197,34 @@ func printResult(r *tpftl.Result) {
 		m.ResponsePercentile(0.50), m.ResponsePercentile(0.95), m.ResponsePercentile(0.99))
 	fmt.Printf("write amplification       %8.3f\n", m.WriteAmplification())
 	fmt.Printf("block erases              %8d\n", m.FlashErases)
+	if m.InjectedFaults > 0 {
+		fmt.Println()
+		fmt.Printf("injected faults           %8d\n", m.InjectedFaults)
+		fmt.Printf("fault retries             %8d\n", m.FaultRetries)
+	}
+}
+
+func printCrashReport(r *tpftl.CrashReport) {
+	fmt.Printf("scheme            %s\n", r.Scheme)
+	fmt.Printf("workload ops      %d flash operations\n", r.TotalOps)
+	fmt.Printf("cut points        %d, all recovered exactly\n", len(r.Cuts))
+	var scanned, injected int64
+	var acked int
+	for _, c := range r.Cuts {
+		scanned += c.ScannedPages
+		injected += c.Injected
+		acked += c.AckedPages
+	}
+	n := int64(len(r.Cuts))
+	if n > 0 {
+		fmt.Printf("recovery scan     %d pages/cut average\n", scanned/n)
+	}
+	fmt.Printf("acked pages       %d verified durable\n", acked)
+	if injected > 0 {
+		fmt.Printf("injected faults   %d transient, all absorbed\n", injected)
+	}
+	for _, c := range r.Cuts {
+		fmt.Printf("  cut@%-10d %5d requests served, %5d acked pages, %d scanned\n",
+			c.CutOp, c.ServedRequests, c.AckedPages, c.ScannedPages)
+	}
 }

@@ -1,0 +1,153 @@
+package core
+
+// Regression tests for the cache-accounting bugs flushed out by the
+// fault-injection work. Each test fails against the pre-fix code.
+
+import (
+	"testing"
+
+	"repro/internal/flash"
+	"repro/internal/ftl"
+)
+
+// stubEnv is a minimal in-memory ftl.Env: translation page v reads back PPN
+// v*ePerTP+off for every slot, and writes are counted but not applied. It
+// lets the tests drive the cache into exact byte-level corner states that
+// the full device model cannot reach deterministically.
+type stubEnv struct {
+	ePerTP int
+	lpns   int64
+	buf    []flash.PPN
+	writes int
+}
+
+func (e *stubEnv) EntriesPerTP() int { return e.ePerTP }
+func (e *stubEnv) NumTPs() int       { return int((e.lpns + int64(e.ePerTP) - 1) / int64(e.ePerTP)) }
+func (e *stubEnv) NumLPNs() int64    { return e.lpns }
+
+func (e *stubEnv) ReadTP(v ftl.VTPN) ([]flash.PPN, error) {
+	if e.buf == nil {
+		e.buf = make([]flash.PPN, e.ePerTP)
+	}
+	for i := range e.buf {
+		e.buf[i] = flash.PPN(int(v)*e.ePerTP + i)
+	}
+	return e.buf, nil
+}
+
+func (e *stubEnv) WriteTP(v ftl.VTPN, updates []ftl.EntryUpdate, fullPage bool) error {
+	e.writes++
+	return nil
+}
+
+func (e *stubEnv) NoteLookup(bool)        {}
+func (e *stubEnv) NoteReplacement(bool)   {}
+func (e *stubEnv) NoteGCMapUpdate(bool)   {}
+func (e *stubEnv) NoteBatchWriteback(int) {}
+
+// TestStandaloneUpdateChargesNodeOnce: the standalone-update eviction loop
+// used to charge nodeBytes unconditionally, evicting one extra entry per
+// update even when lpn's TP node was already cached.
+func TestStandaloneUpdateChargesNodeOnce(t *testing.T) {
+	// entryBytes 8 (uncompressed), nodeBytes 8: a 48-byte budget holds one
+	// TP node plus five entries exactly.
+	f := New(Config{CacheBytes: 48, CompressEntries: false})
+	env := &stubEnv{ePerTP: 16, lpns: 64}
+
+	for lpn := ftl.LPN(0); lpn < 5; lpn++ {
+		if err := f.Update(env, lpn, flash.PPN(100+lpn)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Len() != 5 || f.UsedBytes() != 48 {
+		t.Fatalf("after 5 updates: %d entries, %d bytes; want 5, 48", f.Len(), f.UsedBytes())
+	}
+
+	// The node for lpn 5 is cached, so the sixth update needs room for one
+	// entry only: exactly one eviction.
+	if err := f.Update(env, 5, flash.PPN(105)); err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 5 {
+		t.Fatalf("after in-node standalone update: %d entries cached, want 5 (over-eviction)", f.Len())
+	}
+	if f.UsedBytes() != 48 {
+		t.Fatalf("cache not refilled to budget: used %d, want 48", f.UsedBytes())
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRule2RecomputedPerEviction: the §4.5 rule-2 prefetch cap was computed
+// once from the coldest TP node before the eviction loop. When the loop
+// dropped that node (raising the load's cost by nodeBytes, since the
+// demanded entry's own node was the victim), evictions spilled into a
+// second cached page with the prefetch still pending — exactly what rule 2
+// exists to prevent. The cap is now recomputed before every eviction and
+// the prefetch is dropped rather than claim a second victim node.
+func TestRule2RecomputedPerEviction(t *testing.T) {
+	// entryBytes 8, nodeBytes 32. Budget 88 holds: node A (vtpn 0) with
+	// two clean entries (48 B) + node B (vtpn 1) with one entry (40 B).
+	f := New(Config{
+		CacheBytes:      88,
+		RequestPrefetch: true,
+		CompressEntries: false,
+		TPNodeBytes:     32,
+	})
+	env := &stubEnv{ePerTP: 8, lpns: 64}
+
+	f.BeginRequest(1, 2, false)
+	if _, err := f.Translate(env, 1); err != nil { // loads offs 1,2 of A
+		t.Fatal(err)
+	}
+	f.BeginRequest(8, 8, false)
+	if _, err := f.Translate(env, 8); err != nil { // loads B; A is now coldest
+		t.Fatal(err)
+	}
+	if f.Len() != 3 || f.UsedBytes() != 88 {
+		t.Fatalf("setup: %d entries, %d bytes; want 3, 88", f.Len(), f.UsedBytes())
+	}
+
+	// Miss on A's off 0 with a 5-entry prefetch. Evicting all of A frees
+	// 48 B but also re-charges A's nodeBytes against the load, so the
+	// one-shot cap let the loop continue into B. The fix drops the
+	// prefetch when A is exhausted; B must survive untouched.
+	f.BeginRequest(0, 7, false)
+	if _, err := f.Translate(env, 0); err != nil {
+		t.Fatal(err)
+	}
+	if f.byVTPN[1] == nil {
+		t.Fatalf("prefetching load evicted from a second TP node (B gone): rule 2 violated")
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGeometryThreadedAtConstruction: core.New hardcoded the 4 KB-page
+// entries-per-TP count; with a non-4KB PageSize the cache computed wrong
+// VTPN/offset geometry until the first Translate synced it from the Env.
+// The device now pushes its real geometry in at construction.
+func TestGeometryThreadedAtConstruction(t *testing.T) {
+	if got := New(Config{CacheBytes: 4096}).EntriesPerTP(); got != 1024 {
+		t.Fatalf("default geometry: %d entries/TP, want 1024", got)
+	}
+	if got := New(Config{CacheBytes: 4096, EntriesPerTP: 512}).EntriesPerTP(); got != 512 {
+		t.Fatalf("explicit geometry: %d entries/TP, want 512", got)
+	}
+
+	tr := New(DefaultConfig(4096))
+	cfg := ftl.Config{
+		LogicalBytes:  4 << 20,
+		PageSize:      2048,
+		PagesPerBlock: 32,
+		CacheBytes:    4096,
+	}
+	if _, err := ftl.NewDevice(cfg, tr); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := tr.EntriesPerTP(), 2048/ftl.EntryBytesInFlash; got != want {
+		t.Fatalf("device with 2 KB pages: cache thinks %d entries/TP, want %d", got, want)
+	}
+}

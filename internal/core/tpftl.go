@@ -82,6 +82,12 @@ type Config struct {
 
 	// Hotness selects the page-level ordering policy (default HotnessLRU).
 	Hotness Hotness
+
+	// EntriesPerTP is the number of mapping entries per on-flash
+	// translation page (device PageSize / ftl.EntryBytesInFlash). Zero
+	// selects the 4 KB-page default; ftl.NewDevice overrides either with
+	// the real device geometry via SetGeometry.
+	EntriesPerTP int
 }
 
 // DefaultConfig returns the complete TPFTL ("rsbc") for the given budget.
@@ -169,11 +175,21 @@ type FTL struct {
 	// Request context from BeginRequest.
 	reqFirst, reqLast ftl.LPN
 
+	// §4.5 rule-2 bookkeeping: while a prefetch-carrying load is evicting,
+	// every victim must come from one TP node. loadPrefetchPending is set
+	// around evictOne calls made with a non-empty prefetch; loadVictim is
+	// that load's first victim node. A second distinct victim node records
+	// a sticky violation surfaced by CheckInvariants.
+	loadPrefetchPending bool
+	loadVictim          ftl.VTPN
+	rule2Err            error
+
 	ePerTP int
 }
 
 var _ ftl.Translator = (*FTL)(nil)
 var _ ftl.Inspector = (*FTL)(nil)
+var _ ftl.GeometryAware = (*FTL)(nil)
 
 // New returns a TPFTL instance.
 func New(cfg Config) *FTL {
@@ -190,15 +206,33 @@ func New(cfg Config) *FTL {
 	if min := entryBytes*4 + int64(cfg.TPNodeBytes); cfg.CacheBytes < min {
 		cfg.CacheBytes = min
 	}
+	ePerTP := cfg.EntriesPerTP
+	if ePerTP <= 0 {
+		ePerTP = 4096 / ftl.EntryBytesInFlash
+	}
 	return &FTL{
 		cfg:        cfg,
 		entryBytes: entryBytes,
 		nodeBytes:  int64(cfg.TPNodeBytes),
 		threshold:  cfg.SelectiveThreshold,
 		byVTPN:     make(map[ftl.VTPN]*tpNode),
-		ePerTP:     4096 / ftl.EntryBytesInFlash,
+		ePerTP:     ePerTP,
 	}
 }
+
+// SetGeometry implements ftl.GeometryAware: the device announces its real
+// entries-per-translation-page count at construction, so offset/VTPN
+// arithmetic (DirtyCached, Snapshot) is correct even before the first
+// Translate syncs from the Env — previously a non-4KB PageSize left the
+// hardcoded 4 KB default in place until then.
+func (f *FTL) SetGeometry(entriesPerTP int) {
+	if entriesPerTP > 0 {
+		f.ePerTP = entriesPerTP
+	}
+}
+
+// EntriesPerTP returns the translation-page geometry the cache is using.
+func (f *FTL) EntriesPerTP() int { return f.ePerTP }
 
 // Name implements ftl.Translator.
 func (f *FTL) Name() string { return "TPFTL" }
@@ -255,10 +289,6 @@ func (f *FTL) load(env ftl.Env, lpn ftl.LPN, v ftl.VTPN, off int32) (flash.PPN, 
 	}
 	extras := f.prefetchSet(tp, lpn, off, pageEnd)
 
-	// Rule 2 (§4.5): if loading will force evictions, shrink the prefetch
-	// until the whole load fits into the current free space plus what
-	// evicting the coldest TP node entirely can yield, confining
-	// replacement to one cached page.
 	need := func(nExtras int) int64 {
 		c := int64(1+nExtras) * f.entryBytes
 		if f.byVTPN[v] == nil {
@@ -266,23 +296,50 @@ func (f *FTL) load(env ftl.Env, lpn ftl.LPN, v ftl.VTPN, off int32) (flash.PPN, 
 		}
 		return c
 	}
-	if f.used+need(len(extras)) > f.cfg.CacheBytes {
-		free := f.cfg.CacheBytes - f.used
-		freeable := int64(0)
-		if coldest := f.pages.Back(); coldest != nil {
-			tpc := coldest.Value.(*tpNode)
-			freeable = int64(tpc.entries.Len())*f.entryBytes + f.nodeBytes
-		}
-		for len(extras) > 0 && need(len(extras)) > free+freeable {
-			extras = extras[:len(extras)-1]
-		}
-	}
 
 	// Make room before reading the translation page: evictions can write
 	// back dirty entries and trigger GC, which may move the very data
 	// pages being looked up. Reading only after all evictions guarantees
 	// fresh values (ReadTP cannot trigger GC).
+	//
+	// Rule 2 (§4.5): if loading forces evictions, shrink the prefetch
+	// until the whole load fits into the current free space plus what
+	// evicting the coldest TP node entirely can yield, confining
+	// replacement to one cached page. The cap is recomputed before every
+	// eviction: the loop can exhaust its first victim node and surface a
+	// differently-sized coldest node (notably when the demanded entry's
+	// own node was the victim, whose drop raises the load's cost by
+	// nodeBytes), and a one-shot computation would let replacement quietly
+	// spill into a second page. When continuing would require a second
+	// victim node, the prefetch is dropped instead.
+	f.loadVictim = -1
+	defer func() { f.loadPrefetchPending = false }()
+	victimNode := ftl.VTPN(-1)
 	for f.used+need(len(extras)) > f.cfg.CacheBytes {
+		if len(extras) > 0 {
+			cold := ftl.VTPN(-1)
+			freeable := int64(0)
+			if coldest := f.pages.Back(); coldest != nil {
+				tpc := coldest.Value.(*tpNode)
+				cold = tpc.vtpn
+				freeable = int64(tpc.entries.Len())*f.entryBytes + f.nodeBytes
+			}
+			if victimNode >= 0 && cold != victimNode {
+				extras = extras[:0]
+			} else {
+				free := f.cfg.CacheBytes - f.used
+				for len(extras) > 0 && need(len(extras)) > free+freeable {
+					extras = extras[:len(extras)-1]
+				}
+				if len(extras) > 0 {
+					victimNode = cold
+				}
+			}
+			if f.used+need(len(extras)) <= f.cfg.CacheBytes {
+				break // the shrink alone made the load fit
+			}
+		}
+		f.loadPrefetchPending = len(extras) > 0
 		evicted, err := f.evictOne(env)
 		if err != nil {
 			return flash.InvalidPPN, err
@@ -296,6 +353,7 @@ func (f *FTL) load(env ftl.Env, lpn ftl.LPN, v ftl.VTPN, off int32) (flash.PPN, 
 			return flash.InvalidPPN, fmt.Errorf("tpftl: budget %d cannot hold one entry", f.cfg.CacheBytes)
 		}
 	}
+	f.loadPrefetchPending = false
 
 	vals, err := env.ReadTP(v)
 	if err != nil {
@@ -494,6 +552,16 @@ func (f *FTL) evictOne(env ftl.Env) (bool, error) {
 	}
 	tp := coldN.Value.(*tpNode)
 
+	// §4.5 rule-2 assertion: a load that still carries a prefetch must
+	// confine its evictions to one TP node.
+	if f.loadPrefetchPending {
+		if f.loadVictim < 0 {
+			f.loadVictim = tp.vtpn
+		} else if tp.vtpn != f.loadVictim && f.rule2Err == nil {
+			f.rule2Err = fmt.Errorf("tpftl: §4.5 rule 2 violated: one prefetching load evicted from tp nodes %d and %d", f.loadVictim, tp.vtpn)
+		}
+	}
+
 	var victim *entryNode
 	if f.cfg.CleanFirst {
 		// LRU clean entry of the coldest TP node; LRU dirty as fallback.
@@ -564,8 +632,19 @@ func (f *FTL) Update(env ftl.Env, lpn ftl.LPN, ppn flash.PPN) error {
 		}
 	}
 	// Standalone update (the write path normally populates the entry via
-	// Translate first): make room and install dirty.
-	for f.used+f.entryBytes+f.nodeBytes > f.cfg.CacheBytes {
+	// Translate first): make room and install dirty. The TP-node overhead
+	// is charged only when lpn's node is not already cached (mirroring
+	// load's need()), and recomputed every iteration since an eviction can
+	// drop the node; charging it unconditionally over-evicted one entry
+	// per standalone update.
+	need := func() int64 {
+		c := f.entryBytes
+		if f.byVTPN[v] == nil {
+			c += f.nodeBytes
+		}
+		return c
+	}
+	for f.used+need() > f.cfg.CacheBytes {
 		evicted, err := f.evictOne(env)
 		if err != nil {
 			return err
@@ -664,6 +743,9 @@ func (f *FTL) DirtyCached() map[ftl.LPN]flash.PPN {
 // CheckInvariants validates the internal structure; property tests call it
 // after random operation sequences.
 func (f *FTL) CheckInvariants() error {
+	if f.rule2Err != nil {
+		return f.rule2Err
+	}
 	if f.used > f.cfg.CacheBytes {
 		return fmt.Errorf("tpftl: used %d exceeds budget %d", f.used, f.cfg.CacheBytes)
 	}

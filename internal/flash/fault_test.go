@@ -1,0 +1,147 @@
+package flash
+
+import (
+	"errors"
+	"testing"
+)
+
+func newTestChip(t *testing.T) *Chip {
+	t.Helper()
+	c, err := New(Config{PageSize: 4096, PagesPerBlock: 4, NumBlocks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPowerCutFreezesChip(t *testing.T) {
+	c := newTestChip(t)
+	if _, err := c.Program(0, Meta{Kind: KindData, Tag: 0, Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Cut at the 3rd op after arming: one read and one program succeed,
+	// then everything fails.
+	c.SetFaultPlan(&FaultPlan{CutAtOp: 3})
+	if _, err := c.Read(0); err != nil {
+		t.Fatalf("op 1: %v", err)
+	}
+	if _, err := c.Program(1, Meta{Kind: KindData, Tag: 1, Seq: 2}); err != nil {
+		t.Fatalf("op 2: %v", err)
+	}
+	if _, err := c.Program(2, Meta{Kind: KindData, Tag: 2, Seq: 3}); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("op 3: err = %v, want power cut", err)
+	}
+	if !c.PowerCut() {
+		t.Fatal("PowerCut not reported")
+	}
+	// The aborted program must not have applied.
+	if st := c.State(2); st != PageFree {
+		t.Fatalf("aborted program left page state %v", st)
+	}
+	// Every further op fails; state stays frozen.
+	if _, err := c.Read(0); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("read after cut: %v", err)
+	}
+	if err := c.Invalidate(0); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("invalidate after cut: %v", err)
+	}
+	if _, err := c.Erase(0); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("erase after cut: %v", err)
+	}
+	// Recovery-style inspection still works.
+	if m := c.MetaOf(1); m.Tag != 1 || m.Seq != 2 {
+		t.Fatalf("meta of surviving page: %+v", m)
+	}
+	st := c.FaultStats()
+	if !st.PowerCut || st.CutOp != 3 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduledTransientFaults(t *testing.T) {
+	c := newTestChip(t)
+	if _, err := c.Program(0, Meta{Kind: KindData, Tag: 0, Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	c.SetFaultPlan(&FaultPlan{FailAt: map[string][]int64{"read": {2}}})
+	if _, err := c.Read(0); err != nil {
+		t.Fatalf("read 1: %v", err)
+	}
+	_, err := c.Read(0)
+	var fe *FaultError
+	if !errors.As(err, &fe) || !fe.Transient || fe.Op != "read" {
+		t.Fatalf("read 2: err = %v, want transient read FaultError", err)
+	}
+	// Retry (attempt 3) succeeds: the fault was transient.
+	if _, err := c.Read(0); err != nil {
+		t.Fatalf("read 3 (retry): %v", err)
+	}
+	if got := c.FaultStats().InjectedReads; got != 1 {
+		t.Fatalf("injected reads = %d, want 1", got)
+	}
+}
+
+func TestProbabilityFaultsDeterministic(t *testing.T) {
+	run := func() []bool {
+		c := newTestChip(t)
+		if _, err := c.Program(0, Meta{Kind: KindData, Tag: 0, Seq: 1}); err != nil {
+			t.Fatal(err)
+		}
+		c.SetFaultPlan(&FaultPlan{Seed: 42, ReadProb: 0.3})
+		var outcomes []bool
+		for i := 0; i < 200; i++ {
+			_, err := c.Read(0)
+			outcomes = append(outcomes, err == nil)
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	fails := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d diverges between identical seeded runs", i)
+		}
+		if !a[i] {
+			fails++
+		}
+	}
+	if fails == 0 || fails == len(a) {
+		t.Fatalf("probability 0.3 injected %d/%d faults", fails, len(a))
+	}
+}
+
+func TestParseFaultPlan(t *testing.T) {
+	p, err := ParseFaultPlan("cut=500,seed=7,read=0.001,programat=3;1,erase=1e-4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CutAtOp != 500 || p.Seed != 7 || p.ReadProb != 0.001 || p.EraseProb != 1e-4 {
+		t.Fatalf("parsed %+v", p)
+	}
+	if got := p.FailAt["program"]; len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("programat = %v", got)
+	}
+	if s := p.String(); s == "" || s == "none" {
+		t.Fatalf("String() = %q", s)
+	}
+	for _, bad := range []string{"", "cut", "cut=x", "read=2", "bogus=1", "readat=0"} {
+		if _, err := ParseFaultPlan(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestSetFaultPlanNilDisarms(t *testing.T) {
+	c := newTestChip(t)
+	c.SetFaultPlan(&FaultPlan{CutAtOp: 1})
+	c.SetFaultPlan(nil)
+	if _, err := c.Program(0, Meta{Kind: KindData, Tag: 0, Seq: 1}); err != nil {
+		t.Fatalf("op after disarm: %v", err)
+	}
+	if c.PowerCut() {
+		t.Fatal("disarmed chip reports power cut")
+	}
+}

@@ -163,6 +163,8 @@ type Chip struct {
 	stats  Stats
 	// failNextOps holds injected errors keyed by op name, consumed in order.
 	failNext map[string][]error
+	// faults, when non-nil, is the armed fault plan (see fault.go).
+	faults *faultState
 }
 
 // New creates a chip with all blocks erased.
@@ -250,6 +252,11 @@ func (e *OpError) Error() string {
 // read latency.
 func (c *Chip) Read(p PPN) (time.Duration, error) {
 	c.mustContain(p)
+	if c.faults != nil {
+		if err := c.faults.inject("read", p, -1); err != nil {
+			return 0, err
+		}
+	}
 	if err := c.takeInjected("read"); err != nil {
 		return 0, err
 	}
@@ -265,6 +272,11 @@ func (c *Chip) Read(p PPN) (time.Duration, error) {
 // program latency.
 func (c *Chip) Program(p PPN, m Meta) (time.Duration, error) {
 	c.mustContain(p)
+	if c.faults != nil {
+		if err := c.faults.inject("program", p, c.Block(p)); err != nil {
+			return 0, err
+		}
+	}
 	if err := c.takeInjected("program"); err != nil {
 		return 0, err
 	}
@@ -298,6 +310,9 @@ func (c *Chip) Program(p PPN, m Meta) (time.Duration, error) {
 // a RAM-side bookkeeping action in a real FTL).
 func (c *Chip) Invalidate(p PPN) error {
 	c.mustContain(p)
+	if c.faults != nil && c.faults.cut {
+		return ErrPowerCut
+	}
 	if c.states[p] != PageValid {
 		return &OpError{Op: "invalidate", Page: p, Blk: -1,
 			Msg: "page not valid (state " + c.states[p].String() + ")"}
@@ -312,6 +327,11 @@ func (c *Chip) Invalidate(p PPN) error {
 // It returns the erase latency.
 func (c *Chip) Erase(blk BlockID) (time.Duration, error) {
 	c.mustContainBlock(blk)
+	if c.faults != nil {
+		if err := c.faults.inject("erase", -1, blk); err != nil {
+			return 0, err
+		}
+	}
 	if err := c.takeInjected("erase"); err != nil {
 		return 0, err
 	}

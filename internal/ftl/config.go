@@ -40,6 +40,14 @@ type Config struct {
 	WearLevelThreshold int
 	// EraseLimit, if non-zero, injects endurance failures (see flash.Config).
 	EraseLimit int
+	// Seed seeds the device's private RNG (preconditioning order, and the
+	// anchor that makes fault-injection repros bit-for-bit reproducible).
+	// Zero selects a fixed default.
+	Seed int64
+	// FaultRetries bounds how many times the device retries one flash
+	// operation after a transient injected fault before surfacing the
+	// error (0 selects 3). See flash.FaultPlan.
+	FaultRetries int
 }
 
 // GCPolicy selects how garbage collection picks victim blocks.

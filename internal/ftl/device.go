@@ -1,6 +1,7 @@
 package ftl
 
 import (
+	"errors"
 	"math/rand"
 	"time"
 
@@ -41,6 +42,11 @@ type Device struct {
 	ph    phase
 	inGC  bool
 
+	// rng is the device's private random source. Nothing in the device
+	// touches the global math/rand state, so a run is bit-for-bit
+	// reproducible from Config.Seed (and a PreconditionRange seed).
+	rng *rand.Rand
+
 	m Metrics
 
 	// OnSample, if set, is invoked every SampleEvery user page accesses
@@ -79,6 +85,14 @@ func NewDevice(cfg Config, tr Translator) (*Device, error) {
 		persist:      make([]flash.PPN, logicalPages),
 		truth:        make([]flash.PPN, logicalPages),
 		tpBuf:        make([]flash.PPN, entriesPerTP),
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	d.rng = rand.New(rand.NewSource(seed))
+	if ga, ok := tr.(GeometryAware); ok {
+		ga.SetGeometry(entriesPerTP)
 	}
 	for i := range d.gtd {
 		d.gtd[i] = flash.InvalidPPN
@@ -121,7 +135,7 @@ func (d *Device) Format() error {
 		if err != nil {
 			return err
 		}
-		if _, err := d.chip.Program(ppn, flash.Meta{Kind: flash.KindData, Tag: lpn, Seq: d.nextSeq()}); err != nil {
+		if _, err := d.chipProgram(ppn, flash.Meta{Kind: flash.KindData, Tag: lpn, Seq: d.nextSeq()}); err != nil {
 			return err
 		}
 		d.truth[lpn] = ppn
@@ -132,7 +146,7 @@ func (d *Device) Format() error {
 		if err != nil {
 			return err
 		}
-		if _, err := d.chip.Program(ppn, flash.Meta{Kind: flash.KindTranslation, Tag: int64(v), Seq: d.nextSeq()}); err != nil {
+		if _, err := d.chipProgram(ppn, flash.Meta{Kind: flash.KindTranslation, Tag: int64(v), Seq: d.nextSeq()}); err != nil {
 			return err
 		}
 		d.gtd[v] = ppn
@@ -166,10 +180,10 @@ func (d *Device) PreconditionRange(writes int, pages int64, seed int64) error {
 	if pages <= 0 || pages > d.logicalPages {
 		pages = d.logicalPages
 	}
-	rng := rand.New(rand.NewSource(seed))
+	d.rng = rand.New(rand.NewSource(seed))
 	d.ph = phaseAT
 	for i := 0; i < writes; i++ {
-		lpn := LPN(rng.Int63n(pages))
+		lpn := LPN(d.rng.Int63n(pages))
 		if err := d.maybeGC(); err != nil {
 			return err
 		}
@@ -178,7 +192,7 @@ func (d *Device) PreconditionRange(writes int, pages int64, seed int64) error {
 		if err != nil {
 			return err
 		}
-		if _, err := d.chip.Program(ppn, flash.Meta{Kind: flash.KindData, Tag: int64(lpn), Seq: d.nextSeq()}); err != nil {
+		if _, err := d.chipProgram(ppn, flash.Meta{Kind: flash.KindData, Tag: int64(lpn), Seq: d.nextSeq()}); err != nil {
 			return err
 		}
 		if old.Valid() {
@@ -263,7 +277,7 @@ func (d *Device) readPage(lpn LPN) error {
 		d.m.UnmappedReads++
 		return nil
 	}
-	lat, err := d.chip.Read(ppn)
+	lat, err := d.chipRead(ppn)
 	if err != nil {
 		return err
 	}
@@ -292,7 +306,7 @@ func (d *Device) writePage(lpn LPN) error {
 	if err != nil {
 		return err
 	}
-	lat, err := d.chip.Program(ppn, flash.Meta{Kind: flash.KindData, Tag: int64(lpn), Seq: d.nextSeq()})
+	lat, err := d.chipProgram(ppn, flash.Meta{Kind: flash.KindData, Tag: int64(lpn), Seq: d.nextSeq()})
 	if err != nil {
 		return err
 	}
@@ -314,6 +328,57 @@ func (d *Device) addLat(lat time.Duration) {
 	}
 }
 
+// --- Fault-tolerant chip access ------------------------------------------
+
+// maxFaultRetries returns the per-operation retry budget for transient
+// injected faults.
+func (d *Device) maxFaultRetries() int {
+	if d.cfg.FaultRetries > 0 {
+		return d.cfg.FaultRetries
+	}
+	return 3
+}
+
+// retryOp runs one chip operation, retrying transient injected faults up to
+// the configured budget. Every failed attempt still costs the operation's
+// nominal latency (the die spent the time before reporting the failure),
+// returned on top of the successful attempt's latency so the clock never
+// under-counts. Non-transient errors — power cuts, NAND rule violations,
+// worn-out blocks, exhausted retries — surface unchanged; the caller must
+// abort its update without touching any mapping state it has not yet
+// committed.
+func (d *Device) retryOp(op func() (time.Duration, error), nominal time.Duration) (time.Duration, error) {
+	var penalty time.Duration
+	for attempt := 0; ; attempt++ {
+		lat, err := op()
+		if err == nil {
+			return penalty + lat, nil
+		}
+		var fe *flash.FaultError
+		if !errors.As(err, &fe) {
+			return 0, err
+		}
+		d.m.InjectedFaults++
+		if !fe.Transient || attempt >= d.maxFaultRetries() {
+			return 0, err
+		}
+		d.m.FaultRetries++
+		penalty += nominal
+	}
+}
+
+func (d *Device) chipRead(p flash.PPN) (time.Duration, error) {
+	return d.retryOp(func() (time.Duration, error) { return d.chip.Read(p) }, d.cfg.ReadLatency)
+}
+
+func (d *Device) chipProgram(p flash.PPN, m flash.Meta) (time.Duration, error) {
+	return d.retryOp(func() (time.Duration, error) { return d.chip.Program(p, m) }, d.cfg.WriteLatency)
+}
+
+func (d *Device) chipErase(blk flash.BlockID) (time.Duration, error) {
+	return d.retryOp(func() (time.Duration, error) { return d.chip.Erase(blk) }, d.cfg.EraseLatency)
+}
+
 // --- Env implementation -------------------------------------------------
 
 // EntriesPerTP implements Env.
@@ -333,7 +398,7 @@ func (d *Device) ReadTP(v VTPN) ([]flash.PPN, error) {
 		return nil, errf("ReadTP: vtpn %d out of range [0,%d)", v, d.numTPs)
 	}
 	if phys := d.gtd[v]; phys.Valid() {
-		lat, err := d.chip.Read(phys)
+		lat, err := d.chipRead(phys)
 		if err != nil {
 			return nil, err
 		}
@@ -380,7 +445,7 @@ func (d *Device) WriteTP(v VTPN, updates []EntryUpdate, fullPage bool) error {
 	}
 	old := d.gtd[v]
 	if old.Valid() && !fullPage {
-		lat, err := d.chip.Read(old)
+		lat, err := d.chipRead(old)
 		if err != nil {
 			return err
 		}
@@ -396,7 +461,7 @@ func (d *Device) WriteTP(v VTPN, updates []EntryUpdate, fullPage bool) error {
 	if err != nil {
 		return err
 	}
-	lat, err := d.chip.Program(ppn, flash.Meta{Kind: flash.KindTranslation, Tag: int64(v), Seq: d.nextSeq()})
+	lat, err := d.chipProgram(ppn, flash.Meta{Kind: flash.KindTranslation, Tag: int64(v), Seq: d.nextSeq()})
 	if err != nil {
 		return err
 	}

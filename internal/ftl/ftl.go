@@ -100,6 +100,14 @@ type Inspector interface {
 	Snapshot() CacheSnapshot
 }
 
+// GeometryAware is implemented by schemes that size internal structures
+// from the device geometry. NewDevice calls SetGeometry at construction, so
+// a scheme never has to guess the entries-per-translation-page count before
+// its first Translate (whose Env would otherwise be the only source).
+type GeometryAware interface {
+	SetGeometry(entriesPerTP int)
+}
+
 // Warmer is implemented by schemes that must learn the post-format mapping
 // (the optimal FTL holds the whole table in RAM). The harness calls Warm
 // right after Device.Format with the device's persisted-view accessor.

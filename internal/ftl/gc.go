@@ -140,7 +140,7 @@ func (d *Device) collect(blk flash.BlockID) error {
 		}
 	}
 
-	lat, err := d.chip.Erase(blk)
+	lat, err := d.chipErase(blk)
 	if err != nil {
 		return err
 	}
@@ -167,7 +167,7 @@ func (d *Device) migratePage(ppn flash.PPN, meta flash.Meta) (flash.PPN, error) 
 	if meta.Kind == flash.KindTranslation {
 		kind = blockTrans
 	}
-	lat, err := d.chip.Read(ppn)
+	lat, err := d.chipRead(ppn)
 	if err != nil {
 		return flash.InvalidPPN, err
 	}
@@ -180,7 +180,7 @@ func (d *Device) migratePage(ppn flash.PPN, meta flash.Meta) (flash.PPN, error) 
 	// The migrated copy is the newer physical version of the same logical
 	// page; a fresh sequence number lets crash recovery prefer it.
 	meta.Seq = d.nextSeq()
-	lat, err = d.chip.Program(newPPN, meta)
+	lat, err = d.chipProgram(newPPN, meta)
 	if err != nil {
 		return flash.InvalidPPN, err
 	}

@@ -48,6 +48,10 @@ type Metrics struct {
 	FlashPrograms int64
 	FlashErases   int64
 
+	// Fault injection / reliability (see flash.FaultPlan).
+	InjectedFaults int64 // injected chip faults the device observed
+	FaultRetries   int64 // operations retried after a transient fault
+
 	// RespHist is a log2 histogram of response times in microseconds:
 	// bucket i counts responses in [2^(i-1), 2^i) µs (bucket 0: < 1 µs).
 	// It feeds the percentile estimates.

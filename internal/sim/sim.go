@@ -80,6 +80,14 @@ type Options struct {
 	// ResetAfterWarmup, if > 0, serves this many leading requests as
 	// warm-up and zeroes the metrics before the measured phase.
 	ResetAfterWarmup int
+
+	// Faults, if non-nil, is armed on the chip after formatting,
+	// preconditioning and warm-up, so fault indexes land in the measured
+	// workload. Transient faults exercise the device's bounded-retry path
+	// (Metrics.InjectedFaults / FaultRetries); a power-cut plan makes the
+	// run fail with flash.ErrPowerCut — use RunCrash to verify recovery
+	// instead.
+	Faults *flash.FaultPlan
 }
 
 // Sample is one cache-distribution observation (Fig. 1/2 instrumentation).
@@ -249,6 +257,9 @@ func Run(o Options) (*Result, error) {
 		}
 		dev.ResetMetrics()
 		reqs = reqs[warm:]
+	}
+	if o.Faults != nil {
+		dev.Chip().SetFaultPlan(o.Faults)
 	}
 	if _, err := dev.Run(reqs); err != nil {
 		return nil, fmt.Errorf("sim: %s/%s: %w", o.Scheme, profile.Name, err)

@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/buffer"
 	"repro/internal/core"
+	"repro/internal/flash"
 	"repro/internal/ftl"
 	"repro/internal/ftl/blockftl"
 	"repro/internal/ftl/fast"
@@ -68,7 +69,26 @@ type (
 	TraceStats = trace.Stats
 	// ExpConfig scales the paper-evaluation experiment suite.
 	ExpConfig = sim.ExpConfig
+	// FaultPlan is an injectable flash fault schedule: probability faults,
+	// scheduled per-attempt faults and a power cut.
+	FaultPlan = flash.FaultPlan
+	// FaultError is one injected flash fault.
+	FaultError = flash.FaultError
+	// FaultStats counts what a fault plan injected.
+	FaultStats = flash.FaultStats
+	// CrashOptions configures a crash-recovery property run.
+	CrashOptions = sim.CrashOptions
+	// CrashReport aggregates the verified power-cut points of a RunCrash.
+	CrashReport = sim.CrashReport
+	// CutResult is one verified power-cut point.
+	CutResult = sim.CutResult
+	// RecoveredState is the mapping rebuilt by a post-crash OOB scan.
+	RecoveredState = ftl.RecoveredState
 )
+
+// ErrPowerCut is returned by every flash operation once a fault plan's power
+// cut has fired.
+var ErrPowerCut = flash.ErrPowerCut
 
 // The paper's schemes (§2.2 related work included).
 const (
@@ -82,6 +102,15 @@ const (
 
 // Run executes one simulation run.
 func Run(o Options) (*Result, error) { return sim.Run(o) }
+
+// RunCrash replays a seeded workload with power cut at chosen chip-op
+// indexes and verifies that the mapping recovered from on-flash OOB
+// metadata matches the device's last acknowledged state (see sim.RunCrash).
+func RunCrash(o CrashOptions) (*CrashReport, error) { return sim.RunCrash(o) }
+
+// ParseFaultPlan parses the CLI fault-plan syntax, e.g. "cut=12000" or
+// "read=1e-4,program=1e-5,seed=7" (see flash.ParseFaultPlan).
+func ParseFaultPlan(spec string) (*FaultPlan, error) { return flash.ParseFaultPlan(spec) }
 
 // NewDevice builds a simulated SSD around the given policy. Call Format
 // before serving requests.
