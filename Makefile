@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fuzz ci
+.PHONY: build test race vet lint sanitize fuzz ci
 
 build:
 	$(GO) build ./...
@@ -14,9 +14,29 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# Short fuzz pass over the crash-recovery property (seed corpus always runs
-# under plain `go test`; this explores beyond it).
-fuzz:
-	$(GO) test ./internal/sim -run '^$$' -fuzz FuzzCrashRecovery -fuzztime 30s
+# ftlint is the repo's own static-analysis suite (cmd/ftlint): global
+# randomness, cache accounting outside the helpers, discarded flash-chip
+# errors, magic geometry literals. Driven through `go vet -vettool` so it
+# covers _test.go files and every build unit.
+bin/ftlint: FORCE
+	$(GO) build -o bin/ftlint ./cmd/ftlint
 
-ci: vet race
+FORCE:
+
+lint: bin/ftlint
+	$(GO) vet -vettool=$(abspath bin/ftlint) ./...
+
+# The ftlsan build runs the full invariant suite (chip bookkeeping, GTD and
+# truth/persist consistency, translator structure) after every host
+# operation. -short skips the paper-scale runs, whose 300k requests would
+# make the O(pages) per-op checks explode.
+sanitize:
+	$(GO) test -tags ftlsan -short ./...
+
+# Short fuzz pass over the crash-recovery property (seed corpus always runs
+# under plain `go test`; this explores beyond it). Built with -tags ftlsan so
+# every fuzz-discovered sequence also runs under the per-op invariant checks.
+fuzz:
+	$(GO) test -tags ftlsan ./internal/sim -run '^$$' -fuzz FuzzCrashRecovery -fuzztime 30s
+
+ci: vet lint race sanitize

@@ -1,0 +1,90 @@
+// Command ftlint is this repository's static-analysis suite: four
+// repo-specific analyzers that keep the bug classes the fault-injection PR
+// flushed out (global randomness, drifting cache accounting, swallowed flash
+// errors, hardcoded geometry) from coming back.
+//
+// Two modes:
+//
+//	ftlint [packages]            standalone: load packages, analyze, print
+//	go vet -vettool=ftlint ...   driven by go vet, one compilation unit at a
+//	                             time (the mode `make lint` uses; it also
+//	                             covers _test.go files)
+//
+// With no package arguments the standalone mode analyzes ./... . Exit code 1
+// means findings were reported.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/cacheaccount"
+	"repro/internal/analysis/flasherr"
+	"repro/internal/analysis/geometry"
+	"repro/internal/analysis/randsource"
+)
+
+func analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		randsource.Analyzer,
+		cacheaccount.Analyzer,
+		flasherr.Analyzer,
+		geometry.Analyzer,
+	}
+}
+
+func main() {
+	args := os.Args[1:]
+
+	// The go vet driver protocol: identity, flag description, then one
+	// invocation per compilation unit with a JSON config file.
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full" || args[0] == "--V=full":
+			analysis.PrintVersion("ftlint")
+			return
+		case args[0] == "-flags" || args[0] == "--flags":
+			analysis.PrintFlags()
+			return
+		case strings.HasSuffix(args[0], ".cfg"):
+			os.Exit(analysis.RunUnit(args[0], analyzers()))
+		}
+	}
+
+	// Standalone mode.
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	for _, p := range patterns {
+		if strings.HasPrefix(p, "-") {
+			fmt.Fprintf(os.Stderr, "ftlint: unknown flag %s (ftlint takes only package patterns)\n", p)
+			os.Exit(2)
+		}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftlint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.Load(wd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftlint:", err)
+		os.Exit(2)
+	}
+	exit := 0
+	for _, pkg := range pkgs {
+		findings, err := analysis.RunAnalyzers(pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info, analyzers())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ftlint:", err)
+			os.Exit(2)
+		}
+		for _, f := range findings {
+			fmt.Printf("%s: %s (%s)\n", f.Position, f.Message, f.Analyzer)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}

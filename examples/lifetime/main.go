@@ -53,6 +53,7 @@ func main() {
 
 		rng := rand.New(rand.NewSource(7))
 		pages := cfg.LogicalPages()
+		pageBytes := int64(cfg.PageSize)
 		arrival := int64(0)
 		for i := 0; i < 60_000; i++ {
 			var p int64
@@ -62,7 +63,7 @@ func main() {
 				p = rng.Int63n(pages)
 			}
 			arrival += 100_000
-			req := trace.Request{Arrival: arrival, Offset: p * 4096, Length: 4096, Write: true}
+			req := trace.Request{Arrival: arrival, Offset: p * pageBytes, Length: pageBytes, Write: true}
 			if _, err := dev.Serve(req); err != nil {
 				log.Fatal(err)
 			}

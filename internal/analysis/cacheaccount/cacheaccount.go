@@ -1,0 +1,136 @@
+// Package cacheaccount confines TPFTL cache accounting to its helpers.
+//
+// The crash harness caught TPFTL double-charging a TP node on the
+// standalone-update path: an inlined `f.used += ...` drifted from the list
+// mutation it was supposed to mirror, so the budget filled with phantom
+// bytes (§4.4 batch-update/clean-first paths were a near miss of the same
+// shape). The accounting invariant — f.used and f.entries always equal what
+// a walk of the two-level lists counts — is only maintainable if every
+// mutation of either side goes through the handful of helpers that update
+// both together. This analyzer enforces that structurally in package core:
+// outside the allowlisted helpers, no function may write the accounting
+// fields or structurally mutate an lru.List.
+package cacheaccount
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer confines accounting-field writes and LRU-list mutations in the
+// TPFTL package to the allowlisted accounting helpers.
+var Analyzer = &analysis.Analyzer{
+	Name: "cacheaccount",
+	Doc:  "TPFTL cache accounting (used/entries, LRU list structure) may only change inside the accounting helpers",
+	Run:  run,
+}
+
+// PackageNames are the packages the analyzer polices.
+var PackageNames = map[string]bool{"core": true}
+
+// AllowedFuncs are the accounting helpers: the only functions that may write
+// the accounting fields or mutate list structure. Methods are named bare
+// (no receiver).
+var AllowedFuncs = map[string]bool{
+	"newTPNode":   true,
+	"dropTPNode":  true,
+	"addEntry":    true,
+	"removeEntry": true,
+	"touch":       true,
+	"reposition":  true,
+}
+
+// accountingFields are the struct fields charged against the cache budget.
+var accountingFields = map[string]bool{"used": true, "entries": true}
+
+// listMutators are the lru.List methods that change list structure.
+var listMutators = map[string]bool{
+	"PushFront": true, "PushBack": true, "Remove": true,
+	"MoveToFront": true, "MoveToBack": true,
+	"InsertBefore": true, "InsertAfter": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !PackageNames[pass.Pkg.Name()] {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || AllowedFuncs[fn.Name.Name] {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				reportFieldWrite(pass, fn, lhs)
+			}
+		case *ast.IncDecStmt:
+			reportFieldWrite(pass, fn, n.X)
+		case *ast.UnaryExpr:
+			// &f.used escaping would allow writes the analyzer cannot see.
+			if sel, ok := n.X.(*ast.SelectorExpr); ok && n.Op.String() == "&" && accountingFields[sel.Sel.Name] {
+				pass.Reportf(n.Pos(),
+					"taking the address of accounting field %s in %s: accounting may only change inside the accounting helpers",
+					sel.Sel.Name, fn.Name.Name)
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && listMutators[sel.Sel.Name] && isLRUList(pass, sel) {
+				pass.Reportf(n.Pos(),
+					"lru list mutation %s in %s: structural changes may only happen inside the accounting helpers (%s)",
+					sel.Sel.Name, fn.Name.Name, allowedList())
+			}
+		}
+		return true
+	})
+}
+
+func reportFieldWrite(pass *analysis.Pass, fn *ast.FuncDecl, lhs ast.Expr) {
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok || !accountingFields[sel.Sel.Name] {
+		return
+	}
+	// Only struct-field selections count; a local variable named `used`
+	// is not accounting state.
+	if s, ok := pass.TypesInfo.Selections[sel]; !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	pass.Reportf(sel.Pos(),
+		"write to accounting field %s in %s: cache accounting may only change inside the accounting helpers (%s)",
+		sel.Sel.Name, fn.Name.Name, allowedList())
+}
+
+// isLRUList reports whether sel selects a method on lru.List.
+func isLRUList(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return false
+	}
+	t := s.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "List" && obj.Pkg() != nil && obj.Pkg().Name() == "lru"
+}
+
+func allowedList() string {
+	return "newTPNode/dropTPNode/addEntry/removeEntry/touch/reposition"
+}

@@ -1,0 +1,18 @@
+package cacheaccount_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/cacheaccount"
+)
+
+func TestCacheAccount(t *testing.T) {
+	analysistest.Run(t, "testdata", cacheaccount.Analyzer, "core")
+}
+
+// TestOtherPackagesExempt ensures the analyzer is scoped: the same shapes in
+// a package that is not the TPFTL core are not flagged.
+func TestOtherPackagesExempt(t *testing.T) {
+	analysistest.Run(t, "testdata", cacheaccount.Analyzer, "other")
+}

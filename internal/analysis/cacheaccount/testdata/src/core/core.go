@@ -1,0 +1,62 @@
+// Fixture: the PR-1 double-charge shape — inline accounting writes and list
+// mutations outside the helpers — versus the allowlisted helper funcs.
+package core
+
+import "lru"
+
+type FTL struct {
+	pages   lru.List
+	used    int64
+	entries int
+}
+
+type tpNode struct {
+	node    lru.Node
+	entries lru.List
+}
+
+// addEntry is an allowlisted accounting helper: writes are fine here.
+func (f *FTL) addEntry(tp *tpNode, n *lru.Node) {
+	tp.entries.PushFront(n)
+	f.used += 6
+	f.entries++
+}
+
+// removeEntry likewise.
+func (f *FTL) removeEntry(tp *tpNode, n *lru.Node) {
+	tp.entries.Remove(n)
+	f.used -= 6
+	f.entries--
+}
+
+// newTPNode likewise (node charge).
+func (f *FTL) newTPNode(tp *tpNode) {
+	f.pages.PushFront(&tp.node)
+	f.used += 8
+}
+
+// standaloneUpdate reproduces the PR-1 bug shape: accounting inlined at the
+// call site instead of routed through a helper.
+func (f *FTL) standaloneUpdate(tp *tpNode, n *lru.Node) {
+	f.used += 8                   // want `write to accounting field used in standaloneUpdate`
+	f.entries++                   // want `write to accounting field entries in standaloneUpdate`
+	tp.entries.PushFront(n)       // want `lru list mutation PushFront in standaloneUpdate`
+	f.pages.MoveToFront(&tp.node) // want `lru list mutation MoveToFront in standaloneUpdate`
+}
+
+// evictSideChannel shows the aliasing escape hatch is closed too.
+func (f *FTL) evictSideChannel() *int64 {
+	return &f.used // want `taking the address of accounting field used in evictSideChannel`
+}
+
+// readOnly demonstrates reads and non-mutating list walks stay allowed.
+func (f *FTL) readOnly() int64 {
+	total := int64(0)
+	for n := f.pages.Front(); n != nil; n = nil {
+		_ = n
+		total += f.used
+	}
+	used := int64(0) // a local named `used` is not accounting state
+	used++
+	return total + used + int64(f.pages.Len())
+}

@@ -1,0 +1,23 @@
+// Fixture stand-in for repro/internal/lru.
+package lru
+
+type Node struct {
+	prev, next *Node
+	Value      any
+}
+
+type List struct {
+	front, back *Node
+	size        int
+}
+
+func (l *List) Len() int                   { return l.size }
+func (l *List) Front() *Node               { return l.front }
+func (l *List) Back() *Node                { return l.back }
+func (l *List) PushFront(n *Node)          {}
+func (l *List) PushBack(n *Node)           {}
+func (l *List) Remove(n *Node)             {}
+func (l *List) MoveToFront(n *Node)        {}
+func (l *List) MoveToBack(n *Node)         {}
+func (l *List) InsertBefore(n, mark *Node) {}
+func (l *List) InsertAfter(n, mark *Node)  {}

@@ -1,0 +1,14 @@
+// Fixture: identical shapes in a non-core package are out of scope.
+package other
+
+import "lru"
+
+type cache struct {
+	list lru.List
+	used int64
+}
+
+func (c *cache) grow(n *lru.Node) {
+	c.list.PushFront(n)
+	c.used += 8
+}

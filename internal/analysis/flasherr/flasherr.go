@@ -1,0 +1,113 @@
+// Package flasherr is errcheck scoped to flash-chip operations.
+//
+// The fault-injection harness only works if every chip error propagates: a
+// single dropped error from Chip.Read/Program/Erase/Invalidate turns an
+// injected fault (or a power cut) into silent mapping corruption, which the
+// crash-recovery property then blames on the translator under test. This
+// analyzer flags any call of those methods on a flash.Chip whose error
+// result is discarded — used as a bare statement, assigned to the blank
+// identifier, or launched via go/defer where the result is unrecoverable.
+package flasherr
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags discarded errors from flash chip operations.
+var Analyzer = &analysis.Analyzer{
+	Name: "flasherr",
+	Doc:  "require every flash.Chip Read/Program/Erase/Invalidate error to be consumed",
+	Run:  run,
+}
+
+// chipOps maps the guarded method names to the index of their error result.
+var chipOps = map[string]int{
+	"Read":       1, // (time.Duration, error)
+	"Program":    1,
+	"Erase":      1,
+	"Invalidate": 0, // error
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if errIdx, ok := chipCall(pass, call); ok && !errorConsumed(stack, call, errIdx) {
+					sel := call.Fun.(*ast.SelectorExpr)
+					pass.Reportf(call.Pos(),
+						"error from flash chip %s is discarded: fault injection must never be silently swallowed",
+						sel.Sel.Name)
+				}
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// chipCall reports whether call is a guarded method on a flash.Chip and the
+// index of its error result.
+func chipCall(pass *analysis.Pass, call *ast.CallExpr) (int, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return 0, false
+	}
+	errIdx, ok := chipOps[sel.Sel.Name]
+	if !ok {
+		return 0, false
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return 0, false
+	}
+	t := s.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return 0, false
+	}
+	obj := named.Obj()
+	return errIdx, obj.Name() == "Chip" && obj.Pkg() != nil && obj.Pkg().Name() == "flash"
+}
+
+// errorConsumed reports whether the call's error result reaches a consumer.
+// stack holds the ancestors of call, innermost last.
+func errorConsumed(stack []ast.Node, call *ast.CallExpr, errIdx int) bool {
+	if len(stack) == 0 {
+		return true
+	}
+	switch parent := stack[len(stack)-1].(type) {
+	case *ast.ExprStmt:
+		return false
+	case *ast.GoStmt, *ast.DeferStmt:
+		return false
+	case *ast.AssignStmt:
+		// Multi-value assignment `lat, err := chip.Read(p)`: the error is
+		// consumed unless its slot is the blank identifier.
+		if len(parent.Rhs) == 1 && parent.Rhs[0] == call && errIdx < len(parent.Lhs) {
+			if id, ok := parent.Lhs[errIdx].(*ast.Ident); ok && id.Name == "_" {
+				return false
+			}
+		}
+	case *ast.ValueSpec:
+		if len(parent.Values) == 1 && parent.Values[0] == call && errIdx < len(parent.Names) {
+			if parent.Names[errIdx].Name == "_" {
+				return false
+			}
+		}
+	}
+	// Return statements, if-assignments, arguments to other calls and so on
+	// all hand the error to code that must itself check it.
+	return true
+}

@@ -1,0 +1,12 @@
+package flasherr_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/flasherr"
+)
+
+func TestFlashErr(t *testing.T) {
+	analysistest.Run(t, "testdata", flasherr.Analyzer, "a")
+}

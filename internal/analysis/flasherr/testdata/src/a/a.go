@@ -1,0 +1,47 @@
+// Fixture: flash-op error handling, good and bad shapes.
+package a
+
+import (
+	"time"
+
+	"flash"
+)
+
+func bad(c *flash.Chip) {
+	c.Read(1)                            // want `error from flash chip Read is discarded`
+	c.Program(2, flash.Meta{})           // want `error from flash chip Program is discarded`
+	c.Erase(3)                           // want `error from flash chip Erase is discarded`
+	c.Invalidate(4)                      // want `error from flash chip Invalidate is discarded`
+	_, _ = c.Read(5)                     // want `error from flash chip Read is discarded`
+	lat, _ := c.Program(6, flash.Meta{}) // want `error from flash chip Program is discarded`
+	_ = lat
+	go c.Erase(7)   // want `error from flash chip Erase is discarded`
+	defer c.Read(8) // want `error from flash chip Read is discarded`
+}
+
+func good(c *flash.Chip) (time.Duration, error) {
+	if _, err := c.Read(1); err != nil {
+		return 0, err
+	}
+	lat, err := c.Program(2, flash.Meta{})
+	if err != nil {
+		return 0, err
+	}
+	if err := c.Invalidate(3); err != nil {
+		return 0, err
+	}
+	retry := func(op func() (time.Duration, error)) (time.Duration, error) { return op() }
+	if _, err := retry(func() (time.Duration, error) { return c.Erase(4) }); err != nil {
+		return 0, err
+	}
+	return lat, nil
+}
+
+type notChip struct{}
+
+func (notChip) Read(int) (time.Duration, error) { return 0, nil }
+
+func otherType() {
+	var n notChip
+	n.Read(1) // different receiver type: not a flash op
+}

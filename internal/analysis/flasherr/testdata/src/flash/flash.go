@@ -1,0 +1,18 @@
+// Fixture stand-in for repro/internal/flash: the analyzer matches the
+// method set of a named Chip type in a package named flash.
+package flash
+
+import "time"
+
+type PPN int64
+
+type BlockID int32
+
+type Meta struct{ Tag int64 }
+
+type Chip struct{}
+
+func (c *Chip) Read(p PPN) (time.Duration, error)            { return 0, nil }
+func (c *Chip) Program(p PPN, m Meta) (time.Duration, error) { return 0, nil }
+func (c *Chip) Erase(b BlockID) (time.Duration, error)       { return 0, nil }
+func (c *Chip) Invalidate(p PPN) error                       { return nil }

@@ -1,0 +1,106 @@
+// Package geometry flags magic flash-geometry literals.
+//
+// The crash harness of the fault-injection PR surfaced translators that
+// hardcoded the 4 KB page / 1024 entries-per-translation-page geometry and
+// silently mis-sliced translation pages on any other device shape; the fix
+// threaded geometry from ftl.Config / the chip through GeometryAware. This
+// analyzer keeps the class dead: the literals 4096, 1024 and 512 may not
+// appear as bare expressions outside the two places geometry is defined —
+// package flash (the chip owns its geometry) and the ftl configuration file
+// (Table 3 defaults). Named constants, shifted size expressions (512<<20 is
+// a capacity, not a geometry), and tests are exempt.
+package geometry
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags magic page-geometry literals outside flash and ftl.Config.
+var Analyzer = &analysis.Analyzer{
+	Name: "geometry",
+	Doc:  "flag magic 4096/1024/512 geometry literals; thread geometry from ftl.Config or the chip instead",
+	Run:  run,
+}
+
+// literals are the geometry constants of the paper's device (Table 3):
+// page size, entries per translation page, sector size.
+var literals = map[string]bool{"4096": true, "1024": true, "512": true}
+
+// StrictOnly lists the literals flagged only inside StrictPrefixes packages.
+// 1024 and 512 double as unit-conversion divisors in CLIs and examples
+// (KB formatting), so only library code is held to them; 4096 is always a
+// page size in this repository and is flagged everywhere.
+var StrictOnly = map[string]bool{"1024": true, "512": true}
+
+// StrictPrefixes are the import-path prefixes treated as library code.
+var StrictPrefixes = []string{"repro/internal/"}
+
+// AllowedPackages are package names that define geometry rather than
+// consume it.
+var AllowedPackages = map[string]bool{"flash": true}
+
+// AllowedFiles are file basenames (within package ftl) where the Table 3
+// defaults legitimately live as literals.
+var AllowedFiles = map[string]bool{"config.go": true}
+
+func run(pass *analysis.Pass) (any, error) {
+	if AllowedPackages[pass.Pkg.Name()] {
+		return nil, nil
+	}
+	strict := false
+	for _, p := range StrictPrefixes {
+		if strings.HasPrefix(pass.Pkg.Path(), p) {
+			strict = true
+		}
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		if pass.Pkg.Name() == "ftl" && AllowedFiles[pass.FileBase(file.Pos())] {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GenDecl:
+				// A named constant is the sanctioned way to spell a
+				// geometry default; skip the whole declaration.
+				if n.Tok == token.CONST {
+					return false
+				}
+			case *ast.BinaryExpr:
+				// 512<<20 and friends size capacities, not pages.
+				if n.Op == token.SHL || n.Op == token.SHR {
+					if lit, ok := n.X.(*ast.BasicLit); ok && lit.Kind == token.INT && literals[lit.Value] {
+						ast.Inspect(n.Y, inspectLit(pass, strict))
+						return false
+					}
+				}
+			case *ast.BasicLit:
+				inspectLit(pass, strict)(n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func inspectLit(pass *analysis.Pass, strict bool) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		lit, ok := n.(*ast.BasicLit)
+		if !ok || lit.Kind != token.INT || !literals[lit.Value] {
+			return true
+		}
+		if StrictOnly[lit.Value] && !strict {
+			return true
+		}
+		pass.Reportf(lit.Pos(),
+			"magic geometry literal %s: thread the page geometry from ftl.Config or the chip (or name a constant)",
+			lit.Value)
+		return true
+	}
+}

@@ -1,0 +1,21 @@
+package geometry_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/geometry"
+)
+
+func TestGeometry(t *testing.T) {
+	analysistest.Run(t, "testdata", geometry.Analyzer, "geo")
+}
+
+// TestGeometryStrict covers the library-only literals (1024/512) by treating
+// the fixture as library code.
+func TestGeometryStrict(t *testing.T) {
+	old := geometry.StrictPrefixes
+	geometry.StrictPrefixes = []string{"strictgeo"}
+	defer func() { geometry.StrictPrefixes = old }()
+	analysistest.Run(t, "testdata", geometry.Analyzer, "strictgeo")
+}

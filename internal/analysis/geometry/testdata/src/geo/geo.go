@@ -1,0 +1,28 @@
+// Fixture: the pre-fix shape of the translators — hardcoded 4 KB page
+// geometry — versus named constants and capacity shifts.
+package geo
+
+const entryBytes = 4
+
+// pageBytes is allowed: a named constant is how a default should be spelled.
+const pageBytes = 4096
+
+func perTP() int {
+	return 4096 / entryBytes // want `magic geometry literal 4096`
+}
+
+func offset(lpn int64) int64 {
+	return lpn * 4096 // want `magic geometry literal 4096`
+}
+
+func capacityNotGeometry() int64 {
+	return 512 << 20 // shifted capacities are sizes, not page geometry
+}
+
+func kbFormatting(n int64) int64 {
+	return n / 1024 // 1024 is only flagged in library (strict) packages
+}
+
+func threaded(pageSize int) int {
+	return pageSize / entryBytes
+}

@@ -1,0 +1,14 @@
+// Fixture for library-code strictness: 1024 and 512 are geometry here.
+package strictgeo
+
+func entriesPerTP() int {
+	return 1024 // want `magic geometry literal 1024`
+}
+
+func sectorQuantize(n int64) int64 {
+	return (n + 511) / 512 * 512 // want `magic geometry literal 512` `magic geometry literal 512`
+}
+
+func capacity() int64 {
+	return 512 << 20 // still exempt: capacity shift
+}

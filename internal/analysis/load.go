@@ -1,0 +1,129 @@
+// Standalone package loading for ftlint and analysistest.
+//
+// The loader shells out to `go list -deps -export -json`, which compiles
+// every package in the dependency graph and reports the export-data file the
+// compiler produced. Target packages are then parsed and type-checked from
+// source while all imports — standard library and module-internal alike —
+// resolve through the gc importer over that export data. This mirrors what
+// `go vet` does per compilation unit, without needing x/tools or network
+// access, and the go build cache makes repeat runs cheap.
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// listedPackage is the subset of `go list -json` output the loader consumes.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// LoadedPackage is one parsed, type-checked target package.
+type LoadedPackage struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// Load lists patterns in dir (a directory inside a module), type-checks every
+// package belonging to that module, and returns them sorted by import path.
+func Load(dir string, patterns ...string) ([]*LoadedPackage, error) {
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := make(map[string]string) // import path → export data file
+	var targets []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.Module != nil && !p.Standard {
+			q := p
+			targets = append(targets, &q)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	var out []*LoadedPackage
+	for _, t := range targets {
+		lp, err := typeCheckDir(fset, imp, t.ImportPath, t.Dir, t.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, lp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+// typeCheckDir parses the named files of one package and type-checks them
+// with the given importer.
+func typeCheckDir(fset *token.FileSet, imp types.Importer, importPath, dir string, goFiles []string) (*LoadedPackage, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", importPath, err)
+	}
+	return &LoadedPackage{
+		ImportPath: importPath,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		Info:       info,
+	}, nil
+}

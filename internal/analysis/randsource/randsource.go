@@ -1,0 +1,68 @@
+// Package randsource forbids the global math/rand source in library and CLI
+// code.
+//
+// Every simulation component in this repository draws randomness from a
+// seeded *rand.Rand it owns (the device RNG introduced with the
+// fault-injection harness, workload generators, the crash-cut chooser), so a
+// run is bit-for-bit reproducible from its configured seeds. A single call to
+// a math/rand top-level function — rand.Intn, rand.Shuffle, ... — reads the
+// shared process-global source and silently breaks that property. The
+// constructors (rand.New, rand.NewSource, rand.NewZipf) are exactly the fix,
+// so they stay allowed; tests are exempt.
+package randsource
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags calls (and other uses) of math/rand top-level functions
+// that operate on the package-global source.
+var Analyzer = &analysis.Analyzer{
+	Name: "randsource",
+	Doc:  "forbid the global math/rand source in non-test code; use a locally seeded *rand.Rand",
+	Run:  run,
+}
+
+// forbidden are the math/rand (and math/rand/v2) top-level functions backed
+// by the shared global source.
+var forbidden = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Int32": true, "Int32N": true,
+	"Int64": true, "Int64N": true, "IntN": true, "N": true,
+	"Uint32": true, "Uint64": true, "Uint32N": true, "Uint64N": true,
+	"Uint": true, "UintN": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || !forbidden[sel.Sel.Name] {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			if p := pkgName.Imported().Path(); p == "math/rand" || p == "math/rand/v2" {
+				pass.Reportf(sel.Pos(),
+					"use of global %s.%s: draw from a locally seeded *rand.Rand so runs are reproducible",
+					p, sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

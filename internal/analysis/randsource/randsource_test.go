@@ -1,0 +1,12 @@
+package randsource_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/randsource"
+)
+
+func TestRandSource(t *testing.T) {
+	analysistest.Run(t, "testdata", randsource.Analyzer, "a")
+}

@@ -1,0 +1,33 @@
+// Fixture: the pre-fix shape of examples/lifetime and cmd/experiments —
+// drawing from the global math/rand source — versus the seeded-local fix.
+package a
+
+import (
+	"math/rand"
+)
+
+func global() int64 {
+	rand.Seed(7)           // want `global math/rand\.Seed`
+	if rand.Intn(10) < 9 { // want `global math/rand\.Intn`
+		return rand.Int63n(64) // want `global math/rand\.Int63n`
+	}
+	rand.Shuffle(3, func(i, j int) {}) // want `global math/rand\.Shuffle`
+	return int64(rand.Float64() * 100) // want `global math/rand\.Float64`
+}
+
+func local() int64 {
+	rng := rand.New(rand.NewSource(7)) // constructors are the fix: allowed
+	if rng.Intn(10) < 9 {
+		return rng.Int63n(64)
+	}
+	return 0
+}
+
+type rand2 struct{}
+
+func (rand2) Intn(n int) int { return 0 }
+
+func notThepackage() int {
+	var rand rand2 // shadows the import: method calls are fine
+	return rand.Intn(5)
+}

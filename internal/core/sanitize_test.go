@@ -1,0 +1,44 @@
+//go:build ftlsan
+
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSanitizerDetectsAccountingCorruption injects exactly the bug class the
+// fault-injection PR flushed out — cache-accounting counters skewed outside
+// the accounting helpers — and asserts the very next host operation fails
+// with an ftlsan-attributed error instead of the run silently continuing on
+// a wrong cache budget.
+func TestSanitizerDetectsAccountingCorruption(t *testing.T) {
+	corruptions := []struct {
+		name    string
+		corrupt func(*FTL)
+	}{
+		// The PR-1 double-charge shape: used drifts from what the
+		// structures it summarizes actually cost.
+		{"used", func(f *FTL) { f.used += f.entryBytes }},
+		// The entry population counter drifts from the lists.
+		{"entries", func(f *FTL) { f.entries++ }},
+	}
+	for _, c := range corruptions {
+		t.Run(c.name, func(t *testing.T) {
+			d, tr := newTPFTLDevice(t, Config{}, 4<<10)
+			for i := int64(0); i < 32; i++ {
+				if _, err := d.Serve(wr(i*1000, i%19)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			c.corrupt(tr)
+			_, err := d.Serve(wr(1_000_000, 3))
+			if err == nil {
+				t.Fatalf("sanitizer missed injected %s corruption", c.name)
+			}
+			if !strings.Contains(err.Error(), "ftlsan[") {
+				t.Fatalf("error not attributed to the sanitizer: %v", err)
+			}
+		})
+	}
+}

@@ -208,7 +208,7 @@ func New(cfg Config) *FTL {
 	}
 	ePerTP := cfg.EntriesPerTP
 	if ePerTP <= 0 {
-		ePerTP = 4096 / ftl.EntryBytesInFlash
+		ePerTP = ftl.DefaultEntriesPerTP
 	}
 	return &FTL{
 		cfg:        cfg,

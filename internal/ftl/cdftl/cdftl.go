@@ -73,7 +73,7 @@ func New(cfg Config) *FTL {
 		cfg.EntryBytes = ftl.EntryBytesRAM
 	}
 	if cfg.PageBytes == 0 {
-		cfg.PageBytes = 4096 + 8
+		cfg.PageBytes = ftl.DefaultPageBytes + 8
 	}
 	cmtBytes := int64(float64(cfg.CacheBytes) * cfg.CMTFraction)
 	cmtCap := int(cmtBytes / int64(cfg.EntryBytes))
@@ -90,7 +90,7 @@ func New(cfg Config) *FTL {
 		ctpCap: ctpCap,
 		cmt:    make(map[ftl.LPN]*cmtEntry),
 		ctp:    make(map[ftl.VTPN]*ctpPage),
-		ePerTP: 4096 / ftl.EntryBytesInFlash,
+		ePerTP: ftl.DefaultEntriesPerTP,
 	}
 }
 

@@ -6,6 +6,18 @@ import (
 	"repro/internal/flash"
 )
 
+// Default flash geometry (the paper's Table 3 configuration). Anything that
+// needs a page size without a Config in hand — translator constructors sizing
+// cache slots, capacity math in the harness — should name these rather than
+// repeat the numbers; the geometry analyzer in cmd/ftlint enforces that.
+const (
+	// DefaultPageBytes is the default flash page size (4 KB).
+	DefaultPageBytes = 4096
+	// DefaultEntriesPerTP is the number of 4 B mapping entries in one
+	// translation page of the default geometry.
+	DefaultEntriesPerTP = DefaultPageBytes / EntryBytesInFlash
+)
+
 // Config describes a simulated SSD.
 type Config struct {
 	// LogicalBytes is the advertised device capacity.
@@ -80,7 +92,7 @@ func (p GCPolicy) String() string {
 func DefaultConfig(logicalBytes int64) Config {
 	return Config{
 		LogicalBytes:  logicalBytes,
-		PageSize:      4096,
+		PageSize:      DefaultPageBytes,
 		PagesPerBlock: 64,
 		OverProvision: 0.15,
 		ReadLatency:   25 * time.Microsecond,
@@ -95,7 +107,7 @@ func DefaultConfig(logicalBytes int64) Config {
 // block). This yields 8 KB for a 512 MB device and 256 KB for 16 GB,
 // matching §5.1.
 func DefaultCacheBytes(logicalBytes int64) int64 {
-	blockBytes := int64(4096 * 64)
+	blockBytes := int64(DefaultPageBytes * 64)
 	blocks := (logicalBytes + blockBytes - 1) / blockBytes
 	return blocks * 4
 }
@@ -103,7 +115,7 @@ func DefaultCacheBytes(logicalBytes int64) int64 {
 // normalize fills defaults and derives sizes.
 func (c Config) normalize() Config {
 	if c.PageSize == 0 {
-		c.PageSize = 4096
+		c.PageSize = DefaultPageBytes
 	}
 	if c.PagesPerBlock == 0 {
 		c.PagesPerBlock = 64
@@ -130,7 +142,7 @@ func (c Config) normalize() Config {
 func (c Config) LogicalPages() int64 {
 	ps := c.PageSize
 	if ps == 0 {
-		ps = 4096
+		ps = DefaultPageBytes
 	}
 	return c.LogicalBytes / int64(ps)
 }

@@ -250,7 +250,28 @@ func (d *Device) Serve(req trace.Request) (time.Duration, error) {
 		d.m.MaxResponse = resp
 	}
 	d.m.ObserveResponse(resp)
+	if SanitizerEnabled {
+		if err := d.sanitize(); err != nil {
+			return 0, err
+		}
+	}
 	return resp, nil
+}
+
+// sanitize runs the per-operation invariant suite when the binary is built
+// with -tags ftlsan: full device consistency (chip bookkeeping, GTD,
+// truth/persist against the translator's dirty set) plus the translator's
+// own structural checks, when it exposes them.
+func (d *Device) sanitize() error {
+	var dirty map[LPN]flash.PPN
+	if t, ok := d.tr.(interface{ DirtyCached() map[LPN]flash.PPN }); ok {
+		dirty = t.DirtyCached()
+	}
+	checks := []func() error{func() error { return d.CheckConsistency(dirty) }}
+	if t, ok := d.tr.(interface{ CheckInvariants() error }); ok {
+		checks = append(checks, t.CheckInvariants)
+	}
+	return SanitizeCheck(d.tr.Name(), checks...)
 }
 
 // Run serves every request and returns the accumulated metrics.

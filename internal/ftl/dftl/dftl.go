@@ -71,7 +71,7 @@ func New(cfg Config) *FTL {
 		capacity: capacity,
 		entries:  make(map[ftl.LPN]*entry, capacity),
 		protCap:  int(float64(capacity) * cfg.ProtectedFraction),
-		ePerTP:   4096 / ftl.EntryBytesInFlash,
+		ePerTP:   ftl.DefaultEntriesPerTP,
 	}
 }
 

@@ -172,6 +172,11 @@ func (d *Device) Serve(req trace.Request) (time.Duration, error) {
 	if resp > d.m.MaxResponse {
 		d.m.MaxResponse = resp
 	}
+	if ftl.SanitizerEnabled {
+		if err := ftl.SanitizeCheck("fast", d.CheckConsistency); err != nil {
+			return 0, err
+		}
+	}
 	return resp, nil
 }
 

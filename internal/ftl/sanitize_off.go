@@ -1,0 +1,15 @@
+//go:build !ftlsan
+
+package ftl
+
+// SanitizerEnabled reports whether this binary was built with -tags ftlsan.
+// In the default build it is a constant false, so every `if SanitizerEnabled`
+// guard — and the O(pages) invariant walks behind it — compiles away.
+const SanitizerEnabled = false
+
+// SanitizerChecks returns the number of invariant checks executed; always
+// zero without -tags ftlsan.
+func SanitizerChecks() int64 { return 0 }
+
+// SanitizeCheck is a no-op without -tags ftlsan.
+func SanitizeCheck(string, ...func() error) error { return nil }

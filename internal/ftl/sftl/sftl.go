@@ -101,7 +101,7 @@ func New(cfg Config) *FTL {
 		bufBudget:  buf,
 		byVTPN:     make(map[ftl.VTPN]*cachedPage),
 		buffer:     make(map[ftl.VTPN]map[int32]flash.PPN),
-		ePerTP:     4096 / ftl.EntryBytesInFlash,
+		ePerTP:     ftl.DefaultEntriesPerTP,
 	}
 }
 

@@ -60,7 +60,7 @@ func New(cfg Config) *FTL {
 	if cfg.Tier1Entries == 0 {
 		cfg.Tier1Entries = 64
 	}
-	tier2Cap := int(cfg.CacheBytes / (4096 + 8))
+	tier2Cap := int(cfg.CacheBytes / (ftl.DefaultPageBytes + 8))
 	if tier2Cap < 1 {
 		tier2Cap = 1
 	}
@@ -73,7 +73,7 @@ func New(cfg Config) *FTL {
 		zone:     -1,
 		tier2:    make(map[ftl.VTPN]*tier2Page),
 		tier1:    make(map[ftl.LPN]flash.PPN),
-		ePerTP:   4096 / ftl.EntryBytesInFlash,
+		ePerTP:   ftl.DefaultEntriesPerTP,
 	}
 }
 

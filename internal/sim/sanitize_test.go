@@ -1,0 +1,83 @@
+//go:build ftlsan
+
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ftl"
+	"repro/internal/ftl/blockftl"
+	"repro/internal/ftl/fast"
+	"repro/internal/ftl/hybrid"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TestSanitizerRunsPerScheme serves a short seeded workload through every
+// translator scheme and asserts the ftlsan per-operation hooks actually ran:
+// the global check counter must advance during each run.
+func TestSanitizerRunsPerScheme(t *testing.T) {
+	if !ftl.SanitizerEnabled {
+		t.Fatal("test built without -tags ftlsan")
+	}
+	schemes := append(Schemes(), SchemeCDFTL, SchemeZFTL)
+	for _, s := range schemes {
+		t.Run(string(s), func(t *testing.T) {
+			before := ftl.SanitizerChecks()
+			r, err := Run(Options{
+				Scheme:   s,
+				Profile:  workload.Financial1().Scale(16 << 20),
+				Requests: 400,
+				Seed:     11,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.M.Requests != 400 {
+				t.Fatalf("requests = %d, want 400", r.M.Requests)
+			}
+			if got := ftl.SanitizerChecks(); got <= before {
+				t.Fatalf("sanitizer checks did not advance: %d -> %d", before, got)
+			}
+		})
+	}
+}
+
+// TestSanitizerRunsStandaloneDevices covers the devices that do not go
+// through ftl.Device — hybrid, FAST, and the block-level FTL gate their own
+// Serve with ftl.SanitizeCheck.
+func TestSanitizerRunsStandaloneDevices(t *testing.T) {
+	cfg := ftl.DefaultConfig(8 << 20)
+
+	type server interface {
+		Serve(trace.Request) (time.Duration, error)
+	}
+	devices := []struct {
+		name  string
+		build func() (server, error)
+	}{
+		{"hybrid", func() (server, error) { return hybrid.New(hybrid.Config{Device: cfg}) }},
+		{"fast", func() (server, error) { return fast.New(fast.Config{Device: cfg}) }},
+		{"blockftl", func() (server, error) { return blockftl.New(cfg) }},
+	}
+	for _, d := range devices {
+		t.Run(d.name, func(t *testing.T) {
+			dev, err := d.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			before := ftl.SanitizerChecks()
+			page := int64(cfg.PageSize)
+			for i := int64(0); i < 64; i++ {
+				req := trace.Request{Arrival: i * 1000, Offset: (i % 37) * page, Length: page, Write: true}
+				if _, err := dev.Serve(req); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if got := ftl.SanitizerChecks(); got <= before {
+				t.Fatalf("sanitizer checks did not advance: %d -> %d", before, got)
+			}
+		})
+	}
+}

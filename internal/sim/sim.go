@@ -115,7 +115,7 @@ type Result struct {
 // FullTableBytes returns the size of the entire page-level mapping table for
 // an address space (8 B per entry), the unit of Options.CacheFraction.
 func FullTableBytes(addressSpace int64) int64 {
-	return addressSpace / 4096 * ftl.EntryBytesRAM
+	return addressSpace / ftl.DefaultPageBytes * ftl.EntryBytesRAM
 }
 
 // NewTranslator constructs the translator for a scheme.

@@ -100,6 +100,11 @@ func (s Stats) SeqWriteRatio() float64 {
 	return float64(s.SeqWrites) / float64(s.Writes)
 }
 
+// summaryPageBytes is the page size Summarize counts page accesses in. The
+// trace package cannot see ftl.Config (ftl imports trace), so the 4 KB
+// convention is named here.
+const summaryPageBytes = 4096
+
 // Summarize computes stream statistics over reqs using 4 KB pages.
 func Summarize(reqs []Request) Stats {
 	var s Stats
@@ -122,7 +127,7 @@ func Summarize(reqs []Request) Stats {
 		if r.End() > s.MaxEnd {
 			s.MaxEnd = r.End()
 		}
-		s.PageAccesses += int64(r.PageCount(4096))
+		s.PageAccesses += int64(r.PageCount(summaryPageBytes))
 	}
 	return s
 }

@@ -207,6 +207,9 @@ func (p Profile) Scale(size int64) Profile {
 // pageSize is the unit sequential runs and hot ranges are expressed in.
 const pageSize = 4096
 
+// sectorBytes quantizes generated request lengths (512 B disk sectors).
+const sectorBytes = 512
+
 // Generator produces a request stream for a profile. It is deterministic
 // for a given seed.
 type Generator struct {
@@ -282,9 +285,9 @@ func (g *Generator) Next() trace.Request {
 	// Request length: exponential around the mean, quantized to 512 B
 	// sectors, at least one sector, capped at 64 pages.
 	length := int64(g.rng.ExpFloat64() * float64(p.AvgRequestBytes))
-	length = (length + 511) / 512 * 512
-	if length < 512 {
-		length = 512
+	length = (length + sectorBytes - 1) / sectorBytes * sectorBytes
+	if length < sectorBytes {
+		length = sectorBytes
 	}
 	if max := int64(64 * pageSize); length > max {
 		length = max
