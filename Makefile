@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint sanitize fuzz ci
+.PHONY: build test race vet lint sanitize fuzz bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -39,4 +39,10 @@ sanitize:
 fuzz:
 	$(GO) test -tags ftlsan ./internal/sim -run '^$$' -fuzz FuzzCrashRecovery -fuzztime 30s
 
-ci: vet lint race sanitize
+# Short queue-depth sweep over the parallel backend under the race detector:
+# the serial golden must hold bit-for-bit, the 4-channel QD sweep must be
+# monotone, and QD8 on 4 channels must beat 1 channel by ≥2×.
+bench-smoke:
+	$(GO) test -race ./internal/sim -run 'TestSerialGoldenCompatibility|TestSchedulerDeterminism|TestParallelSpeedup|TestQueueDepthSweepSmoke' -v
+
+ci: vet lint race sanitize bench-smoke

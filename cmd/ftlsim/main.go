@@ -43,11 +43,15 @@ func main() {
 		wearLevel = flag.Int("wearlevel", 0, "static wear-leveling threshold in erases (0 = off)")
 		faults    = flag.String("faults", "", "fault plan, e.g. \"read=1e-4,program=1e-5\" or \"cut=12000\" (cut= switches to the crash-recovery harness)")
 		cuts      = flag.Int("cuts", 0, "verify crash recovery at this many random power-cut points instead of measuring")
+		channels  = flag.Int("channels", ftl.DefaultChannels, "flash channels (parallel backend geometry)")
+		dies      = flag.Int("dies", ftl.DefaultDies, "dies per channel")
+		qd        = flag.Int("qd", 1, "queue depth: N requests in flight closed-loop; 0 replays arrival times open-loop")
+		tplace    = flag.String("tplace", "striped", "translation-page placement on a multi-channel device: striped, pinned")
 	)
 	flag.Parse()
 	if err := run(*scheme, *wl, *requests, *seed, *scale, *cache, *fraction,
 		*warmup, *precond, *traceFile, *format, *space, *variant, *gcPolicy, *wearLevel,
-		*faults, *cuts); err != nil {
+		*faults, *cuts, *channels, *dies, *qd, *tplace); err != nil {
 		fmt.Fprintln(os.Stderr, "ftlsim:", err)
 		os.Exit(1)
 	}
@@ -55,7 +59,7 @@ func main() {
 
 func run(scheme, wl string, requests int, seed, scale, cache int64, fraction float64,
 	warmup int, precond float64, traceFile, format string, space int64, variant, gcPolicy string, wearLevel int,
-	faults string, cuts int) error {
+	faults string, cuts, channels, dies, qd int, tplace string) error {
 	profile, err := workload.ProfileByName(wl)
 	if err != nil {
 		return err
@@ -69,6 +73,18 @@ func run(scheme, wl string, requests int, seed, scale, cache int64, fraction flo
 		CacheBytes:    cache,
 		CacheFraction: fraction,
 		Precondition:  precond,
+		Channels:      channels,
+		Dies:          dies,
+		QueueDepth:    qd,
+		OpenLoop:      qd == 0,
+	}
+	switch tplace {
+	case "", "striped":
+		opts.TransPlacement = ftl.TPStriped
+	case "pinned":
+		opts.TransPlacement = ftl.TPPinned
+	default:
+		return fmt.Errorf("unknown translation placement %q", tplace)
 	}
 	switch gcPolicy {
 	case "", "greedy":
@@ -101,14 +117,17 @@ func run(scheme, wl string, requests int, seed, scale, cache int64, fraction flo
 			return fmt.Errorf("-cuts/-faults cut= verify generated workloads only (trace replay is not supported)")
 		}
 		co := tpftl.CrashOptions{
-			Scheme:       opts.Scheme,
-			TPFTL:        opts.TPFTL,
-			Profile:      opts.Profile,
-			AddressSpace: opts.AddressSpace,
-			Requests:     requests,
-			Seed:         seed,
-			CacheBytes:   cache,
-			Cuts:         cuts,
+			Scheme:         opts.Scheme,
+			TPFTL:          opts.TPFTL,
+			Profile:        opts.Profile,
+			AddressSpace:   opts.AddressSpace,
+			Requests:       requests,
+			Seed:           seed,
+			CacheBytes:     cache,
+			Cuts:           cuts,
+			Channels:       channels,
+			Dies:           dies,
+			TransPlacement: opts.TransPlacement,
 		}
 		if plan != nil {
 			co.CutAtOp = plan.CutAtOp
@@ -197,6 +216,19 @@ func printResult(r *tpftl.Result) {
 		m.ResponsePercentile(0.50), m.ResponsePercentile(0.95), m.ResponsePercentile(0.99))
 	fmt.Printf("write amplification       %8.3f\n", m.WriteAmplification())
 	fmt.Printf("block erases              %8d\n", m.FlashErases)
+	if m.Channels > 1 || m.DiesPerChannel > 1 || m.MaxQueueDepth > 1 {
+		fmt.Println()
+		fmt.Printf("backend                   %d channels × %d dies, elapsed %v\n",
+			m.Channels, m.DiesPerChannel, m.Elapsed)
+		fmt.Printf("throughput                %8.0f req/s\n", m.Throughput())
+		if m.MaxQueueDepth > 0 {
+			fmt.Printf("queue depth               %8.2f avg, %d max\n",
+				m.AvgQueueDepth(), m.MaxQueueDepth)
+		}
+		for ch := 0; ch < m.Channels; ch++ {
+			fmt.Printf("channel %-2d utilization    %7.2f%%\n", ch, m.ChannelUtilization(ch)*100)
+		}
+	}
 	if m.InjectedFaults > 0 {
 		fmt.Println()
 		fmt.Printf("injected faults           %8d\n", m.InjectedFaults)

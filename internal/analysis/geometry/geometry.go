@@ -22,8 +22,19 @@ import (
 // Analyzer flags magic page-geometry literals outside flash and ftl.Config.
 var Analyzer = &analysis.Analyzer{
 	Name: "geometry",
-	Doc:  "flag magic 4096/1024/512 geometry literals; thread geometry from ftl.Config or the chip instead",
+	Doc:  "flag magic 4096/1024/512 geometry literals and literal channel/die counts; thread geometry from ftl.Config or the chip instead",
 	Run:  run,
+}
+
+// ParallelKeys are the composite-literal field names that size the parallel
+// backend. A literal count against one of them bakes a device shape into
+// code the same way a bare 4096 bakes in a page size: the sanctioned
+// spellings are ftl.DefaultChannels / ftl.DefaultDies or a count threaded
+// from the configuration.
+var ParallelKeys = map[string]bool{
+	"Channels":       true,
+	"Dies":           true,
+	"DiesPerChannel": true,
 }
 
 // literals are the geometry constants of the paper's device (Table 3):
@@ -70,6 +81,17 @@ func run(pass *analysis.Pass) (any, error) {
 				// A named constant is the sanctioned way to spell a
 				// geometry default; skip the whole declaration.
 				if n.Tok == token.CONST {
+					return false
+				}
+			case *ast.KeyValueExpr:
+				key, ok := n.Key.(*ast.Ident)
+				if !ok || !ParallelKeys[key.Name] {
+					break
+				}
+				if lit, ok := n.Value.(*ast.BasicLit); ok && lit.Kind == token.INT {
+					pass.Reportf(lit.Pos(),
+						"magic parallelism literal %s for %s: use ftl.DefaultChannels/ftl.DefaultDies or thread the count from the configuration",
+						lit.Value, key.Name)
 					return false
 				}
 			case *ast.BinaryExpr:

@@ -26,3 +26,19 @@ func kbFormatting(n int64) int64 {
 func threaded(pageSize int) int {
 	return pageSize / entryBytes
 }
+
+type devConfig struct {
+	Channels int
+	Dies     int
+}
+
+func bakedParallelism() devConfig {
+	return devConfig{
+		Channels: 4, // want `magic parallelism literal 4 for Channels`
+		Dies:     2, // want `magic parallelism literal 2 for Dies`
+	}
+}
+
+func threadedParallelism(ch, dies int) devConfig {
+	return devConfig{Channels: ch, Dies: dies}
+}

@@ -33,6 +33,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/flash"
 	"repro/internal/ftl"
@@ -686,7 +687,16 @@ func (f *FTL) OnGCDataMoves(env ftl.Env, moves []ftl.GCMove) error {
 		env.NoteGCMapUpdate(false)
 		pending[v] = append(pending[v], ftl.EntryUpdate{Off: int(off), PPN: mv.NewPPN})
 	}
-	for v, ups := range pending {
+	// Flush in ascending vtpn order: map iteration order would permute the
+	// WriteTP sequence — and with it physical page allocation and die
+	// assignment — making otherwise identical runs schedule differently.
+	vtpns := make([]ftl.VTPN, 0, len(pending))
+	for v := range pending {
+		vtpns = append(vtpns, v)
+	}
+	sort.Slice(vtpns, func(i, j int) bool { return vtpns[i] < vtpns[j] })
+	for _, v := range vtpns {
+		ups := pending[v]
 		if f.cfg.BatchUpdate {
 			if tp := f.byVTPN[v]; tp != nil && tp.dirty > 0 {
 				cleaned := 0

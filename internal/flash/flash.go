@@ -97,9 +97,18 @@ type Config struct {
 	PageSize      int // bytes per page
 	PagesPerBlock int
 	NumBlocks     int
-	ReadLatency   time.Duration
-	WriteLatency  time.Duration
-	EraseLatency  time.Duration
+	// Channels and DiesPerChannel describe the package's parallelism: the
+	// chip exposes Channels independent buses, each serving DiesPerChannel
+	// dies. Blocks interleave across dies (block b lives on die
+	// b mod NumDies), so consecutive blocks land on consecutive channels.
+	// Zero means 1. The chip itself stays a pure state machine — dies only
+	// label which occupancy window an operation charges; the event-driven
+	// scheduler (internal/ssd) turns those labels into overlapped time.
+	Channels       int
+	DiesPerChannel int
+	ReadLatency    time.Duration
+	WriteLatency   time.Duration
+	EraseLatency   time.Duration
 	// EraseLimit, if > 0, makes a block fail permanently after that many
 	// erases (endurance failure injection). 0 means unlimited.
 	EraseLimit int
@@ -132,9 +141,37 @@ func (c Config) Validate() error {
 		return fmt.Errorf("flash: PagesPerBlock %d must be positive", c.PagesPerBlock)
 	case c.NumBlocks <= 0:
 		return fmt.Errorf("flash: NumBlocks %d must be positive", c.NumBlocks)
+	case c.Channels < 0:
+		return fmt.Errorf("flash: Channels %d must not be negative", c.Channels)
+	case c.DiesPerChannel < 0:
+		return fmt.Errorf("flash: DiesPerChannel %d must not be negative", c.DiesPerChannel)
 	}
 	return nil
 }
+
+// NumChannels returns the channel count (0 reads as 1).
+func (c Config) NumChannels() int {
+	if c.Channels <= 0 {
+		return 1
+	}
+	return c.Channels
+}
+
+// NumDies returns the total die count, Channels × DiesPerChannel.
+func (c Config) NumDies() int {
+	d := c.DiesPerChannel
+	if d <= 0 {
+		d = 1
+	}
+	return c.NumChannels() * d
+}
+
+// DieOf returns the die holding blk: blocks interleave across dies so
+// consecutive blocks stripe across channels first.
+func (c Config) DieOf(blk BlockID) int { return int(blk) % c.NumDies() }
+
+// ChannelOfDie returns the channel serving die.
+func (c Config) ChannelOfDie(die int) int { return die % c.NumChannels() }
 
 // TotalPages returns the number of physical pages the chip holds.
 func (c Config) TotalPages() int64 { return int64(c.NumBlocks) * int64(c.PagesPerBlock) }
@@ -191,6 +228,9 @@ func (c *Chip) Block(p PPN) BlockID { return BlockID(int64(p) / int64(c.cfg.Page
 
 // Offset returns p's page offset within its block.
 func (c *Chip) Offset(p PPN) int { return int(int64(p) % int64(c.cfg.PagesPerBlock)) }
+
+// DieOf returns the die holding p's block.
+func (c *Chip) DieOf(p PPN) int { return c.cfg.DieOf(c.Block(p)) }
 
 // PageAt returns the PPN of page offset off within blk.
 func (c *Chip) PageAt(blk BlockID, off int) PPN {

@@ -16,96 +16,174 @@ const (
 	blockTrans
 )
 
-// blockMgr owns physical block allocation: the free-block list, one active
-// write frontier per block kind, and the greedy GC victim queue — an indexed
-// max-heap on invalid-page count, re-keyed on every invalidation so popping
-// always yields the fullest-of-garbage block.
+// blockMgr owns physical block allocation: per-die free-block lists, one
+// active write frontier per (block kind, die), and the greedy GC victim
+// queue — an indexed max-heap on invalid-page count, re-keyed on every
+// invalidation so popping always yields the fullest-of-garbage block.
+//
+// On a multi-die device consecutive data-page allocations round-robin
+// across dies (page-level striping), so consecutive logical pages land on
+// consecutive channels and independent accesses overlap in the scheduler.
+// Translation blocks follow the configured TPPlacement: striped like data,
+// or pinned to the dies of channel 0. With one die everything collapses to
+// the single-frontier FIFO allocator this generalizes.
 type blockMgr struct {
 	chip  *flash.Chip
-	free  []flash.BlockID
 	kinds []blockKind
 
-	dataFrontier  flash.BlockID // -1 when no open block
-	transFrontier flash.BlockID
+	numDies int
+	free    [][]flash.BlockID // per-die free FIFO
+	frHead  []int             // consumed prefix of each die's FIFO
 
-	victims  victimHeap
-	heapIdx  []int // position of each block in victims, -1 when absent
-	freeHead int   // consumed prefix of free (FIFO)
+	dataFrontier  []flash.BlockID // per die; -1 when no open block
+	transFrontier []flash.BlockID
+	dataDies      []int // placement set for data blocks (all dies)
+	transDies     []int // placement set for translation blocks
+	dataRR        int   // round-robin cursors over the placement sets
+	transRR       int
+
+	victims victimHeap
+	heapIdx []int // position of each block in victims, -1 when absent
 
 	policy  GCPolicy
 	tick    int64   // advances on every invalidation (cost-benefit age base)
 	lastMod []int64 // tick of each block's latest invalidation
 }
 
-func newBlockMgr(chip *flash.Chip) *blockMgr {
-	n := chip.Config().NumBlocks
+func newBlockMgr(chip *flash.Chip, placement TPPlacement) *blockMgr {
+	cfg := chip.Config()
+	n := cfg.NumBlocks
+	dies := cfg.NumDies()
 	bm := &blockMgr{
 		chip:          chip,
-		free:          make([]flash.BlockID, 0, n),
 		kinds:         make([]blockKind, n),
-		dataFrontier:  -1,
-		transFrontier: -1,
+		numDies:       dies,
+		free:          make([][]flash.BlockID, dies),
+		frHead:        make([]int, dies),
+		dataFrontier:  make([]flash.BlockID, dies),
+		transFrontier: make([]flash.BlockID, dies),
 		heapIdx:       make([]int, n),
 		lastMod:       make([]int64, n),
 	}
 	bm.victims.bm = bm
+	for d := 0; d < dies; d++ {
+		bm.dataFrontier[d] = -1
+		bm.transFrontier[d] = -1
+		bm.dataDies = append(bm.dataDies, d)
+		if placement == TPStriped || cfg.ChannelOfDie(d) == 0 {
+			bm.transDies = append(bm.transDies, d)
+		}
+	}
 	for b := range bm.heapIdx {
 		bm.heapIdx[b] = -1
 	}
-	// FIFO pops from the front: append ascending so low blocks allocate
-	// first (reproducible layout; Format lays data out sequentially).
+	// Each FIFO pops from the front: append ascending so low blocks
+	// allocate first (reproducible layout; Format lays data out
+	// sequentially). Blocks interleave across dies (flash.Config.DieOf).
 	for b := 0; b < n; b++ {
-		bm.free = append(bm.free, flash.BlockID(b))
+		die := cfg.DieOf(flash.BlockID(b))
+		bm.free[die] = append(bm.free[die], flash.BlockID(b))
 	}
 	return bm
 }
 
-func (bm *blockMgr) freeCount() int { return len(bm.free) - bm.freeHead }
+func (bm *blockMgr) freeCount() int {
+	n := 0
+	for d := 0; d < bm.numDies; d++ {
+		n += len(bm.free[d]) - bm.frHead[d]
+	}
+	return n
+}
 
-// popFree takes from the FRONT of the free list (FIFO): erased blocks
+// popFree takes from the FRONT of die's free list (FIFO): erased blocks
 // re-enter circulation in release order, so no block idles at the bottom of
 // a stack accumulating an ever-growing wear deficit.
-func (bm *blockMgr) popFree() (flash.BlockID, bool) {
-	if bm.freeHead >= len(bm.free) {
+func (bm *blockMgr) popFree(die int) (flash.BlockID, bool) {
+	if bm.frHead[die] >= len(bm.free[die]) {
 		return -1, false
 	}
-	b := bm.free[bm.freeHead]
-	bm.freeHead++
+	b := bm.free[die][bm.frHead[die]]
+	bm.frHead[die]++
 	// Compact once the dead prefix dominates.
-	if bm.freeHead > 64 && bm.freeHead*2 > len(bm.free) {
-		bm.free = append(bm.free[:0], bm.free[bm.freeHead:]...)
-		bm.freeHead = 0
+	if bm.frHead[die] > 64 && bm.frHead[die]*2 > len(bm.free[die]) {
+		bm.free[die] = append(bm.free[die][:0], bm.free[die][bm.frHead[die]:]...)
+		bm.frHead[die] = 0
 	}
 	return b, true
 }
 
-// alloc returns the next free page of the frontier for kind, opening a new
-// block from the free list when the frontier is full. The caller is
-// responsible for keeping the free list above the GC threshold.
-func (bm *blockMgr) alloc(kind blockKind) (flash.PPN, error) {
-	frontier := &bm.dataFrontier
+// frontiers returns the per-die frontier slice and placement set for kind.
+func (bm *blockMgr) frontiers(kind blockKind) ([]flash.BlockID, []int, *int) {
 	if kind == blockTrans {
-		frontier = &bm.transFrontier
+		return bm.transFrontier, bm.transDies, &bm.transRR
 	}
+	return bm.dataFrontier, bm.dataDies, &bm.dataRR
+}
+
+// isFrontier reports whether blk is an open write frontier of either kind.
+func (bm *blockMgr) isFrontier(blk flash.BlockID) bool {
+	for d := 0; d < bm.numDies; d++ {
+		if bm.dataFrontier[d] == blk || bm.transFrontier[d] == blk {
+			return true
+		}
+	}
+	return false
+}
+
+// tryAllocOnDie returns the next free page of die's frontier for kind,
+// opening a new block from die's free list when the frontier is full. It
+// fails (without error) when the frontier is full and the die has no free
+// block left.
+func (bm *blockMgr) tryAllocOnDie(kind blockKind, die int) (flash.PPN, bool) {
+	frontiers, _, _ := bm.frontiers(kind)
+	frontier := &frontiers[die]
 	ppb := bm.chip.Config().PagesPerBlock
 	if *frontier >= 0 && bm.chip.WritePtr(*frontier) < ppb {
-		return bm.chip.PageAt(*frontier, bm.chip.WritePtr(*frontier)), nil
+		return bm.chip.PageAt(*frontier, bm.chip.WritePtr(*frontier)), true
 	}
 	// The current frontier is full: retire it and open a new block. The
 	// retired block is enqueued as a GC candidate only after the frontier
-	// pointer moves off it — maybeEnqueue skips the active frontier, and
+	// pointer moves off it — maybeEnqueue skips active frontiers, and
 	// pages invalidated during its tenure must not be lost to GC.
-	old := *frontier
-	blk, ok := bm.popFree()
+	blk, ok := bm.popFree(die)
 	if !ok {
-		return flash.InvalidPPN, errf("out of free blocks (device full)")
+		return flash.InvalidPPN, false
 	}
+	old := *frontier
 	bm.kinds[blk] = kind
 	*frontier = blk
 	if old >= 0 {
 		bm.maybeEnqueue(old)
 	}
-	return bm.chip.PageAt(blk, 0), nil
+	return bm.chip.PageAt(blk, 0), true
+}
+
+// alloc returns the next free page for kind, striping consecutive
+// allocations across the kind's placement set. When the round-robin die
+// cannot serve (frontier full, die out of free blocks), allocation falls
+// back to the rest of the placement set and finally to any die — a die
+// running dry must degrade striping, not fail the write. The caller is
+// responsible for keeping the free count above the GC threshold.
+func (bm *blockMgr) alloc(kind blockKind) (flash.PPN, error) {
+	_, dies, rr := bm.frontiers(kind)
+	i := *rr % len(dies)
+	*rr++
+	if ppn, ok := bm.tryAllocOnDie(kind, dies[i]); ok {
+		return ppn, nil
+	}
+	for off := 1; off < len(dies); off++ {
+		if ppn, ok := bm.tryAllocOnDie(kind, dies[(i+off)%len(dies)]); ok {
+			return ppn, nil
+		}
+	}
+	if len(dies) < bm.numDies {
+		for die := 0; die < bm.numDies; die++ {
+			if ppn, ok := bm.tryAllocOnDie(kind, die); ok {
+				return ppn, nil
+			}
+		}
+	}
+	return flash.InvalidPPN, errf("out of free blocks (device full)")
 }
 
 // invalidate marks ppn invalid and enqueues its block as a GC candidate if
@@ -124,7 +202,7 @@ func (bm *blockMgr) invalidate(ppn flash.PPN) error {
 // maybeEnqueue inserts or re-keys blk in the victim heap when it is full,
 // reclaimable and not an open frontier.
 func (bm *blockMgr) maybeEnqueue(blk flash.BlockID) {
-	if blk == bm.dataFrontier || blk == bm.transFrontier {
+	if bm.isFrontier(blk) {
 		return
 	}
 	if bm.kinds[blk] == blockFree {
@@ -173,7 +251,7 @@ func (bm *blockMgr) popVictimCostBenefit() flash.BlockID {
 	bestScore := -1.0
 	for b := 0; b < len(bm.kinds); b++ {
 		blk := flash.BlockID(b)
-		if bm.kinds[blk] == blockFree || blk == bm.dataFrontier || blk == bm.transFrontier {
+		if bm.kinds[blk] == blockFree || bm.isFrontier(blk) {
 			continue
 		}
 		if bm.chip.WritePtr(blk) < ppb {
@@ -212,10 +290,11 @@ func (bm *blockMgr) removeFromHeap(blk flash.BlockID) {
 	}
 }
 
-// release returns an erased block to the free list.
+// release returns an erased block to its die's free list.
 func (bm *blockMgr) release(blk flash.BlockID) {
 	bm.kinds[blk] = blockFree
-	bm.free = append(bm.free, blk)
+	die := bm.chip.Config().DieOf(blk)
+	bm.free[die] = append(bm.free[die], blk)
 }
 
 type victim struct {

@@ -17,7 +17,7 @@ func TestVictimHeapMatchesBruteForce(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bm := newBlockMgr(chip)
+	bm := newBlockMgr(chip, TPStriped)
 	rng := rand.New(rand.NewSource(1))
 
 	var live []flash.PPN
@@ -25,7 +25,7 @@ func TestVictimHeapMatchesBruteForce(t *testing.T) {
 		max := 0
 		for b := 0; b < cfg.NumBlocks; b++ {
 			blk := flash.BlockID(b)
-			if blk == bm.dataFrontier || blk == bm.transFrontier || bm.kinds[blk] == blockFree {
+			if bm.isFrontier(blk) || bm.kinds[blk] == blockFree {
 				continue
 			}
 			if chip.WritePtr(blk) < cfg.PagesPerBlock {

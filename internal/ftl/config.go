@@ -16,7 +16,42 @@ const (
 	// DefaultEntriesPerTP is the number of 4 B mapping entries in one
 	// translation page of the default geometry.
 	DefaultEntriesPerTP = DefaultPageBytes / EntryBytesInFlash
+	// DefaultChannels and DefaultDies are the parallelism of the paper's
+	// single-chip device: one channel, one die. The multi-channel backend
+	// (internal/ssd) is opt-in precisely so that this default reproduces
+	// the paper's scalar-clock timing bit-for-bit.
+	DefaultChannels = 1
+	// DefaultDies is the default number of dies per channel.
+	DefaultDies = 1
+	// MaxChannels bounds Config.Channels; Metrics carries a fixed-size
+	// per-channel busy-time array so it stays a comparable value type.
+	MaxChannels = 16
 )
+
+// TPPlacement selects where translation pages are physically placed on a
+// multi-channel device.
+type TPPlacement uint8
+
+const (
+	// TPStriped round-robins translation blocks across all dies, so
+	// translation-page traffic shares every channel with data (default).
+	TPStriped TPPlacement = iota
+	// TPPinned confines translation blocks to the dies of channel 0,
+	// keeping translation traffic off the data channels at the cost of
+	// serializing it behind one channel.
+	TPPinned
+)
+
+func (p TPPlacement) String() string {
+	switch p {
+	case TPStriped:
+		return "striped"
+	case TPPinned:
+		return "pinned"
+	default:
+		return "TPPlacement(?)"
+	}
+}
 
 // Config describes a simulated SSD.
 type Config struct {
@@ -29,6 +64,18 @@ type Config struct {
 	// OverProvision is the fraction of extra physical capacity
 	// (default 0.15 per Table 3).
 	OverProvision float64
+	// Channels and Dies set the parallel backend's geometry: Channels
+	// independent buses with Dies flash dies each (defaults
+	// DefaultChannels × DefaultDies = 1×1, the paper's serial chip).
+	// Blocks interleave across dies and the block manager stripes
+	// consecutive page allocations across channels, so independent flash
+	// operations overlap in simulated time (see internal/ssd).
+	Channels int
+	Dies     int
+	// TransPlacement selects where translation pages live on a
+	// multi-channel device: striped across all dies (default) or pinned
+	// to channel 0. Irrelevant at 1×1.
+	TransPlacement TPPlacement
 	// ReadLatency, WriteLatency, EraseLatency override the flash timing
 	// when non-zero.
 	ReadLatency  time.Duration
@@ -135,6 +182,12 @@ func (c Config) normalize() Config {
 	if c.EraseLatency == 0 {
 		c.EraseLatency = 1500 * time.Microsecond
 	}
+	if c.Channels == 0 {
+		c.Channels = DefaultChannels
+	}
+	if c.Dies == 0 {
+		c.Dies = DefaultDies
+	}
 	return c
 }
 
@@ -159,6 +212,10 @@ func (c Config) Validate() error {
 		return errf("negative over-provisioning %v", c.OverProvision)
 	case c.CacheBytes < 0:
 		return errf("negative cache budget %d", c.CacheBytes)
+	case c.Channels < 0 || c.Dies < 0:
+		return errf("negative parallelism %d×%d", c.Channels, c.Dies)
+	case c.Channels > MaxChannels:
+		return errf("%d channels exceeds MaxChannels %d", c.Channels, MaxChannels)
 	}
 	if c.LogicalPages() == 0 {
 		return errf("capacity smaller than one page")
@@ -180,14 +237,23 @@ func (c Config) flashConfig() flash.Config {
 	if min := total + int64(c.gcThreshold())*2 + 2; phys < min {
 		phys = min
 	}
+	// Every die needs room for open frontiers and a couple of free blocks,
+	// or a many-die configuration on a tiny device starves per-die pools.
+	if dies := c.Channels * c.Dies; dies > 1 {
+		if min := total + int64(dies)*3; phys < min {
+			phys = min
+		}
+	}
 	return flash.Config{
-		PageSize:      c.PageSize,
-		PagesPerBlock: c.PagesPerBlock,
-		NumBlocks:     int(phys),
-		ReadLatency:   c.ReadLatency,
-		WriteLatency:  c.WriteLatency,
-		EraseLatency:  c.EraseLatency,
-		EraseLimit:    c.EraseLimit,
+		PageSize:       c.PageSize,
+		PagesPerBlock:  c.PagesPerBlock,
+		NumBlocks:      int(phys),
+		Channels:       c.Channels,
+		DiesPerChannel: c.Dies,
+		ReadLatency:    c.ReadLatency,
+		WriteLatency:   c.WriteLatency,
+		EraseLatency:   c.EraseLatency,
+		EraseLimit:     c.EraseLimit,
 	}
 }
 

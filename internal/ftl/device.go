@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/flash"
+	"repro/internal/ssd"
 	"repro/internal/trace"
 )
 
@@ -36,11 +37,20 @@ type Device struct {
 
 	tpBuf []flash.PPN // scratch returned by ReadTP
 
-	clock time.Duration // completion time of the last request
-	acc   time.Duration // latency accumulated by the in-flight request
-	seq   int64         // program sequence counter (crash-recovery ordering)
-	ph    phase
-	inGC  bool
+	// sched is the event-driven clock of the parallel backend: flash
+	// operations are issued onto the die of their block and overlap when
+	// independent (see internal/ssd). At 1 channel × 1 die it reproduces
+	// the scalar-clock timing of the original device bit-for-bit.
+	sched   *ssd.Scheduler
+	serving bool          // inside a request; timing charged only then
+	resetAt time.Duration // simulated time of the last metrics reset
+	// busyAtReset snapshots per-channel busy time at the last metrics
+	// reset, so Metrics reports busy deltas of the measured phase only.
+	busyAtReset [MaxChannels]time.Duration
+
+	seq  int64 // program sequence counter (crash-recovery ordering)
+	ph   phase
+	inGC bool
 
 	// rng is the device's private random source. Nothing in the device
 	// touches the global math/rand state, so a run is bit-for-bit
@@ -71,7 +81,7 @@ func NewDevice(cfg Config, tr Translator) (*Device, error) {
 	entriesPerTP := cfg.PageSize / EntryBytesInFlash
 	logicalPages := cfg.LogicalPages()
 	numTPs := int((logicalPages + int64(entriesPerTP) - 1) / int64(entriesPerTP))
-	bm := newBlockMgr(chip)
+	bm := newBlockMgr(chip, cfg.TransPlacement)
 	bm.policy = cfg.GCPolicy
 	d := &Device{
 		cfg:          cfg,
@@ -85,6 +95,7 @@ func NewDevice(cfg Config, tr Translator) (*Device, error) {
 		persist:      make([]flash.PPN, logicalPages),
 		truth:        make([]flash.PPN, logicalPages),
 		tpBuf:        make([]flash.PPN, entriesPerTP),
+		sched:        ssd.NewScheduler(cfg.Channels, cfg.Dies),
 	}
 	seed := cfg.Seed
 	if seed == 0 {
@@ -113,14 +124,40 @@ func (d *Device) Chip() *flash.Chip { return d.chip }
 // Translator returns the device's mapping policy.
 func (d *Device) Translator() Translator { return d.tr }
 
-// Metrics returns a snapshot of the accumulated counters.
-func (d *Device) Metrics() Metrics { return d.m }
+// Metrics returns a snapshot of the accumulated counters, including the
+// parallel backend's per-channel busy time and elapsed simulated time since
+// the last reset.
+func (d *Device) Metrics() Metrics {
+	m := d.m
+	fc := d.chip.Config()
+	m.Channels = fc.NumChannels()
+	m.DiesPerChannel = fc.NumDies() / m.Channels
+	for c := 0; c < m.Channels && c < MaxChannels; c++ {
+		m.ChanBusy[c] = d.sched.ChannelBusy(c) - d.busyAtReset[c]
+	}
+	if now := d.sched.Now(); now > d.resetAt {
+		m.Elapsed = now - d.resetAt
+	}
+	return m
+}
 
-// ResetMetrics zeroes the counters (e.g. after a warm-up phase).
-func (d *Device) ResetMetrics() { d.m = Metrics{} }
+// ResetMetrics zeroes the counters (e.g. after a warm-up phase) and re-bases
+// the busy-time and elapsed-time accounting at the current simulated time.
+func (d *Device) ResetMetrics() {
+	d.m = Metrics{}
+	for c := 0; c < d.chip.Config().NumChannels() && c < MaxChannels; c++ {
+		d.busyAtReset[c] = d.sched.ChannelBusy(c)
+	}
+	d.resetAt = d.sched.Now()
+}
 
-// Now returns the simulated completion time of the last request.
-func (d *Device) Now() time.Duration { return d.clock }
+// Now returns the simulated device clock: the completion time of the latest
+// retired request.
+func (d *Device) Now() time.Duration { return d.sched.Now() }
+
+// Scheduler exposes the event-driven backend clock (tests and the
+// simulation harness read utilization and the event hash from it).
+func (d *Device) Scheduler() *ssd.Scheduler { return d.sched }
 
 // Format pre-fills the device: every logical page is written once in LPN
 // order and the full mapping table is laid out in translation pages, putting
@@ -206,26 +243,54 @@ func (d *Device) PreconditionRange(writes int, pages int64, seed int64) error {
 	return nil
 }
 
-// Serve executes one request and returns its response time (queueing
-// included). Requests must be submitted in non-decreasing arrival order.
+// Serve executes one request admitted as soon as the device is idle — the
+// closed-loop queue-depth-1 admission of the original scalar-clock device —
+// and returns its response time (queueing included). Requests must be
+// submitted in non-decreasing arrival order. Deeper queues and open-loop
+// arrival admission go through ServeAt, driven by ssd.Frontend.
 func (d *Device) Serve(req trace.Request) (time.Duration, error) {
+	arrival := time.Duration(req.Arrival)
+	admit := d.sched.Now()
+	if arrival > admit {
+		admit = arrival
+	}
+	_, resp, err := d.serveAdmitted(req, admit)
+	return resp, err
+}
+
+// ServeAt executes one request admitted at the given simulated time (never
+// before its arrival) and returns its completion time. It implements
+// ssd.Server: the frontend picks admission times, the device schedules the
+// request's flash operations onto its dies from there. Logical effects
+// apply in call order; only timing overlaps between requests.
+func (d *Device) ServeAt(req trace.Request, admit time.Duration) (time.Duration, error) {
+	complete, _, err := d.serveAdmitted(req, admit)
+	return complete, err
+}
+
+func (d *Device) serveAdmitted(req trace.Request, admit time.Duration) (complete, resp time.Duration, err error) {
 	if err := req.Validate(); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if req.End() > d.cfg.LogicalBytes {
-		return 0, errf("request [%d,%d) beyond capacity %d", req.Offset, req.End(), d.cfg.LogicalBytes)
+		return 0, 0, errf("request [%d,%d) beyond capacity %d", req.Offset, req.End(), d.cfg.LogicalBytes)
 	}
 	arrival := time.Duration(req.Arrival)
-	start := d.clock
-	if arrival > start {
-		start = arrival
+	if admit < arrival {
+		admit = arrival
 	}
-	d.acc = 0
 	d.ph = phaseAT
+	d.serving = true
+	defer func() { d.serving = false }()
+	d.sched.BeginRequest(admit)
 
 	first, last := req.Pages(d.cfg.PageSize)
 	d.tr.BeginRequest(LPN(first), LPN(last), req.Write)
 	for lpn := LPN(first); lpn <= LPN(last); lpn++ {
+		// Page sub-operations of one request carry no dependency on each
+		// other: each opens a fresh chain from the admission time, so
+		// sub-ops striped onto different dies overlap.
+		d.sched.BreakChain()
 		var err error
 		if req.Write {
 			err = d.writePage(lpn)
@@ -233,29 +298,29 @@ func (d *Device) Serve(req trace.Request) (time.Duration, error) {
 			err = d.readPage(lpn)
 		}
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 		if d.SampleEvery > 0 && d.m.PageAccesses()%d.SampleEvery == 0 && d.OnSample != nil {
 			d.OnSample(d.m.PageAccesses())
 		}
 	}
 
-	d.clock = start + d.acc
-	resp := d.clock - arrival
+	complete = d.sched.EndRequest()
+	resp = complete - arrival
 	d.m.Requests++
-	d.m.ServiceTime += d.acc
+	d.m.ServiceTime += complete - admit
 	d.m.ResponseTime += resp
-	d.m.QueueTime += start - arrival
+	d.m.QueueTime += admit - arrival
 	if resp > d.m.MaxResponse {
 		d.m.MaxResponse = resp
 	}
 	d.m.ObserveResponse(resp)
 	if SanitizerEnabled {
 		if err := d.sanitize(); err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 	}
-	return resp, nil
+	return complete, resp, nil
 }
 
 // sanitize runs the per-operation invariant suite when the binary is built
@@ -302,7 +367,7 @@ func (d *Device) readPage(lpn LPN) error {
 	if err != nil {
 		return err
 	}
-	d.addLat(lat)
+	d.issuePage(ppn, lat)
 	d.m.FlashReads++
 	return nil
 }
@@ -331,7 +396,7 @@ func (d *Device) writePage(lpn LPN) error {
 	if err != nil {
 		return err
 	}
-	d.addLat(lat)
+	d.issuePage(ppn, lat)
 	d.m.FlashPrograms++
 	if old.Valid() {
 		if err := d.bm.invalidate(old); err != nil {
@@ -342,8 +407,24 @@ func (d *Device) writePage(lpn LPN) error {
 	return d.tr.Update(d, lpn, ppn)
 }
 
-func (d *Device) addLat(lat time.Duration) {
-	d.acc += lat
+// issuePage charges one completed flash operation on p's die to the
+// event-driven clock; issueBlock does the same for a block-level operation
+// (erase). Operations run outside a request — Format, Precondition, and the
+// GC they trigger — keep their metric attribution but are not scheduled:
+// the measured timeline starts pristine, exactly as the scalar-clock device
+// discarded pre-measurement latency.
+func (d *Device) issuePage(p flash.PPN, lat time.Duration) {
+	d.issueDie(d.chip.DieOf(p), lat)
+}
+
+func (d *Device) issueBlock(b flash.BlockID, lat time.Duration) {
+	d.issueDie(d.chip.Config().DieOf(b), lat)
+}
+
+func (d *Device) issueDie(die int, lat time.Duration) {
+	if d.serving {
+		d.sched.Issue(die, lat)
+	}
 	if d.ph == phaseGC {
 		d.m.GCTime += lat
 	}
@@ -423,7 +504,7 @@ func (d *Device) ReadTP(v VTPN) ([]flash.PPN, error) {
 		if err != nil {
 			return nil, err
 		}
-		d.addLat(lat)
+		d.issuePage(phys, lat)
 		d.m.FlashReads++
 		if d.ph == phaseGC {
 			d.m.TransReadsGC++
@@ -470,7 +551,7 @@ func (d *Device) WriteTP(v VTPN, updates []EntryUpdate, fullPage bool) error {
 		if err != nil {
 			return err
 		}
-		d.addLat(lat)
+		d.issuePage(old, lat)
 		d.m.FlashReads++
 		if d.ph == phaseGC {
 			d.m.TransReadsGC++
@@ -486,7 +567,7 @@ func (d *Device) WriteTP(v VTPN, updates []EntryUpdate, fullPage bool) error {
 	if err != nil {
 		return err
 	}
-	d.addLat(lat)
+	d.issuePage(ppn, lat)
 	d.m.FlashPrograms++
 	if d.ph == phaseGC {
 		d.m.TransWritesGC++

@@ -55,7 +55,7 @@ func (d *Device) maybeWearLevel() error {
 				maxErase = ec
 			}
 			if ec < minErase && d.bm.kinds[blk] != blockFree &&
-				blk != d.bm.dataFrontier && blk != d.bm.transFrontier &&
+				!d.bm.isFrontier(blk) &&
 				d.chip.WritePtr(blk) == ppb {
 				minErase = ec
 				minBlk = blk
@@ -144,7 +144,7 @@ func (d *Device) collect(blk flash.BlockID) error {
 	if err != nil {
 		return err
 	}
-	d.addLat(lat)
+	d.issueBlock(blk, lat)
 	d.m.FlashErases++
 	switch kind {
 	case blockData:
@@ -171,7 +171,7 @@ func (d *Device) migratePage(ppn flash.PPN, meta flash.Meta) (flash.PPN, error) 
 	if err != nil {
 		return flash.InvalidPPN, err
 	}
-	d.addLat(lat)
+	d.issuePage(ppn, lat)
 	d.m.FlashReads++
 	newPPN, err := d.bm.alloc(kind)
 	if err != nil {
@@ -184,7 +184,7 @@ func (d *Device) migratePage(ppn flash.PPN, meta flash.Meta) (flash.PPN, error) 
 	if err != nil {
 		return flash.InvalidPPN, err
 	}
-	d.addLat(lat)
+	d.issuePage(newPPN, lat)
 	d.m.FlashPrograms++
 	// Invalidate directly on the chip: the old page is inside the victim
 	// block being collected, which must not re-enter the GC candidate heap.

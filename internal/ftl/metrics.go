@@ -56,6 +56,19 @@ type Metrics struct {
 	// bucket i counts responses in [2^(i-1), 2^i) µs (bucket 0: < 1 µs).
 	// It feeds the percentile estimates.
 	RespHist [48]int64
+
+	// Parallel backend (internal/ssd). Channels/DiesPerChannel echo the
+	// device geometry; Elapsed is the simulated time from the last metrics
+	// reset to the latest completion; ChanBusy is each channel's summed
+	// die-busy time over that window. MaxQueueDepth/QueueDepthSum are
+	// filled by the frontend when a run is driven open-loop or at QD>1
+	// (zero on the plain Serve path).
+	Channels       int
+	DiesPerChannel int
+	Elapsed        time.Duration
+	ChanBusy       [MaxChannels]time.Duration
+	MaxQueueDepth  int64
+	QueueDepthSum  int64 // Σ in-flight at admission; mean = /Requests
 }
 
 // ObserveResponse records one response time in the histogram.
@@ -146,6 +159,27 @@ func (m *Metrics) AvgService() time.Duration {
 		return 0
 	}
 	return m.ServiceTime / time.Duration(m.Requests)
+}
+
+// ChannelUtilization returns channel ch's busy fraction over the measured
+// window: its dies' summed busy time divided by dies × elapsed time.
+func (m *Metrics) ChannelUtilization(ch int) float64 {
+	if m.Elapsed <= 0 || m.DiesPerChannel <= 0 || ch < 0 || ch >= m.Channels || ch >= MaxChannels {
+		return 0
+	}
+	return float64(m.ChanBusy[ch]) / (float64(m.Elapsed) * float64(m.DiesPerChannel))
+}
+
+// AvgQueueDepth returns the mean in-flight request count at admission, when
+// a frontend drove the run (0 otherwise).
+func (m *Metrics) AvgQueueDepth() float64 { return ratio(m.QueueDepthSum, m.Requests) }
+
+// Throughput returns served requests per second of simulated elapsed time.
+func (m *Metrics) Throughput() float64 {
+	if m.Elapsed <= 0 {
+		return 0
+	}
+	return float64(m.Requests) / m.Elapsed.Seconds()
 }
 
 func ratio(num, den int64) float64 {

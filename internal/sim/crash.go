@@ -33,6 +33,12 @@ type CrashOptions struct {
 	CacheBytes int64
 	// Precondition ages the device before arming faults (see Options).
 	Precondition float64
+	// Channels, Dies and TransPlacement select the parallel backend's
+	// geometry (see Options). Cut points are op indexes, so crash recovery
+	// is verified at the same logical progress whatever the geometry.
+	Channels       int
+	Dies           int
+	TransPlacement ftl.TPPlacement
 
 	// Cuts is the number of random power-cut points to test (default 1).
 	// Cut indexes are drawn uniformly from [1, total chip ops] of an
@@ -145,6 +151,9 @@ func (o CrashOptions) buildDevice(space int64) (*ftl.Device, error) {
 	devCfg := ftl.DefaultConfig(space)
 	devCfg.CacheBytes = cacheBytes
 	devCfg.Seed = o.Seed
+	devCfg.Channels = o.Channels
+	devCfg.Dies = o.Dies
+	devCfg.TransPlacement = o.TransPlacement
 
 	tr, err := NewTranslator(o.Scheme, cacheBytes, devCfg.LogicalPages(), o.TPFTL)
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/flash"
+	"repro/internal/ftl"
 	"repro/internal/workload"
 )
 
@@ -70,6 +71,38 @@ func TestCrashRecoveryExplicitCut(t *testing.T) {
 		}
 		if len(rep.Cuts) != 1 {
 			t.Fatalf("cut=%d: %d results", cut, len(rep.Cuts))
+		}
+	}
+}
+
+// TestCrashRecoveryParallelBackend cuts power on a multi-channel device:
+// recovery is a pure function of the chip's page state, so the OOB scan must
+// rebuild the mapping no matter how blocks were striped across dies — and a
+// few fixed cut points keep the block-boundary cases deterministic.
+func TestCrashRecoveryParallelBackend(t *testing.T) {
+	cuts := 20
+	if testing.Short() {
+		cuts = 3
+	}
+	o := crashOptions(SchemeTPFTL)
+	o.Channels = 4
+	o.Dies = 2
+	o.Cuts = cuts
+	rep, err := RunCrash(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cuts) != cuts {
+		t.Fatalf("verified %d cut points, want %d", len(rep.Cuts), cuts)
+	}
+	for _, cut := range []int64{1, 2, 1 << 62} {
+		o := crashOptions(SchemeTPFTL)
+		o.Channels = 4
+		o.Dies = 2
+		o.TransPlacement = ftl.TPPinned
+		o.CutAtOp = cut
+		if _, err := RunCrash(o); err != nil {
+			t.Fatalf("pinned placement, cut=%d: %v", cut, err)
 		}
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/ftl/optimal"
 	"repro/internal/ftl/sftl"
 	"repro/internal/ftl/zftl"
+	"repro/internal/ssd"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -65,6 +66,19 @@ type Options struct {
 
 	// PagesPerBlock overrides the flash geometry (default 64).
 	PagesPerBlock int
+	// Channels and Dies select the parallel backend's geometry (defaults
+	// ftl.DefaultChannels × ftl.DefaultDies — the paper's serial chip).
+	Channels int
+	Dies     int
+	// TransPlacement places translation blocks on a multi-channel device:
+	// striped across all dies (default) or pinned to channel 0.
+	TransPlacement ftl.TPPlacement
+	// QueueDepth bounds in-flight requests (closed loop). 0 selects 1,
+	// the scalar-clock compatibility default, unless OpenLoop is set.
+	QueueDepth int
+	// OpenLoop admits every request at its trace arrival time instead of
+	// waiting for a queue slot; QueueDepth is ignored.
+	OpenLoop bool
 	// GCPolicy selects the device's GC victim policy (default greedy).
 	GCPolicy ftl.GCPolicy
 	// WearLevelThreshold enables static wear leveling (see ftl.Config).
@@ -171,6 +185,9 @@ func Run(o Options) (*Result, error) {
 	if o.PagesPerBlock != 0 {
 		devCfg.PagesPerBlock = o.PagesPerBlock
 	}
+	devCfg.Channels = o.Channels
+	devCfg.Dies = o.Dies
+	devCfg.TransPlacement = o.TransPlacement
 
 	tr, err := NewTranslator(o.Scheme, cacheBytes, devCfg.LogicalPages(), o.TPFTL)
 	if err != nil {
@@ -247,12 +264,33 @@ func Run(o Options) (*Result, error) {
 		}
 	}
 
+	// Admission policy: the legacy scalar path (Device.Run, queue depth 1)
+	// stays the default so baseline metrics are reproduced bit-for-bit; an
+	// explicit deeper queue or open-loop arrival replay routes through the
+	// ssd.Frontend, which admits each request against the completion heap.
+	qd := o.QueueDepth
+	if qd <= 0 {
+		qd = 1
+	}
+	useFrontend := o.OpenLoop || qd > 1
+	runReqs := func(rs []trace.Request) (ssd.FrontendStats, error) {
+		if !useFrontend {
+			_, err := dev.Run(rs)
+			return ssd.FrontendStats{}, err
+		}
+		fe := ssd.Frontend{QueueDepth: qd}
+		if o.OpenLoop {
+			fe.QueueDepth = 0
+		}
+		return fe.Run(dev, rs)
+	}
+
 	warm := o.ResetAfterWarmup
 	if warm > len(reqs) {
 		warm = len(reqs)
 	}
 	if warm > 0 {
-		if _, err := dev.Run(reqs[:warm]); err != nil {
+		if _, err := runReqs(reqs[:warm]); err != nil {
 			return nil, fmt.Errorf("sim: %s/%s warm-up: %w", o.Scheme, profile.Name, err)
 		}
 		dev.ResetMetrics()
@@ -261,10 +299,15 @@ func Run(o Options) (*Result, error) {
 	if o.Faults != nil {
 		dev.Chip().SetFaultPlan(o.Faults)
 	}
-	if _, err := dev.Run(reqs); err != nil {
+	fst, err := runReqs(reqs)
+	if err != nil {
 		return nil, fmt.Errorf("sim: %s/%s: %w", o.Scheme, profile.Name, err)
 	}
 	res.M = dev.Metrics()
+	if useFrontend {
+		res.M.MaxQueueDepth = fst.MaxDepth
+		res.M.QueueDepthSum = fst.DepthSum
+	}
 
 	// Consistency is part of every run: a scheme that survives the trace
 	// but corrupted its mapping must not produce results.

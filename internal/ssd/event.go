@@ -1,0 +1,69 @@
+package ssd
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Event is one completion event: request seq finished at Time.
+type Event struct {
+	Time time.Duration
+	Seq  int64 // admission sequence number, breaks Time ties deterministically
+}
+
+// EventQueue is a min-heap of completion events ordered by time (admission
+// sequence breaks ties). It is the simulated clock's event list: the
+// frontend admits a new request by popping the earliest completion once the
+// queue depth is exhausted, and drains elapsed events to track how many
+// requests are in flight at any instant.
+type EventQueue struct {
+	h eventHeap
+}
+
+// Len returns the number of pending events.
+func (q *EventQueue) Len() int { return q.h.Len() }
+
+// Push adds a completion event.
+func (q *EventQueue) Push(e Event) { heap.Push(&q.h, e) }
+
+// Pop removes and returns the earliest event. It panics on an empty queue.
+func (q *EventQueue) Pop() Event { return heap.Pop(&q.h).(Event) }
+
+// Peek returns the earliest event without removing it.
+func (q *EventQueue) Peek() (Event, bool) {
+	if q.h.Len() == 0 {
+		return Event{}, false
+	}
+	return q.h[0], true
+}
+
+// DrainThrough pops every event with Time ≤ t and returns how many were
+// drained. The frontend uses it under open-loop admission to count the
+// requests still in flight when a new one arrives.
+func (q *EventQueue) DrainThrough(t time.Duration) int {
+	n := 0
+	for q.h.Len() > 0 && q.h[0].Time <= t {
+		heap.Pop(&q.h)
+		n++
+	}
+	return n
+}
+
+type eventHeap []Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].Time != h[j].Time {
+		return h[i].Time < h[j].Time
+	}
+	return h[i].Seq < h[j].Seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(Event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,78 @@
+package ssd
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Server is the device-side contract the frontend drives: serve one request
+// admitted at the given simulated time and report its completion time.
+// Logical effects apply in admission order (the FTL is a sequential state
+// machine); only the timing of requests overlaps.
+type Server interface {
+	ServeAt(req trace.Request, admit time.Duration) (complete time.Duration, err error)
+}
+
+// Frontend is the request-admission queue in front of a device. Two modes:
+//
+//   - open loop (QueueDepth == 0): every request is admitted at its trace
+//     arrival time, regardless of how many are still in flight — the
+//     backend's die windows absorb the burst. This replays
+//     trace.Request.Arrival semantics faithfully.
+//   - closed loop (QueueDepth == N > 0): at most N requests are in flight;
+//     request i+N is admitted at the later of its arrival and the earliest
+//     completion among the N outstanding — the standard QD-N driver.
+//
+// Closed loop at depth 1 is the scalar-clock behavior of Device.Serve, and
+// the default everywhere for compatibility with the pre-scheduler baselines.
+type Frontend struct {
+	// QueueDepth bounds the in-flight requests; 0 selects open loop.
+	QueueDepth int
+}
+
+// FrontendStats summarizes one replay's queueing behavior.
+type FrontendStats struct {
+	Admitted int64
+	// MaxDepth is the largest in-flight count observed at any admission.
+	MaxDepth int64
+	// DepthSum accumulates the in-flight count (the just-admitted request
+	// included) at every admission; DepthSum/Admitted is the mean depth.
+	DepthSum int64
+}
+
+// Run replays reqs against s under the frontend's admission policy and
+// returns the queueing stats. Requests must be in non-decreasing arrival
+// order (trace order).
+func (f Frontend) Run(s Server, reqs []trace.Request) (FrontendStats, error) {
+	var st FrontendStats
+	var q EventQueue
+	for i := range reqs {
+		arrival := time.Duration(reqs[i].Arrival)
+		admit := arrival
+		if f.QueueDepth > 0 {
+			// Closed loop: wait for a slot. Completions already in the
+			// past free their slots without delaying admission.
+			for q.Len() >= f.QueueDepth {
+				e := q.Pop()
+				if e.Time > admit {
+					admit = e.Time
+				}
+			}
+		}
+		q.DrainThrough(admit)
+		complete, err := s.ServeAt(reqs[i], admit)
+		if err != nil {
+			return st, fmt.Errorf("ssd: request %d: %w", i, err)
+		}
+		st.Admitted++
+		q.Push(Event{Time: complete, Seq: st.Admitted})
+		depth := int64(q.Len())
+		st.DepthSum += depth
+		if depth > st.MaxDepth {
+			st.MaxDepth = depth
+		}
+	}
+	return st, nil
+}
