@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint sanitize fuzz bench-smoke ci
+.PHONY: build test race vet lint sanitize fuzz bench bench-ci bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -39,10 +39,26 @@ sanitize:
 fuzz:
 	$(GO) test -tags ftlsan ./internal/sim -run '^$$' -fuzz FuzzCrashRecovery -fuzztime 30s
 
+# ftlbench is the reproducible macro-benchmark harness (cmd/ftlbench): a
+# fixed case matrix of full device simulations, reported as sim-ops per
+# wall-second, ns/op, allocs/op and bytes/op. `make bench` regenerates the
+# committed BENCH_4.json (preserving its embedded baseline section);
+# `make bench-ci` is the CI smoke: the quick subset of the matrix with a
+# throughput floor, so a change that wrecks the zero-allocation hot path
+# fails the build instead of landing silently.
+bin/ftlbench: FORCE
+	$(GO) build -o bin/ftlbench ./cmd/ftlbench
+
+bench: bin/ftlbench
+	./bin/ftlbench -out BENCH_4.json -keep-baseline -runs 3
+
+bench-ci: bin/ftlbench
+	./bin/ftlbench -smoke -runs 1 -minops 500000
+
 # Short queue-depth sweep over the parallel backend under the race detector:
 # the serial golden must hold bit-for-bit, the 4-channel QD sweep must be
 # monotone, and QD8 on 4 channels must beat 1 channel by ≥2×.
 bench-smoke:
 	$(GO) test -race ./internal/sim -run 'TestSerialGoldenCompatibility|TestSchedulerDeterminism|TestParallelSpeedup|TestQueueDepthSweepSmoke' -v
 
-ci: vet lint race sanitize bench-smoke
+ci: vet lint race sanitize bench-smoke bench-ci

@@ -1,7 +1,7 @@
-// Command ftlint is this repository's static-analysis suite: four
-// repo-specific analyzers that keep the bug classes the fault-injection PR
-// flushed out (global randomness, drifting cache accounting, swallowed flash
-// errors, hardcoded geometry) from coming back.
+// Command ftlint is this repository's static-analysis suite: five
+// repo-specific analyzers that keep known bug classes from coming back
+// (global randomness, drifting cache accounting, swallowed flash errors,
+// hardcoded geometry, allocations on the marked translation hot path).
 //
 // Two modes:
 //
@@ -23,6 +23,7 @@ import (
 	"repro/internal/analysis/cacheaccount"
 	"repro/internal/analysis/flasherr"
 	"repro/internal/analysis/geometry"
+	"repro/internal/analysis/hotalloc"
 	"repro/internal/analysis/randsource"
 )
 
@@ -32,6 +33,7 @@ func analyzers() []*analysis.Analyzer {
 		cacheaccount.Analyzer,
 		flasherr.Analyzer,
 		geometry.Analyzer,
+		hotalloc.Analyzer,
 	}
 }
 

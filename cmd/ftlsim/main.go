@@ -9,12 +9,14 @@
 //	ftlsim -scheme TPFTL -faults read=1e-4,program=1e-5
 //	ftlsim -scheme TPFTL -faults cut=12000
 //	ftlsim -scheme DFTL -cuts 50
+//	ftlsim -scheme TPFTL -qd 8 -channels 4 -cpuprofile cpu.pb.gz
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	tpftl "repro"
@@ -47,13 +49,40 @@ func main() {
 		dies      = flag.Int("dies", ftl.DefaultDies, "dies per channel")
 		qd        = flag.Int("qd", 1, "queue depth: N requests in flight closed-loop; 0 replays arrival times open-loop")
 		tplace    = flag.String("tplace", "striped", "translation-page placement on a multi-channel device: striped, pinned")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprof   = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	)
 	flag.Parse()
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ftlsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "ftlsim:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	if err := run(*scheme, *wl, *requests, *seed, *scale, *cache, *fraction,
 		*warmup, *precond, *traceFile, *format, *space, *variant, *gcPolicy, *wearLevel,
 		*faults, *cuts, *channels, *dies, *qd, *tplace); err != nil {
 		fmt.Fprintln(os.Stderr, "ftlsim:", err)
 		os.Exit(1)
+	}
+	if *memprof != "" {
+		f, err := os.Create(*memprof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ftlsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "ftlsim:", err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -1,0 +1,65 @@
+// Fixture: the pre-optimization allocation shapes of the service path —
+// per-miss dedup maps, fresh update slices grown with append — versus the
+// sanctioned reusable-scratch idiom.
+package core
+
+import (
+	"container/list" // want `import of container/list in a file with hot-path functions`
+)
+
+type update struct {
+	off int
+	ppn int64
+}
+
+type cache struct {
+	byOff   []int64
+	scratch []update
+	l       *list.List
+}
+
+//ftl:hotpath
+func (c *cache) missWithDedupMap(offs []int) []int {
+	seen := map[int]bool{} // want `map literal in hot-path function missWithDedupMap`
+	var out []int
+	for _, o := range offs {
+		if !seen[o] {
+			seen[o] = true
+			out = append(out, o) // want `append to fresh slice out in hot-path function missWithDedupMap`
+		}
+	}
+	return out
+}
+
+//ftl:hotpath
+func (c *cache) flushWithFreshBatch(offs []int) []update {
+	pending := make(map[int][]update) // want `make\(map\) in hot-path function flushWithFreshBatch`
+	ups := make([]update, 0, len(offs))
+	for _, o := range offs {
+		u := update{off: o, ppn: c.byOff[o]}
+		pending[o] = append(pending[o], u)
+		ups = append(ups, u) // want `append to fresh slice ups in hot-path function flushWithFreshBatch`
+	}
+	return ups
+}
+
+//ftl:hotpath
+func (c *cache) flushWithScratch(offs []int) []update {
+	// The sanctioned shape: append into a reusable scratch buffer.
+	ups := c.scratch[:0]
+	for _, o := range offs {
+		ups = append(ups, update{off: o, ppn: c.byOff[o]})
+	}
+	c.scratch = ups
+	return ups
+}
+
+// coldSetup is not marked: cold paths may allocate freely.
+func (c *cache) coldSetup(n int) {
+	index := make(map[int]int64, n)
+	for i := 0; i < n; i++ {
+		index[i] = 0
+	}
+	c.byOff = make([]int64, n)
+	c.l = list.New()
+}

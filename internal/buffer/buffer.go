@@ -43,7 +43,7 @@ type Metrics struct {
 }
 
 type bufPage struct {
-	node  lru.Node
+	node  lru.Node[*bufPage]
 	lpn   ftl.LPN
 	dirty bool
 }
@@ -54,7 +54,7 @@ type Buffered struct {
 	cfg Config
 
 	pages map[ftl.LPN]*bufPage
-	list  lru.List // MRU..LRU
+	list  lru.List[*bufPage] // MRU..LRU
 
 	pageSize int64
 	clock    time.Duration
@@ -189,7 +189,7 @@ func (b *Buffered) evict(arrival int64) error {
 	var victim *bufPage
 	scanned := 0
 	for n := b.list.Back(); n != nil && scanned < window; n = n.Prev() {
-		p := n.Value.(*bufPage)
+		p := n.Value
 		if !p.dirty {
 			victim = p
 			break
@@ -197,7 +197,7 @@ func (b *Buffered) evict(arrival int64) error {
 		scanned++
 	}
 	if victim == nil {
-		victim = b.list.Back().Value.(*bufPage)
+		victim = b.list.Back().Value
 		if victim.dirty {
 			b.m.ForcedDirty++
 		}
@@ -219,7 +219,7 @@ func (b *Buffered) evict(arrival int64) error {
 // Flush writes back every dirty buffered page (end-of-run drain).
 func (b *Buffered) Flush(arrival int64) error {
 	for n := b.list.Back(); n != nil; n = n.Prev() {
-		p := n.Value.(*bufPage)
+		p := n.Value
 		if !p.dirty {
 			continue
 		}

@@ -1,0 +1,179 @@
+// Slab allocators for the TPFTL cache nodes.
+//
+// The steady-state service path creates and destroys entry and TP nodes
+// constantly (every miss installs nodes, every eviction removes them). Slab
+// recycling turns those into free-list pops and pushes: nodes are allocated
+// in chunks, reset to a sentinel state when released, and reused in LIFO
+// order, so after warm-up the translation path performs zero heap
+// allocations. The reset-on-release discipline matters as much as the reuse:
+// a recycled node carrying a stale dirty bit or offset would silently corrupt
+// the cache, so release restores every field to a recognizable sentinel and
+// CheckInvariants audits the free lists (the ftlsan build additionally audits
+// each TP node's offset table at release time).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/flash"
+)
+
+// slabChunk is how many nodes one backing-array growth adds. Chunking keeps
+// the nodes of a batch contiguous in memory and amortizes allocator calls;
+// the free lists themselves are plain stacks.
+const slabChunk = 256
+
+// entrySlab recycles entryNodes.
+type entrySlab struct {
+	free []*entryNode
+}
+
+// get returns a reset entry node, growing the slab if the free list is empty.
+//
+//ftl:hotpath
+func (s *entrySlab) get() *entryNode {
+	n := len(s.free)
+	if n == 0 {
+		s.grow()
+		n = len(s.free)
+	}
+	e := s.free[n-1]
+	s.free[n-1] = nil
+	s.free = s.free[:n-1]
+	return e
+}
+
+func (s *entrySlab) grow() {
+	chunk := make([]entryNode, slabChunk)
+	for i := range chunk {
+		e := &chunk[i]
+		e.node.Value = e // set once; the node identity never changes
+		resetEntry(e)
+		s.free = append(s.free, e)
+	}
+}
+
+// put resets e and returns it to the free list. e must already be unlinked
+// from its entry list.
+//
+//ftl:hotpath
+func (s *entrySlab) put(e *entryNode) {
+	resetEntry(e)
+	s.free = append(s.free, e)
+}
+
+// resetEntry restores the sentinel state a free entry node must carry.
+func resetEntry(e *entryNode) {
+	e.owner = nil
+	e.off = -1
+	e.ppn = flash.InvalidPPN
+	e.dirty = false
+	e.stamp = 0
+}
+
+// check audits the free list: every node must be unlinked and fully reset.
+// CheckInvariants calls it so property tests and the ftlsan build catch a
+// recycle that leaked state the moment it happens.
+func (s *entrySlab) check() error {
+	for _, e := range s.free {
+		if e == nil {
+			return fmt.Errorf("tpftl: nil entry on slab free list")
+		}
+		if e.node.Value != e {
+			return fmt.Errorf("tpftl: free entry node lost its back-pointer")
+		}
+		if e.node.InList() {
+			return fmt.Errorf("tpftl: free entry node still linked in a list")
+		}
+		if e.owner != nil || e.off != -1 || e.ppn != flash.InvalidPPN || e.dirty || e.stamp != 0 {
+			return fmt.Errorf("tpftl: free entry node not reset (owner=%v off=%d dirty=%v stamp=%d)", e.owner != nil, e.off, e.dirty, e.stamp)
+		}
+	}
+	return nil
+}
+
+// tpSlab recycles tpNodes. The dense byOff table is retained across recycles:
+// removeEntry nils each slot and a node is only released when empty, so the
+// table is already all-nil and reuse costs nothing.
+type tpSlab struct {
+	free []*tpNode
+	err  error // sticky: set when the ftlsan release audit finds a stale slot
+}
+
+// get returns a reset TP node whose byOff table has exactly ePerTP slots.
+//
+//ftl:hotpath
+func (s *tpSlab) get(ePerTP int) *tpNode {
+	n := len(s.free)
+	if n == 0 {
+		s.grow()
+		n = len(s.free)
+	}
+	tp := s.free[n-1]
+	s.free[n-1] = nil
+	s.free = s.free[:n-1]
+	if len(tp.byOff) != ePerTP {
+		tp.byOff = make([]*entryNode, ePerTP)
+	}
+	return tp
+}
+
+func (s *tpSlab) grow() {
+	chunk := make([]tpNode, slabChunk)
+	for i := range chunk {
+		tp := &chunk[i]
+		tp.node.Value = tp
+		resetTPNode(tp)
+		s.free = append(s.free, tp)
+	}
+}
+
+// put resets tp and returns it to the free list. tp must be empty (no
+// entries) and unlinked from the page list.
+//
+//ftl:hotpath
+func (s *tpSlab) put(tp *tpNode) {
+	if slabDeepCheck && s.err == nil {
+		for off, e := range tp.byOff {
+			if e != nil {
+				s.err = fmt.Errorf("tpftl: tp node %d released with live slot at offset %d", tp.vtpn, off)
+				break
+			}
+		}
+	}
+	resetTPNode(tp)
+	s.free = append(s.free, tp)
+}
+
+// resetTPNode restores the sentinel state a free TP node must carry. byOff
+// is deliberately kept: its slots are already nil (see tpSlab doc).
+func resetTPNode(tp *tpNode) {
+	tp.vtpn = -1
+	tp.dirty = 0
+	tp.stampSum = 0
+}
+
+// check audits the free list, mirroring entrySlab.check.
+func (s *tpSlab) check() error {
+	if s.err != nil {
+		return s.err
+	}
+	for _, tp := range s.free {
+		if tp == nil {
+			return fmt.Errorf("tpftl: nil tp node on slab free list")
+		}
+		if tp.node.Value != tp {
+			return fmt.Errorf("tpftl: free tp node lost its back-pointer")
+		}
+		if tp.node.InList() {
+			return fmt.Errorf("tpftl: free tp node still linked in a list")
+		}
+		if tp.entries.Len() != 0 {
+			return fmt.Errorf("tpftl: free tp node still holds %d entries", tp.entries.Len())
+		}
+		if tp.vtpn != -1 || tp.dirty != 0 || tp.stampSum != 0 {
+			return fmt.Errorf("tpftl: free tp node not reset (vtpn=%d dirty=%d stampSum=%d)", tp.vtpn, tp.dirty, tp.stampSum)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,8 @@
+//go:build ftlsan
+
+package core
+
+// slabDeepCheck arms the O(entries-per-TP) release-time audit of each TP
+// node's offset table. Only the ftlsan build pays for it; the plain build
+// still audits the free lists through CheckInvariants.
+const slabDeepCheck = true

@@ -1,0 +1,6 @@
+//go:build !ftlsan
+
+package core
+
+// slabDeepCheck is off in the plain build; see slab_ftlsan.go.
+const slabDeepCheck = false

@@ -33,7 +33,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/flash"
 	"repro/internal/ftl"
@@ -125,9 +124,12 @@ func (c Config) VariantName() string {
 	return s
 }
 
-// entryNode is one cached mapping entry (§4.1's entry node).
+// entryNode is one cached mapping entry (§4.1's entry node). Nodes are
+// slab-allocated (entrySlab) and recycled through a free list on eviction;
+// outside a list they carry the reset sentinel state (owner nil, off -1,
+// ppn invalid) so stale bits cannot leak into a reuse.
 type entryNode struct {
-	node  lru.Node // links within its TP node's entry-level list
+	node  lru.Node[*entryNode] // links within its TP node's entry-level list
 	owner *tpNode
 	off   int32 // offset within the translation page (the compressed LPN)
 	ppn   flash.PPN
@@ -135,14 +137,18 @@ type entryNode struct {
 	stamp uint64 // last-access timestamp (HotnessAvg ordering)
 }
 
-// tpNode clusters the cached entries of one translation page (§4.1).
+// tpNode clusters the cached entries of one translation page (§4.1). Like
+// entry nodes, TP nodes are slab-allocated and recycled. byOff is a dense
+// offset-indexed table (len == entries-per-TP, nil == uncached): offsets are
+// bounded by the translation-page geometry, so a direct index replaces the
+// per-node map — no hashing on the hit path and no map allocation per node.
 type tpNode struct {
-	node     lru.Node // links within the page-level list
+	node     lru.Node[*tpNode] // links within the page-level list
 	vtpn     ftl.VTPN
-	entries  lru.List // entry-level LRU, MRU..LRU
-	byOff    map[int32]*entryNode
-	dirty    int    // dirty entry count
-	stampSum uint64 // Σ entry stamps; avg = stampSum/len (HotnessAvg)
+	entries  lru.List[*entryNode] // entry-level LRU, MRU..LRU
+	byOff    []*entryNode         // dense offset→entry table, kept (all nil) across recycles
+	dirty    int                  // dirty entry count
+	stampSum uint64               // Σ entry stamps; avg = stampSum/len (HotnessAvg)
 }
 
 func (tp *tpNode) avgStamp() float64 {
@@ -159,8 +165,30 @@ type FTL struct {
 	nodeBytes  int64
 	threshold  int
 
-	pages  lru.List // page-level list, hottest..coldest
-	byVTPN map[ftl.VTPN]*tpNode
+	pages lru.List[*tpNode] // page-level list, hottest..coldest
+	// byVTPN is the page directory: a dense table indexed by VTPN
+	// (nil = not cached), grown on demand as translation pages are first
+	// installed. A map here put a hash lookup on every Translate; the VTPN
+	// space is small (logical pages / entries-per-TP), so the flat table
+	// costs a few KB and indexes in one bounds-checked load.
+	byVTPN []*tpNode
+
+	// Slab free lists: evicted nodes are reset and recycled instead of
+	// handed back to the garbage collector, so the steady-state service
+	// path allocates nothing.
+	eslab entrySlab
+	tslab tpSlab
+
+	// Reusable scratch buffers for the hot paths that previously allocated
+	// per call. prefetchBuf backs prefetchSet's result; evictScratch backs
+	// evictOne's writeback batch; gcPending/gcScratch back OnGCDataMoves'
+	// sorted flush. evictOne and OnGCDataMoves need separate buffers: a
+	// writeback inside evictOne can trigger GC, which re-enters the
+	// translator through OnGCDataMoves while evictScratch is still live.
+	prefetchBuf  []int32
+	evictScratch []ftl.EntryUpdate
+	gcPending    []gcFlush
+	gcScratch    []ftl.EntryUpdate
 
 	used    int64 // bytes charged against cfg.CacheBytes
 	entries int
@@ -216,7 +244,6 @@ func New(cfg Config) *FTL {
 		entryBytes: entryBytes,
 		nodeBytes:  int64(cfg.TPNodeBytes),
 		threshold:  cfg.SelectiveThreshold,
-		byVTPN:     make(map[ftl.VTPN]*tpNode),
 		ePerTP:     ePerTP,
 	}
 }
@@ -259,12 +286,14 @@ func (f *FTL) BeginRequest(first, last ftl.LPN, write bool) {
 }
 
 // Translate implements ftl.Translator.
+//
+//ftl:hotpath
 func (f *FTL) Translate(env ftl.Env, lpn ftl.LPN) (flash.PPN, error) {
 	f.ePerTP = env.EntriesPerTP()
 	v := ftl.VTPNOf(lpn, f.ePerTP)
 	off := int32(ftl.OffOf(lpn, f.ePerTP))
 
-	if tp := f.byVTPN[v]; tp != nil {
+	if tp := f.tpAt(v); tp != nil {
 		if e := tp.byOff[off]; e != nil {
 			env.NoteLookup(true)
 			f.touch(tp, e)
@@ -277,8 +306,10 @@ func (f *FTL) Translate(env ftl.Env, lpn ftl.LPN) (flash.PPN, error) {
 
 // load handles a cache miss: it decides the prefetch set, makes room, reads
 // the translation page once and installs the entries.
+//
+//ftl:hotpath
 func (f *FTL) load(env ftl.Env, lpn ftl.LPN, v ftl.VTPN, off int32) (flash.PPN, error) {
-	tp := f.byVTPN[v]
+	tp := f.tpAt(v)
 
 	// Prefetch decision (§4.3). Offsets are relative to lpn's translation
 	// page and exclude already-cached slots; rule 1 (§4.5) bounds
@@ -292,7 +323,7 @@ func (f *FTL) load(env ftl.Env, lpn ftl.LPN, v ftl.VTPN, off int32) (flash.PPN, 
 
 	need := func(nExtras int) int64 {
 		c := int64(1+nExtras) * f.entryBytes
-		if f.byVTPN[v] == nil {
+		if f.tpAt(v) == nil {
 			c += f.nodeBytes // node may have been dropped by an eviction
 		}
 		return c
@@ -321,7 +352,7 @@ func (f *FTL) load(env ftl.Env, lpn ftl.LPN, v ftl.VTPN, off int32) (flash.PPN, 
 			cold := ftl.VTPN(-1)
 			freeable := int64(0)
 			if coldest := f.pages.Back(); coldest != nil {
-				tpc := coldest.Value.(*tpNode)
+				tpc := coldest.Value
 				cold = tpc.vtpn
 				freeable = int64(tpc.entries.Len())*f.entryBytes + f.nodeBytes
 			}
@@ -363,7 +394,7 @@ func (f *FTL) load(env ftl.Env, lpn ftl.LPN, v ftl.VTPN, off int32) (flash.PPN, 
 
 	// The eviction pass may have removed lpn's TP node (or created the
 	// conditions for it); re-resolve and install.
-	tp = f.byVTPN[v]
+	tp = f.tpAt(v)
 	if tp == nil {
 		tp = f.newTPNode(v)
 	}
@@ -394,29 +425,32 @@ func (f *FTL) load(env ftl.Env, lpn ftl.LPN, v ftl.VTPN, off int32) (flash.PPN, 
 }
 
 // prefetchSet returns the extra offsets (same translation page, uncached,
-// ascending, excluding off) to load together with the demanded entry.
+// ascending, excluding off) to load together with the demanded entry. The
+// result aliases f.prefetchBuf; it is valid until the next miss.
+//
+//ftl:hotpath
 func (f *FTL) prefetchSet(tp *tpNode, lpn ftl.LPN, off, pageEnd int32) []int32 {
-	var extras []int32
-	seen := map[int32]bool{}
+	extras := f.prefetchBuf[:0]
 
 	// Request-level prefetching ('r'): all pages of the in-flight request
 	// from lpn forward, within this translation page (rule 1).
+	reqN := int32(0)
 	if f.cfg.RequestPrefetch && f.reqLast > lpn {
-		n := int32(f.reqLast - lpn)
-		for i := int32(1); i <= n && off+i < pageEnd; i++ {
+		reqN = int32(f.reqLast - lpn)
+		for i := int32(1); i <= reqN && off+i < pageEnd; i++ {
 			xo := off + i
 			if tp != nil && tp.byOff[xo] != nil {
 				continue
 			}
-			if !seen[xo] {
-				seen[xo] = true
-				extras = append(extras, xo)
-			}
+			extras = append(extras, xo)
 		}
 	}
 
 	// Selective prefetching ('s'): when active, prefetch as many
 	// successors as there are cached consecutive predecessors (§4.3).
+	// Offsets within reqN were already considered by the request pass
+	// above (both passes skip cached slots), so skipping them here keeps
+	// the set duplicate-free without a per-miss seen map.
 	if f.cfg.SelectivePrefetch && f.selectiveOn && tp != nil {
 		preds := int32(0)
 		for o := off - 1; o >= 0; o-- {
@@ -426,20 +460,23 @@ func (f *FTL) prefetchSet(tp *tpNode, lpn ftl.LPN, off, pageEnd int32) []int32 {
 			preds++
 		}
 		for i := int32(1); i <= preds && off+i < pageEnd; i++ {
+			if i <= reqN {
+				continue // covered by the request-prefetch pass
+			}
 			xo := off + i
 			if tp.byOff[xo] != nil {
 				continue
 			}
-			if !seen[xo] {
-				seen[xo] = true
-				extras = append(extras, xo)
-			}
+			extras = append(extras, xo)
 		}
 	}
+	f.prefetchBuf = extras
 	return extras
 }
 
 // touch records an access to e and restores the page-level ordering.
+//
+//ftl:hotpath
 func (f *FTL) touch(tp *tpNode, e *entryNode) {
 	tp.entries.MoveToFront(&e.node)
 	f.stamp++
@@ -450,6 +487,8 @@ func (f *FTL) touch(tp *tpNode, e *entryNode) {
 
 // reposition restores tp's position in the page-level list after its
 // hotness changed.
+//
+//ftl:hotpath
 func (f *FTL) reposition(tp *tpNode) {
 	if f.cfg.Hotness == HotnessLRU {
 		f.pages.MoveToFront(&tp.node)
@@ -458,21 +497,50 @@ func (f *FTL) reposition(tp *tpNode) {
 	// HotnessAvg: bubble toward the front while hotter than predecessors,
 	// toward the back while colder than successors.
 	avg := tp.avgStamp()
-	for prev := tp.node.Prev(); prev != nil && prev.Value.(*tpNode).avgStamp() < avg; prev = tp.node.Prev() {
+	for prev := tp.node.Prev(); prev != nil && prev.Value.avgStamp() < avg; prev = tp.node.Prev() {
 		f.pages.Remove(&tp.node)
 		f.pages.InsertBefore(&tp.node, prev)
 	}
-	for next := tp.node.Next(); next != nil && next.Value.(*tpNode).avgStamp() > avg; next = tp.node.Next() {
+	for next := tp.node.Next(); next != nil && next.Value.avgStamp() > avg; next = tp.node.Next() {
 		f.pages.Remove(&tp.node)
 		f.pages.InsertAfter(&tp.node, next)
 	}
 }
 
+// tpAt returns the cached TP node for v, or nil. The directory only grows
+// when a node is installed (newTPNode), so a VTPN beyond the table is simply
+// not cached.
+//
+//ftl:hotpath
+func (f *FTL) tpAt(v ftl.VTPN) *tpNode {
+	if int(v) < len(f.byVTPN) {
+		return f.byVTPN[v]
+	}
+	return nil
+}
+
+// growIndex widens the page directory to hold at least n slots. Growth
+// doubles, so steady-state installs never reallocate; the table tops out at
+// one pointer per translation page of the device.
+func (f *FTL) growIndex(n int) {
+	if n < 2*len(f.byVTPN) {
+		n = 2 * len(f.byVTPN)
+	}
+	nb := make([]*tpNode, n)
+	copy(nb, f.byVTPN)
+	f.byVTPN = nb
+}
+
 // newTPNode creates and links a TP node, charging its overhead and stepping
 // the selective-prefetch counter (§4.3: +1 on load).
+//
+//ftl:hotpath
 func (f *FTL) newTPNode(v ftl.VTPN) *tpNode {
-	tp := &tpNode{vtpn: v, byOff: make(map[int32]*entryNode)}
-	tp.node.Value = tp
+	tp := f.tslab.get(f.ePerTP)
+	tp.vtpn = v
+	if int(v) >= len(f.byVTPN) {
+		f.growIndex(int(v) + 1)
+	}
 	f.byVTPN[v] = tp
 	f.pages.PushFront(&tp.node)
 	f.used += f.nodeBytes
@@ -481,11 +549,14 @@ func (f *FTL) newTPNode(v ftl.VTPN) *tpNode {
 }
 
 // dropTPNode unlinks an empty TP node (§4.3: −1 on eviction).
+//
+//ftl:hotpath
 func (f *FTL) dropTPNode(tp *tpNode) {
 	f.pages.Remove(&tp.node)
-	delete(f.byVTPN, tp.vtpn)
+	f.byVTPN[tp.vtpn] = nil
 	f.used -= f.nodeBytes
 	f.stepCounter(-1)
+	f.tslab.put(tp)
 }
 
 // stepCounter implements the selective-prefetching activation rule: when
@@ -504,9 +575,11 @@ func (f *FTL) stepCounter(delta int) {
 }
 
 // addEntry installs a new entry at the MRU position of tp.
+//
+//ftl:hotpath
 func (f *FTL) addEntry(tp *tpNode, off int32, ppn flash.PPN, dirty bool) *entryNode {
-	e := &entryNode{owner: tp, off: off, ppn: ppn, dirty: dirty}
-	e.node.Value = e
+	e := f.eslab.get()
+	e.owner, e.off, e.ppn, e.dirty = tp, off, ppn, dirty
 	tp.byOff[off] = e
 	tp.entries.PushFront(&e.node)
 	if dirty {
@@ -521,15 +594,19 @@ func (f *FTL) addEntry(tp *tpNode, off int32, ppn flash.PPN, dirty bool) *entryN
 	return e
 }
 
-// removeEntry unlinks e; the TP node is dropped when it empties.
+// removeEntry unlinks e and recycles it; the TP node is dropped when it
+// empties.
+//
+//ftl:hotpath
 func (f *FTL) removeEntry(e *entryNode) {
 	tp := e.owner
 	tp.entries.Remove(&e.node)
-	delete(tp.byOff, e.off)
+	tp.byOff[e.off] = nil
 	tp.stampSum -= e.stamp
 	if e.dirty {
 		tp.dirty--
 	}
+	f.eslab.put(e)
 	f.entries--
 	f.used -= f.entryBytes
 	if tp.entries.Len() == 0 {
@@ -546,12 +623,14 @@ func (f *FTL) removeEntry(e *entryNode) {
 
 // evictOne evicts one victim per the replacement policy (§4.4) and reports
 // whether an eviction happened.
+//
+//ftl:hotpath
 func (f *FTL) evictOne(env ftl.Env) (bool, error) {
 	coldN := f.pages.Back()
 	if coldN == nil {
 		return false, nil
 	}
-	tp := coldN.Value.(*tpNode)
+	tp := coldN.Value
 
 	// §4.5 rule-2 assertion: a load that still carries a prefetch must
 	// confine its evictions to one TP node.
@@ -567,14 +646,14 @@ func (f *FTL) evictOne(env ftl.Env) (bool, error) {
 	if f.cfg.CleanFirst {
 		// LRU clean entry of the coldest TP node; LRU dirty as fallback.
 		for n := tp.entries.Back(); n != nil; n = n.Prev() {
-			if e := n.Value.(*entryNode); !e.dirty {
+			if e := n.Value; !e.dirty {
 				victim = e
 				break
 			}
 		}
 	}
 	if victim == nil {
-		victim = tp.entries.Back().Value.(*entryNode)
+		victim = tp.entries.Back().Value
 	}
 
 	env.NoteReplacement(victim.dirty)
@@ -586,12 +665,14 @@ func (f *FTL) evictOne(env ftl.Env) (bool, error) {
 	// Dirty victim: compose the writeback. With batch update every dirty
 	// entry of the TP node joins the same translation-page update and
 	// stays cached clean (§4.4); without it only the victim is written.
+	// The batch reuses evictScratch; GC re-entered from the WriteTP below
+	// flushes through the separate gcPending/gcScratch buffers.
 	v := tp.vtpn
-	var updates []ftl.EntryUpdate
+	updates := f.evictScratch[:0]
 	cleaned := 0
 	if f.cfg.BatchUpdate {
 		for n := tp.entries.Front(); n != nil; n = n.Next() {
-			e := n.Value.(*entryNode)
+			e := n.Value
 			if !e.dirty {
 				continue
 			}
@@ -603,8 +684,9 @@ func (f *FTL) evictOne(env ftl.Env) (bool, error) {
 			}
 		}
 	} else {
-		updates = []ftl.EntryUpdate{{Off: int(victim.off), PPN: victim.ppn}}
+		updates = append(updates, ftl.EntryUpdate{Off: int(victim.off), PPN: victim.ppn})
 	}
+	f.evictScratch = updates
 	// Unlink the victim and clear dirty state BEFORE the flash write: the
 	// write can trigger GC, and GC may re-dirty surviving entries with
 	// fresher values that must not be clobbered afterwards.
@@ -617,11 +699,13 @@ func (f *FTL) evictOne(env ftl.Env) (bool, error) {
 }
 
 // Update implements ftl.Translator.
+//
+//ftl:hotpath
 func (f *FTL) Update(env ftl.Env, lpn ftl.LPN, ppn flash.PPN) error {
 	f.ePerTP = env.EntriesPerTP()
 	v := ftl.VTPNOf(lpn, f.ePerTP)
 	off := int32(ftl.OffOf(lpn, f.ePerTP))
-	if tp := f.byVTPN[v]; tp != nil {
+	if tp := f.tpAt(v); tp != nil {
 		if e := tp.byOff[off]; e != nil {
 			e.ppn = ppn
 			if !e.dirty {
@@ -640,7 +724,7 @@ func (f *FTL) Update(env ftl.Env, lpn ftl.LPN, ppn flash.PPN) error {
 	// per standalone update.
 	need := func() int64 {
 		c := f.entryBytes
-		if f.byVTPN[v] == nil {
+		if f.tpAt(v) == nil {
 			c += f.nodeBytes
 		}
 		return c
@@ -654,7 +738,7 @@ func (f *FTL) Update(env ftl.Env, lpn ftl.LPN, ppn flash.PPN) error {
 			return fmt.Errorf("tpftl: budget %d cannot hold one entry", f.cfg.CacheBytes)
 		}
 	}
-	tp := f.byVTPN[v]
+	tp := f.tpAt(v)
 	if tp == nil {
 		tp = f.newTPNode(v)
 	}
@@ -667,13 +751,15 @@ func (f *FTL) Update(env ftl.Env, lpn ftl.LPN, ppn flash.PPN) error {
 // updated in place (GC hits); misses are grouped per translation page, and
 // with batch update each flash update also flushes every cached dirty entry
 // of that page.
+//
+//ftl:hotpath
 func (f *FTL) OnGCDataMoves(env ftl.Env, moves []ftl.GCMove) error {
 	f.ePerTP = env.EntriesPerTP()
-	pending := map[ftl.VTPN][]ftl.EntryUpdate{}
+	pend := f.gcPending[:0]
 	for _, mv := range moves {
 		v := ftl.VTPNOf(mv.LPN, f.ePerTP)
 		off := int32(ftl.OffOf(mv.LPN, f.ePerTP))
-		if tp := f.byVTPN[v]; tp != nil {
+		if tp := f.tpAt(v); tp != nil {
 			if e := tp.byOff[off]; e != nil {
 				e.ppn = mv.NewPPN
 				if !e.dirty {
@@ -685,23 +771,31 @@ func (f *FTL) OnGCDataMoves(env ftl.Env, moves []ftl.GCMove) error {
 			}
 		}
 		env.NoteGCMapUpdate(false)
-		pending[v] = append(pending[v], ftl.EntryUpdate{Off: int(off), PPN: mv.NewPPN})
+		pend = append(pend, gcFlush{v: v, up: ftl.EntryUpdate{Off: int(off), PPN: mv.NewPPN}})
 	}
-	// Flush in ascending vtpn order: map iteration order would permute the
+	// Flush in ascending vtpn order: an unordered flush would permute the
 	// WriteTP sequence — and with it physical page allocation and die
 	// assignment — making otherwise identical runs schedule differently.
-	vtpns := make([]ftl.VTPN, 0, len(pending))
-	for v := range pending {
-		vtpns = append(vtpns, v)
+	// The stable insertion sort keeps the within-page move order and runs
+	// on the reusable pending buffer (moves per GC pass are bounded by the
+	// pages of one block, so quadratic is fine and nothing allocates).
+	for i := 1; i < len(pend); i++ {
+		for j := i; j > 0 && pend[j].v < pend[j-1].v; j-- {
+			pend[j], pend[j-1] = pend[j-1], pend[j]
+		}
 	}
-	sort.Slice(vtpns, func(i, j int) bool { return vtpns[i] < vtpns[j] })
-	for _, v := range vtpns {
-		ups := pending[v]
+	f.gcPending = pend
+	for i := 0; i < len(pend); {
+		v := pend[i].v
+		ups := f.gcScratch[:0]
+		for ; i < len(pend) && pend[i].v == v; i++ {
+			ups = append(ups, pend[i].up)
+		}
 		if f.cfg.BatchUpdate {
-			if tp := f.byVTPN[v]; tp != nil && tp.dirty > 0 {
+			if tp := f.tpAt(v); tp != nil && tp.dirty > 0 {
 				cleaned := 0
 				for n := tp.entries.Front(); n != nil; n = n.Next() {
-					e := n.Value.(*entryNode)
+					e := n.Value
 					if !e.dirty {
 						continue
 					}
@@ -713,11 +807,20 @@ func (f *FTL) OnGCDataMoves(env ftl.Env, moves []ftl.GCMove) error {
 				env.NoteBatchWriteback(cleaned)
 			}
 		}
+		f.gcScratch = ups
 		if err := env.WriteTP(v, ups, false); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// gcFlush is one pending GC map update destined for translation page v;
+// OnGCDataMoves collects these into a reusable buffer and flushes them
+// grouped by page in ascending vtpn order.
+type gcFlush struct {
+	v  ftl.VTPN
+	up ftl.EntryUpdate
 }
 
 // Snapshot implements ftl.Inspector.
@@ -729,7 +832,7 @@ func (f *FTL) Snapshot() ftl.CacheSnapshot {
 		DirtyPerPage: make(map[ftl.VTPN]int, f.pages.Len()),
 	}
 	for n := f.pages.Front(); n != nil; n = n.Next() {
-		tp := n.Value.(*tpNode)
+		tp := n.Value
 		s.DirtyPerPage[tp.vtpn] = tp.dirty
 		s.DirtyEntries += tp.dirty
 	}
@@ -741,9 +844,12 @@ func (f *FTL) Snapshot() ftl.CacheSnapshot {
 func (f *FTL) DirtyCached() map[ftl.LPN]flash.PPN {
 	out := make(map[ftl.LPN]flash.PPN)
 	for v, tp := range f.byVTPN {
+		if tp == nil {
+			continue
+		}
 		for off, e := range tp.byOff {
-			if e.dirty {
-				out[ftl.LPNAt(v, int(off), f.ePerTP)] = e.ppn
+			if e != nil && e.dirty {
+				out[ftl.LPNAt(ftl.VTPN(v), off, f.ePerTP)] = e.ppn
 			}
 		}
 	}
@@ -761,8 +867,8 @@ func (f *FTL) CheckInvariants() error {
 	}
 	entries, used := 0, int64(0)
 	for n := f.pages.Front(); n != nil; n = n.Next() {
-		tp := n.Value.(*tpNode)
-		if f.byVTPN[tp.vtpn] != tp {
+		tp := n.Value
+		if f.tpAt(tp.vtpn) != tp {
 			return fmt.Errorf("tpftl: tp node %d not in index", tp.vtpn)
 		}
 		if tp.entries.Len() == 0 {
@@ -771,11 +877,11 @@ func (f *FTL) CheckInvariants() error {
 		dirty := 0
 		var sum uint64
 		for en := tp.entries.Front(); en != nil; en = en.Next() {
-			e := en.Value.(*entryNode)
+			e := en.Value
 			if e.owner != tp {
 				return fmt.Errorf("tpftl: entry %d/%d has wrong owner", tp.vtpn, e.off)
 			}
-			if tp.byOff[e.off] != e {
+			if int(e.off) >= len(tp.byOff) || tp.byOff[e.off] != e {
 				return fmt.Errorf("tpftl: entry %d/%d not in offset index", tp.vtpn, e.off)
 			}
 			if e.dirty {
@@ -790,8 +896,14 @@ func (f *FTL) CheckInvariants() error {
 		if sum != tp.stampSum {
 			return fmt.Errorf("tpftl: tp %d stamp sum %d, counted %d", tp.vtpn, tp.stampSum, sum)
 		}
-		if len(tp.byOff) != tp.entries.Len() {
-			return fmt.Errorf("tpftl: tp %d index size %d, list %d", tp.vtpn, len(tp.byOff), tp.entries.Len())
+		live := 0
+		for _, se := range tp.byOff {
+			if se != nil {
+				live++
+			}
+		}
+		if live != tp.entries.Len() {
+			return fmt.Errorf("tpftl: tp %d offset table has %d live slots, list %d (stale slot after recycle?)", tp.vtpn, live, tp.entries.Len())
 		}
 		used += int64(tp.entries.Len())*f.entryBytes + f.nodeBytes
 	}
@@ -801,19 +913,31 @@ func (f *FTL) CheckInvariants() error {
 	if used != f.used {
 		return fmt.Errorf("tpftl: used %d, counted %d", f.used, used)
 	}
-	if len(f.byVTPN) != f.pages.Len() {
-		return fmt.Errorf("tpftl: index size %d, page list %d", len(f.byVTPN), f.pages.Len())
+	indexed := 0
+	for _, tp := range f.byVTPN {
+		if tp != nil {
+			indexed++
+		}
+	}
+	if indexed != f.pages.Len() {
+		return fmt.Errorf("tpftl: index holds %d nodes, page list %d", indexed, f.pages.Len())
 	}
 	if f.cfg.Hotness == HotnessAvg {
 		var prev float64
 		first := true
 		for n := f.pages.Front(); n != nil; n = n.Next() {
-			avg := n.Value.(*tpNode).avgStamp()
+			avg := n.Value.avgStamp()
 			if !first && avg > prev {
 				return fmt.Errorf("tpftl: page list not ordered by avg hotness")
 			}
 			prev, first = avg, false
 		}
+	}
+	if err := f.eslab.check(); err != nil {
+		return err
+	}
+	if err := f.tslab.check(); err != nil {
+		return err
 	}
 	return nil
 }

@@ -193,11 +193,16 @@ type block struct {
 
 // Chip simulates one NAND flash chip.
 type Chip struct {
-	cfg    Config
-	states []PageState
-	metas  []Meta
-	blocks []block
-	stats  Stats
+	cfg Config
+	// numDies and totalPages cache the derived geometry: the per-page hot
+	// path (DieOf, mustContain) must not re-derive them through Config's
+	// value-receiver methods, which copy the whole struct per call.
+	numDies    int
+	totalPages int64
+	states     []PageState
+	metas      []Meta
+	blocks     []block
+	stats      Stats
 	// failNextOps holds injected errors keyed by op name, consumed in order.
 	failNext map[string][]error
 	// faults, when non-nil, is the armed fault plan (see fault.go).
@@ -210,10 +215,12 @@ func New(cfg Config) (*Chip, error) {
 		return nil, err
 	}
 	return &Chip{
-		cfg:    cfg,
-		states: make([]PageState, cfg.TotalPages()),
-		metas:  make([]Meta, cfg.TotalPages()),
-		blocks: make([]block, cfg.NumBlocks),
+		cfg:        cfg,
+		numDies:    cfg.NumDies(),
+		totalPages: cfg.TotalPages(),
+		states:     make([]PageState, cfg.TotalPages()),
+		metas:      make([]Meta, cfg.TotalPages()),
+		blocks:     make([]block, cfg.NumBlocks),
 	}, nil
 }
 
@@ -230,7 +237,11 @@ func (c *Chip) Block(p PPN) BlockID { return BlockID(int64(p) / int64(c.cfg.Page
 func (c *Chip) Offset(p PPN) int { return int(int64(p) % int64(c.cfg.PagesPerBlock)) }
 
 // DieOf returns the die holding p's block.
-func (c *Chip) DieOf(p PPN) int { return c.cfg.DieOf(c.Block(p)) }
+func (c *Chip) DieOf(p PPN) int { return int(c.Block(p)) % c.numDies }
+
+// DieOfBlock returns the die holding blk. Equivalent to Config().DieOf(blk)
+// without copying the Config on the per-operation path.
+func (c *Chip) DieOfBlock(blk BlockID) int { return int(blk) % c.numDies }
 
 // PageAt returns the PPN of page offset off within blk.
 func (c *Chip) PageAt(blk BlockID, off int) PPN {
@@ -423,8 +434,8 @@ func (c *Chip) takeInjected(op string) error {
 }
 
 func (c *Chip) mustContain(p PPN) {
-	if p < 0 || int64(p) >= c.cfg.TotalPages() {
-		panic(fmt.Sprintf("flash: ppn %d out of range [0,%d)", p, c.cfg.TotalPages()))
+	if p < 0 || int64(p) >= c.totalPages {
+		panic(fmt.Sprintf("flash: ppn %d out of range [0,%d)", p, c.totalPages))
 	}
 }
 

@@ -33,14 +33,14 @@ type Config struct {
 }
 
 type cmtEntry struct {
-	node  lru.Node
+	node  lru.Node[*cmtEntry]
 	lpn   ftl.LPN
 	ppn   flash.PPN
 	dirty bool
 }
 
 type ctpPage struct {
-	node  lru.Node
+	node  lru.Node[*ctpPage]
 	vtpn  ftl.VTPN
 	vals  []flash.PPN
 	dirty map[int32]struct{}
@@ -53,10 +53,10 @@ type FTL struct {
 	ctpCap int // max CTP pages
 
 	cmt    map[ftl.LPN]*cmtEntry
-	cmtLRU lru.List
+	cmtLRU lru.List[*cmtEntry]
 
 	ctp    map[ftl.VTPN]*ctpPage
-	ctpLRU lru.List
+	ctpLRU lru.List[*ctpPage]
 
 	ePerTP int
 }
@@ -173,7 +173,7 @@ func (f *FTL) evictCTP(env ftl.Env) error {
 	if n == nil {
 		return nil
 	}
-	p := n.Value.(*ctpPage)
+	p := n.Value
 	f.ctpLRU.Remove(n)
 	delete(f.ctp, p.vtpn)
 	env.NoteReplacement(len(p.dirty) > 0)
@@ -219,7 +219,7 @@ func (f *FTL) addCMT(lpn ftl.LPN, ppn flash.PPN, dirty bool) {
 func (f *FTL) evictCMT(env ftl.Env) error {
 	var victim *cmtEntry
 	for n := f.cmtLRU.Back(); n != nil; n = n.Prev() {
-		e := n.Value.(*cmtEntry)
+		e := n.Value
 		if !e.dirty {
 			victim = e
 			break
@@ -231,7 +231,7 @@ func (f *FTL) evictCMT(env ftl.Env) error {
 	}
 	forced := false
 	if victim == nil {
-		victim = f.cmtLRU.Back().Value.(*cmtEntry)
+		victim = f.cmtLRU.Back().Value
 		forced = true
 	}
 	f.cmtLRU.Remove(&victim.node)

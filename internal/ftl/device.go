@@ -418,7 +418,7 @@ func (d *Device) issuePage(p flash.PPN, lat time.Duration) {
 }
 
 func (d *Device) issueBlock(b flash.BlockID, lat time.Duration) {
-	d.issueDie(d.chip.Config().DieOf(b), lat)
+	d.issueDie(d.chip.DieOfBlock(b), lat)
 }
 
 func (d *Device) issueDie(die int, lat time.Duration) {

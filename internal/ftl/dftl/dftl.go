@@ -20,7 +20,7 @@ import (
 
 // entry is one cached mapping entry.
 type entry struct {
-	node      lru.Node
+	node      lru.Node[*entry]
 	lpn       ftl.LPN
 	ppn       flash.PPN
 	dirty     bool
@@ -44,8 +44,8 @@ type FTL struct {
 	capacity int // max cached entries
 
 	entries map[ftl.LPN]*entry
-	prob    lru.List // probationary segment, MRU..LRU
-	prot    lru.List // protected segment, MRU..LRU
+	prob    lru.List[*entry] // probationary segment, MRU..LRU
+	prot    lru.List[*entry] // protected segment, MRU..LRU
 	protCap int
 
 	ePerTP int // learned from the Env; snapshot grouping granularity
@@ -142,7 +142,7 @@ func (f *FTL) touch(e *entry) {
 	// Keep the protected segment within its share by demoting its LRU.
 	for f.prot.Len() > f.protCap {
 		lrun := f.prot.Back()
-		d := lrun.Value.(*entry)
+		d := lrun.Value
 		f.prot.Remove(lrun)
 		d.protected = false
 		f.prob.PushFront(lrun)
@@ -178,7 +178,7 @@ func (f *FTL) evictOne(env ftl.Env) error {
 	if n == nil {
 		return nil
 	}
-	e := n.Value.(*entry)
+	e := n.Value
 	if e.protected {
 		f.prot.Remove(n)
 	} else {

@@ -37,7 +37,7 @@ type Config struct {
 
 // logBlock is one page-mapped log block dedicated to a logical block.
 type logBlock struct {
-	node   lru.Node
+	node   lru.Node[*logBlock]
 	lb     int           // owning logical block
 	blk    flash.BlockID // physical block
 	next   int           // append pointer
@@ -51,7 +51,7 @@ type Device struct {
 
 	blockMap []flash.BlockID // logical block → physical data block, -1
 	logs     map[int]*logBlock
-	logLRU   lru.List // MRU..LRU log blocks
+	logLRU   lru.List[*logBlock] // MRU..LRU log blocks
 	free     []flash.BlockID
 
 	logicalBlocks int
@@ -312,7 +312,7 @@ func (d *Device) logFor(lb int) (*logBlock, time.Duration, error) {
 	}
 	var acc time.Duration
 	for len(d.logs) >= d.cfg.LogBlocks {
-		victim := d.logLRU.Back().Value.(*logBlock)
+		victim := d.logLRU.Back().Value
 		lat, err := d.merge(victim.lb)
 		acc += lat
 		if err != nil {

@@ -19,6 +19,8 @@
 package sftl
 
 import (
+	"sort"
+
 	"repro/internal/flash"
 	"repro/internal/ftl"
 	"repro/internal/lru"
@@ -44,7 +46,7 @@ type Config struct {
 
 // cachedPage is one cached (compressed) translation page.
 type cachedPage struct {
-	node  lru.Node
+	node  lru.Node[*cachedPage]
 	vtpn  ftl.VTPN
 	vals  []flash.PPN
 	dirty map[int32]struct{} // offsets modified since load
@@ -58,7 +60,7 @@ type FTL struct {
 	pageBudget int64 // budget for cached pages
 	bufBudget  int64 // budget for the dirty buffer
 
-	pages  lru.List // MRU..LRU
+	pages  lru.List[*cachedPage] // MRU..LRU
 	byVTPN map[ftl.VTPN]*cachedPage
 	used   int64
 
@@ -193,7 +195,7 @@ func (f *FTL) evictLRU(env ftl.Env) error {
 	if n == nil {
 		return nil
 	}
-	p := n.Value.(*cachedPage)
+	p := n.Value
 	f.pages.Remove(n)
 	delete(f.byVTPN, p.vtpn)
 	f.used -= p.cost
@@ -215,7 +217,9 @@ func (f *FTL) evictLRU(env ftl.Env) error {
 }
 
 // writeBackFullPage writes the entire cached page: no prior read is needed
-// (S-FTL's full-page writeback, Tfw only).
+// (S-FTL's full-page writeback, Tfw only). Updates are emitted in ascending
+// offset order: p.dirty is a map, and letting its iteration order leak into
+// the update list made otherwise identical runs diverge.
 func (f *FTL) writeBackFullPage(env ftl.Env, p *cachedPage) error {
 	updates := make([]ftl.EntryUpdate, 0, len(p.dirty))
 	numLPNs := env.NumLPNs()
@@ -226,6 +230,7 @@ func (f *FTL) writeBackFullPage(env ftl.Env, p *cachedPage) error {
 		}
 		updates = append(updates, ftl.EntryUpdate{Off: int(off), PPN: p.vals[off]})
 	}
+	sort.Slice(updates, func(i, j int) bool { return updates[i].Off < updates[j].Off })
 	env.NoteBatchWriteback(len(updates) - 1)
 	return env.WriteTP(p.vtpn, updates, true)
 }
@@ -253,12 +258,15 @@ func (f *FTL) bufferEntries(env ftl.Env, p *cachedPage) error {
 }
 
 // flushLargestGroup writes back the translation page with the most buffered
-// entries in one batched read-modify-write.
+// entries in one batched read-modify-write. Size ties break toward the
+// smallest vtpn and updates flush in ascending offset order: both choices
+// were previously left to map iteration order, which made the flush — and
+// through it physical page allocation — differ between identical runs.
 func (f *FTL) flushLargestGroup(env ftl.Env) error {
-	var bestV ftl.VTPN
+	bestV := ftl.VTPN(-1)
 	best := -1
 	for v, ents := range f.buffer {
-		if len(ents) > best {
+		if len(ents) > best || (len(ents) == best && v < bestV) {
 			best = len(ents)
 			bestV = v
 		}
@@ -271,6 +279,7 @@ func (f *FTL) flushLargestGroup(env ftl.Env) error {
 	for off, ppn := range ents {
 		updates = append(updates, ftl.EntryUpdate{Off: int(off), PPN: ppn})
 	}
+	sort.Slice(updates, func(i, j int) bool { return updates[i].Off < updates[j].Off })
 	f.buffered -= len(ents)
 	delete(f.buffer, bestV)
 	env.NoteBatchWriteback(len(updates) - 1)
@@ -339,8 +348,17 @@ func (f *FTL) OnGCDataMoves(env ftl.Env, moves []ftl.GCMove) error {
 		env.NoteGCMapUpdate(false)
 		pending[v] = append(pending[v], ftl.EntryUpdate{Off: int(off), PPN: mv.NewPPN})
 	}
-	for v, ups := range pending {
-		if err := env.WriteTP(v, ups, false); err != nil {
+	// Flush in ascending vtpn order: map iteration order would permute the
+	// WriteTP sequence — and with it physical page allocation and die
+	// assignment — making otherwise identical runs schedule differently
+	// (same fix as TPFTL's OnGCDataMoves).
+	vtpns := make([]ftl.VTPN, 0, len(pending))
+	for v := range pending {
+		vtpns = append(vtpns, v)
+	}
+	sort.Slice(vtpns, func(i, j int) bool { return vtpns[i] < vtpns[j] })
+	for _, v := range vtpns {
+		if err := env.WriteTP(v, pending[v], false); err != nil {
 			return err
 		}
 	}
@@ -404,7 +422,7 @@ func (f *FTL) Snapshot() ftl.CacheSnapshot {
 		DirtyPerPage: make(map[ftl.VTPN]int, f.pages.Len()),
 	}
 	for n := f.pages.Front(); n != nil; n = n.Next() {
-		p := n.Value.(*cachedPage)
+		p := n.Value
 		s.Entries += len(p.vals)
 		s.DirtyEntries += len(p.dirty)
 		s.DirtyPerPage[p.vtpn] = len(p.dirty)

@@ -7,6 +7,12 @@
 // node — avoids a second allocation per element and makes unlink O(1) without
 // auxiliary bookkeeping.
 //
+// The list is generic over the element type: Node[T].Value is a T (in
+// practice a pointer back to the containing struct), so walking a list never
+// boxes values into interfaces and never allocates — a property the
+// hot-path allocation guards (AllocsPerRun tests, the hotalloc analyzer)
+// hold the translators to.
+//
 // A List is ordered from MRU (front) to LRU (back).
 package lru
 
@@ -14,36 +20,36 @@ package lru
 // struct that participates in a List. A Node belongs to at most one List at a
 // time; the owning List is tracked so misuse panics early instead of silently
 // corrupting a neighbouring list.
-type Node struct {
-	prev, next *Node
-	list       *List
+type Node[T any] struct {
+	prev, next *Node[T]
+	list       *List[T]
 	// Value points back to the containing struct. It is set once by the
 	// caller before first insertion and never touched by this package.
-	Value any
+	Value T
 }
 
 // InList reports whether n is currently linked into a list.
-func (n *Node) InList() bool { return n.list != nil }
+func (n *Node[T]) InList() bool { return n.list != nil }
 
 // List is an intrusive MRU→LRU list. The zero value is an empty list ready
 // for use.
-type List struct {
-	front *Node // most recently used
-	back  *Node // least recently used
+type List[T any] struct {
+	front *Node[T] // most recently used
+	back  *Node[T] // least recently used
 	size  int
 }
 
 // Len returns the number of nodes in the list.
-func (l *List) Len() int { return l.size }
+func (l *List[T]) Len() int { return l.size }
 
 // Front returns the MRU node, or nil if the list is empty.
-func (l *List) Front() *Node { return l.front }
+func (l *List[T]) Front() *Node[T] { return l.front }
 
 // Back returns the LRU node, or nil if the list is empty.
-func (l *List) Back() *Node { return l.back }
+func (l *List[T]) Back() *Node[T] { return l.back }
 
 // PushFront inserts n at the MRU position. n must not be in any list.
-func (l *List) PushFront(n *Node) {
+func (l *List[T]) PushFront(n *Node[T]) {
 	if n.list != nil {
 		panic("lru: PushFront of node already in a list")
 	}
@@ -60,7 +66,7 @@ func (l *List) PushFront(n *Node) {
 }
 
 // PushBack inserts n at the LRU position. n must not be in any list.
-func (l *List) PushBack(n *Node) {
+func (l *List[T]) PushBack(n *Node[T]) {
 	if n.list != nil {
 		panic("lru: PushBack of node already in a list")
 	}
@@ -77,7 +83,7 @@ func (l *List) PushBack(n *Node) {
 }
 
 // Remove unlinks n from the list. n must be in this list.
-func (l *List) Remove(n *Node) {
+func (l *List[T]) Remove(n *Node[T]) {
 	if n.list != l {
 		panic("lru: Remove of node not in this list")
 	}
@@ -96,7 +102,7 @@ func (l *List) Remove(n *Node) {
 }
 
 // MoveToFront makes n the MRU node. n must be in this list.
-func (l *List) MoveToFront(n *Node) {
+func (l *List[T]) MoveToFront(n *Node[T]) {
 	if n.list != l {
 		panic("lru: MoveToFront of node not in this list")
 	}
@@ -108,7 +114,7 @@ func (l *List) MoveToFront(n *Node) {
 }
 
 // MoveToBack makes n the LRU node. n must be in this list.
-func (l *List) MoveToBack(n *Node) {
+func (l *List[T]) MoveToBack(n *Node[T]) {
 	if n.list != l {
 		panic("lru: MoveToBack of node not in this list")
 	}
@@ -121,7 +127,7 @@ func (l *List) MoveToBack(n *Node) {
 
 // InsertBefore inserts n immediately before mark (towards the MRU end).
 // mark must be in this list; n must be in no list.
-func (l *List) InsertBefore(n, mark *Node) {
+func (l *List[T]) InsertBefore(n, mark *Node[T]) {
 	if mark.list != l {
 		panic("lru: InsertBefore with mark not in this list")
 	}
@@ -142,7 +148,7 @@ func (l *List) InsertBefore(n, mark *Node) {
 
 // InsertAfter inserts n immediately after mark (towards the LRU end).
 // mark must be in this list; n must be in no list.
-func (l *List) InsertAfter(n, mark *Node) {
+func (l *List[T]) InsertAfter(n, mark *Node[T]) {
 	if mark.list != l {
 		panic("lru: InsertAfter with mark not in this list")
 	}
@@ -162,13 +168,13 @@ func (l *List) InsertAfter(n, mark *Node) {
 }
 
 // Next returns the node after n (towards the LRU end), or nil.
-func (n *Node) Next() *Node { return n.next }
+func (n *Node[T]) Next() *Node[T] { return n.next }
 
 // Prev returns the node before n (towards the MRU end), or nil.
-func (n *Node) Prev() *Node { return n.prev }
+func (n *Node[T]) Prev() *Node[T] { return n.prev }
 
 // Each calls fn for every node from MRU to LRU. fn must not mutate the list.
-func (l *List) Each(fn func(*Node) bool) {
+func (l *List[T]) Each(fn func(*Node[T]) bool) {
 	for n := l.front; n != nil; n = n.next {
 		if !fn(n) {
 			return
@@ -177,9 +183,9 @@ func (l *List) Each(fn func(*Node) bool) {
 }
 
 // check validates internal consistency; used by tests.
-func (l *List) check() error {
+func (l *List[T]) check() error {
 	count := 0
-	var prev *Node
+	var prev *Node[T]
 	for n := l.front; n != nil; n = n.next {
 		if n.list != l {
 			return errBadOwner

@@ -6,16 +6,16 @@ import (
 	"testing/quick"
 )
 
-func newNode(v int) *Node {
-	n := &Node{}
+func newNode(v int) *Node[int] {
+	n := &Node[int]{}
 	n.Value = v
 	return n
 }
 
-func collect(l *List) []int {
+func collect(l *List[int]) []int {
 	var out []int
-	l.Each(func(n *Node) bool {
-		out = append(out, n.Value.(int))
+	l.Each(func(n *Node[int]) bool {
+		out = append(out, n.Value)
 		return true
 	})
 	return out
@@ -34,7 +34,7 @@ func eq(a, b []int) bool {
 }
 
 func TestEmptyList(t *testing.T) {
-	var l List
+	var l List[int]
 	if l.Len() != 0 {
 		t.Fatalf("Len = %d, want 0", l.Len())
 	}
@@ -47,7 +47,7 @@ func TestEmptyList(t *testing.T) {
 }
 
 func TestPushFrontOrder(t *testing.T) {
-	var l List
+	var l List[int]
 	for i := 0; i < 5; i++ {
 		l.PushFront(newNode(i))
 	}
@@ -60,7 +60,7 @@ func TestPushFrontOrder(t *testing.T) {
 }
 
 func TestPushBackOrder(t *testing.T) {
-	var l List
+	var l List[int]
 	for i := 0; i < 5; i++ {
 		l.PushBack(newNode(i))
 	}
@@ -70,8 +70,8 @@ func TestPushBackOrder(t *testing.T) {
 }
 
 func TestRemove(t *testing.T) {
-	var l List
-	nodes := make([]*Node, 5)
+	var l List[int]
+	nodes := make([]*Node[int], 5)
 	for i := range nodes {
 		nodes[i] = newNode(i)
 		l.PushBack(nodes[i])
@@ -97,7 +97,7 @@ func TestRemove(t *testing.T) {
 }
 
 func TestRemoveLastNode(t *testing.T) {
-	var l List
+	var l List[int]
 	n := newNode(7)
 	l.PushFront(n)
 	l.Remove(n)
@@ -112,8 +112,8 @@ func TestRemoveLastNode(t *testing.T) {
 }
 
 func TestMoveToFront(t *testing.T) {
-	var l List
-	nodes := make([]*Node, 4)
+	var l List[int]
+	nodes := make([]*Node[int], 4)
 	for i := range nodes {
 		nodes[i] = newNode(i)
 		l.PushBack(nodes[i])
@@ -132,8 +132,8 @@ func TestMoveToFront(t *testing.T) {
 }
 
 func TestMoveToBack(t *testing.T) {
-	var l List
-	nodes := make([]*Node, 4)
+	var l List[int]
+	nodes := make([]*Node[int], 4)
 	for i := range nodes {
 		nodes[i] = newNode(i)
 		l.PushBack(nodes[i])
@@ -149,7 +149,7 @@ func TestMoveToBack(t *testing.T) {
 }
 
 func TestInsertBeforeAfter(t *testing.T) {
-	var l List
+	var l List[int]
 	a, b, c := newNode(0), newNode(1), newNode(2)
 	l.PushBack(a)
 	l.PushBack(c)
@@ -185,7 +185,7 @@ func TestPanicsOnMisuse(t *testing.T) {
 		}()
 		fn()
 	}
-	var l1, l2 List
+	var l1, l2 List[int]
 	n := newNode(0)
 	l1.PushFront(n)
 	mustPanic("double insert", func() { l2.PushFront(n) })
@@ -196,21 +196,21 @@ func TestPanicsOnMisuse(t *testing.T) {
 }
 
 func TestNextPrevTraversal(t *testing.T) {
-	var l List
+	var l List[int]
 	for i := 0; i < 3; i++ {
 		l.PushBack(newNode(i))
 	}
 	n := l.Front()
 	var fwd []int
 	for ; n != nil; n = n.Next() {
-		fwd = append(fwd, n.Value.(int))
+		fwd = append(fwd, n.Value)
 	}
 	if !eq(fwd, []int{0, 1, 2}) {
 		t.Fatalf("forward = %v", fwd)
 	}
 	var rev []int
 	for n = l.Back(); n != nil; n = n.Prev() {
-		rev = append(rev, n.Value.(int))
+		rev = append(rev, n.Value)
 	}
 	if !eq(rev, []int{2, 1, 0}) {
 		t.Fatalf("reverse = %v", rev)
@@ -218,12 +218,12 @@ func TestNextPrevTraversal(t *testing.T) {
 }
 
 func TestEachEarlyStop(t *testing.T) {
-	var l List
+	var l List[int]
 	for i := 0; i < 10; i++ {
 		l.PushBack(newNode(i))
 	}
 	count := 0
-	l.Each(func(*Node) bool {
+	l.Each(func(*Node[int]) bool {
 		count++
 		return count < 3
 	})
@@ -237,13 +237,13 @@ func TestEachEarlyStop(t *testing.T) {
 func TestQuickAgainstModel(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		var l List
-		var model []*Node // front..back
-		pool := make([]*Node, 32)
+		var l List[int]
+		var model []*Node[int] // front..back
+		pool := make([]*Node[int], 32)
 		for i := range pool {
 			pool[i] = newNode(i)
 		}
-		idxOf := func(n *Node) int {
+		idxOf := func(n *Node[int]) int {
 			for i, m := range model {
 				if m == n {
 					return i
@@ -259,7 +259,7 @@ func TestQuickAgainstModel(t *testing.T) {
 					continue
 				}
 				l.PushFront(n)
-				model = append([]*Node{n}, model...)
+				model = append([]*Node[int]{n}, model...)
 			case op == 1: // PushBack
 				n := pool[rng.Intn(len(pool))]
 				if n.InList() {
@@ -276,7 +276,7 @@ func TestQuickAgainstModel(t *testing.T) {
 				n := model[i]
 				l.MoveToFront(n)
 				model = append(model[:i], model[i+1:]...)
-				model = append([]*Node{n}, model...)
+				model = append([]*Node[int]{n}, model...)
 			case op == 4 && len(model) > 0: // MoveToBack
 				i := rng.Intn(len(model))
 				n := model[i]
@@ -291,7 +291,7 @@ func TestQuickAgainstModel(t *testing.T) {
 				mark := model[rng.Intn(len(model))]
 				l.InsertAfter(n, mark)
 				mi := idxOf(mark)
-				model = append(model[:mi+1], append([]*Node{n}, model[mi+1:]...)...)
+				model = append(model[:mi+1], append([]*Node[int]{n}, model[mi+1:]...)...)
 			}
 			if err := l.check(); err != nil {
 				t.Logf("seed %d step %d: %v", seed, step, err)
@@ -302,7 +302,7 @@ func TestQuickAgainstModel(t *testing.T) {
 			}
 			i := 0
 			ok := true
-			l.Each(func(n *Node) bool {
+			l.Each(func(n *Node[int]) bool {
 				if model[i] != n {
 					ok = false
 					return false
@@ -318,5 +318,27 @@ func TestQuickAgainstModel(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestTouchAllocates0 pins the generic list's reason to exist: an LRU touch
+// (MoveToFront) on the intrusive, non-boxing list performs zero heap
+// allocations. Under the old `Value any` design every insertion boxed its
+// element; the generic Node[T] holds the pointer directly.
+func TestTouchAllocates0(t *testing.T) {
+	var l List[int]
+	nodes := make([]*Node[int], 16)
+	for i := range nodes {
+		nodes[i] = newNode(i)
+		l.PushBack(nodes[i])
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(500, func() {
+		l.MoveToFront(nodes[i%len(nodes)])
+		l.MoveToBack(nodes[(i+7)%len(nodes)])
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("LRU touch allocates %v times per op, want 0", allocs)
 	}
 }

@@ -1,0 +1,84 @@
+package ssd
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestEventQueueModel drives the hand-rolled heap with random interleaved
+// pushes and pops and checks every pop against a sorted-slice model. The
+// (Time, Seq) key is a total order, so the pop sequence is fully determined.
+func TestEventQueueModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var q EventQueue
+	var model []Event
+	seq := int64(0)
+	for step := 0; step < 5000; step++ {
+		if q.Len() != len(model) {
+			t.Fatalf("step %d: Len = %d, model %d", step, q.Len(), len(model))
+		}
+		if len(model) == 0 || rng.Intn(3) != 0 {
+			e := Event{Time: time.Duration(rng.Intn(50)), Seq: seq}
+			seq++
+			q.Push(e)
+			model = append(model, e)
+			sort.Slice(model, func(i, j int) bool { return model[i].less(model[j]) })
+			continue
+		}
+		if peek, ok := q.Peek(); !ok || peek != model[0] {
+			t.Fatalf("step %d: Peek = %v %v, want %v", step, peek, ok, model[0])
+		}
+		if got := q.Pop(); got != model[0] {
+			t.Fatalf("step %d: Pop = %v, want %v", step, got, model[0])
+		}
+		model = model[1:]
+	}
+	// Drain and verify the tail is sorted too.
+	for _, want := range model {
+		if got := q.Pop(); got != want {
+			t.Fatalf("drain: Pop = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestEventQueueDrainThrough checks the elapsed-event drain boundary.
+func TestEventQueueDrainThrough(t *testing.T) {
+	var q EventQueue
+	for i, d := range []time.Duration{30, 10, 20, 40, 10} {
+		q.Push(Event{Time: d, Seq: int64(i)})
+	}
+	if n := q.DrainThrough(20); n != 3 {
+		t.Fatalf("DrainThrough(20) = %d, want 3", n)
+	}
+	if e, ok := q.Peek(); !ok || e.Time != 30 {
+		t.Fatalf("head after drain = %v %v, want Time 30", e, ok)
+	}
+	if n := q.DrainThrough(5); n != 0 {
+		t.Fatalf("DrainThrough(5) = %d, want 0", n)
+	}
+}
+
+// TestEventQueueReusesBacking verifies the allocation contract: once warmed,
+// a push/pop cycle must not grow or reallocate the backing array.
+func TestEventQueueReusesBacking(t *testing.T) {
+	var q EventQueue
+	for i := 0; i < 64; i++ {
+		q.Push(Event{Time: time.Duration(i), Seq: int64(i)})
+	}
+	for i := 0; i < 64; i++ {
+		q.Pop()
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			q.Push(Event{Time: time.Duration(i % 7), Seq: int64(i)})
+		}
+		for i := 0; i < 64; i++ {
+			q.Pop()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warmed push/pop cycle allocates %v times per run, want 0", allocs)
+	}
+}
