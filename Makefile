@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint sanitize fuzz bench bench-ci bench-smoke ci
+.PHONY: build test race vet lint sanitize fuzz bench bench-ci bench-smoke obs-smoke ci
 
 build:
 	$(GO) build ./...
@@ -42,7 +42,7 @@ fuzz:
 # ftlbench is the reproducible macro-benchmark harness (cmd/ftlbench): a
 # fixed case matrix of full device simulations, reported as sim-ops per
 # wall-second, ns/op, allocs/op and bytes/op. `make bench` regenerates the
-# committed BENCH_4.json (preserving its embedded baseline section);
+# committed BENCH_5.json (preserving its embedded baseline section);
 # `make bench-ci` is the CI smoke: the quick subset of the matrix with a
 # throughput floor, so a change that wrecks the zero-allocation hot path
 # fails the build instead of landing silently.
@@ -50,10 +50,28 @@ bin/ftlbench: FORCE
 	$(GO) build -o bin/ftlbench ./cmd/ftlbench
 
 bench: bin/ftlbench
-	./bin/ftlbench -out BENCH_4.json -keep-baseline -runs 3
+	./bin/ftlbench -out BENCH_5.json -keep-baseline -runs 3
 
 bench-ci: bin/ftlbench
 	./bin/ftlbench -smoke -runs 1 -minops 500000
+
+# Observability smoke: a short traced multi-channel run must produce a
+# schema-valid metrics JSONL stream and a balanced Chrome trace_event file
+# (cmd/obsvalidate runs the same checks the internal/obs tests pin). Catches
+# a drifting export schema or an unbalanced span before a human opens the
+# artifacts in Perfetto.
+bin/ftlsim: FORCE
+	$(GO) build -o bin/ftlsim ./cmd/ftlsim
+
+bin/obsvalidate: FORCE
+	$(GO) build -o bin/obsvalidate ./cmd/obsvalidate
+
+obs-smoke: bin/ftlsim bin/obsvalidate
+	./bin/ftlsim -requests 20000 -channels 4 -dies 2 -qd 8 \
+		-metrics-out /tmp/obs-smoke.jsonl -metrics-interval 2000 \
+		-trace-out /tmp/obs-smoke.trace.json > /dev/null
+	./bin/obsvalidate -metrics /tmp/obs-smoke.jsonl -trace /tmp/obs-smoke.trace.json
+	rm -f /tmp/obs-smoke.jsonl /tmp/obs-smoke.trace.json
 
 # Short queue-depth sweep over the parallel backend under the race detector:
 # the serial golden must hold bit-for-bit, the 4-channel QD sweep must be
@@ -61,4 +79,4 @@ bench-ci: bin/ftlbench
 bench-smoke:
 	$(GO) test -race ./internal/sim -run 'TestSerialGoldenCompatibility|TestSchedulerDeterminism|TestParallelSpeedup|TestQueueDepthSweepSmoke' -v
 
-ci: vet lint race sanitize bench-smoke bench-ci
+ci: vet lint race sanitize bench-smoke bench-ci obs-smoke

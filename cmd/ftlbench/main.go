@@ -14,6 +14,8 @@
 //	                       recorded as a tripwire: it must not move)
 //	event_hash             the scheduler's order-sensitive event hash,
 //	                       recorded for the same reason
+//	p50_ns/p99_ns/p999_ns  simulated response-time percentiles per case,
+//	max_ns                 pooled over all -runs repetitions (deterministic)
 //
 // Wall time is the best of -runs repetitions (allocation counts come from the
 // first run; they are deterministic). Formatting, preconditioning and
@@ -21,11 +23,11 @@
 //
 // Examples:
 //
-//	ftlbench -out BENCH_4.json -runs 3
+//	ftlbench -out BENCH_5.json -runs 3
 //	ftlbench -smoke -minops 200000            # CI floor: fail on 10× regressions
 //	ftlbench -case random-read-qd8-4ch -cpuprofile cpu.pb.gz
-//	ftlbench -out BENCH_4.json -baseline old.json -baseline-note "pre-slab"
-//	ftlbench -out BENCH_4.json -keep-baseline    # refresh, keep old baseline
+//	ftlbench -out BENCH_5.json -baseline old.json -baseline-note "pre-slab"
+//	ftlbench -out BENCH_5.json -keep-baseline    # refresh, keep old baseline
 package main
 
 import (
@@ -40,6 +42,7 @@ import (
 	"time"
 
 	"repro/internal/ftl"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/ssd"
 	"repro/internal/trace"
@@ -121,6 +124,14 @@ type caseResult struct {
 	HitRatio     float64 `json:"hit_ratio"`
 	SimElapsedNS int64   `json:"sim_elapsed_ns"`
 	EventHash    string  `json:"event_hash"`
+
+	// Simulated response-time percentiles (ns), pooled over all -runs
+	// repetitions via Metrics.Merge. Simulated metrics, so deterministic —
+	// they move only when device behavior changes, never with wall time.
+	P50NS  int64 `json:"p50_ns"`
+	P99NS  int64 `json:"p99_ns"`
+	P999NS int64 `json:"p999_ns"`
+	MaxNS  int64 `json:"max_ns"`
 }
 
 // report is the on-disk JSON shape.
@@ -197,7 +208,7 @@ func run(out, note, baseline, baselineNote string, keepBaseline bool, runs int, 
 	}
 
 	rep := report{
-		Schema:    "repro/ftlbench/v1",
+		Schema:    "repro/ftlbench/v2",
 		GoVersion: runtime.Version(),
 		Note:      note,
 		Runs:      runs,
@@ -366,6 +377,7 @@ func runCase(c benchCase, runs int) (caseResult, error) {
 		Seed:     c.Seed,
 	}
 	var bestWall time.Duration
+	var merged ftl.Metrics
 	for r := 0; r < runs; r++ {
 		dev, reqs, err := buildCase(c)
 		if err != nil {
@@ -389,6 +401,7 @@ func runCase(c benchCase, runs int) (caseResult, error) {
 		}
 
 		m := dev.Metrics()
+		merged.Merge(&m)
 		ops := m.PageAccesses()
 		if ops <= 0 {
 			return res, fmt.Errorf("no simulated ops recorded")
@@ -408,5 +421,10 @@ func runCase(c benchCase, runs int) (caseResult, error) {
 	res.WallNS = bestWall.Nanoseconds()
 	res.NsPerOp = float64(res.WallNS) / float64(res.SimOps)
 	res.SimOpsPerWallSec = float64(res.SimOps) / bestWall.Seconds()
+	resp := merged.Phase(obs.PhaseResponse)
+	res.P50NS = int64(resp.Quantile(0.50))
+	res.P99NS = int64(resp.Quantile(0.99))
+	res.P999NS = int64(resp.Quantile(0.999))
+	res.MaxNS = int64(resp.Max())
 	return res, nil
 }

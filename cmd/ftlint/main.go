@@ -1,7 +1,8 @@
-// Command ftlint is this repository's static-analysis suite: five
+// Command ftlint is this repository's static-analysis suite: six
 // repo-specific analyzers that keep known bug classes from coming back
 // (global randomness, drifting cache accounting, swallowed flash errors,
-// hardcoded geometry, allocations on the marked translation hot path).
+// hardcoded geometry, allocations on the marked translation hot path,
+// unguarded or allocating observability hooks on that same path).
 //
 // Two modes:
 //
@@ -24,6 +25,7 @@ import (
 	"repro/internal/analysis/flasherr"
 	"repro/internal/analysis/geometry"
 	"repro/internal/analysis/hotalloc"
+	"repro/internal/analysis/obscheck"
 	"repro/internal/analysis/randsource"
 )
 
@@ -34,6 +36,7 @@ func analyzers() []*analysis.Analyzer {
 		flasherr.Analyzer,
 		geometry.Analyzer,
 		hotalloc.Analyzer,
+		obscheck.Analyzer,
 	}
 }
 

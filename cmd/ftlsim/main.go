@@ -22,6 +22,7 @@ import (
 	tpftl "repro"
 	"repro/internal/core"
 	"repro/internal/ftl"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -51,6 +52,10 @@ func main() {
 		tplace    = flag.String("tplace", "striped", "translation-page placement on a multi-channel device: striped, pinned")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprof   = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
+
+		metricsOut      = flag.String("metrics-out", "", "stream JSONL metrics snapshots (counter deltas + per-phase latency quantiles) of the measured phase to this file")
+		metricsInterval = flag.Int("metrics-interval", 1000, "measured requests between -metrics-out snapshots")
+		traceOut        = flag.String("trace-out", "", "write the measured phase's flash-operation span trace (Chrome trace_event JSON, open in Perfetto) to this file")
 	)
 	flag.Parse()
 	if *cpuprof != "" {
@@ -68,7 +73,8 @@ func main() {
 	}
 	if err := run(*scheme, *wl, *requests, *seed, *scale, *cache, *fraction,
 		*warmup, *precond, *traceFile, *format, *space, *variant, *gcPolicy, *wearLevel,
-		*faults, *cuts, *channels, *dies, *qd, *tplace); err != nil {
+		*faults, *cuts, *channels, *dies, *qd, *tplace,
+		*metricsOut, *metricsInterval, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "ftlsim:", err)
 		os.Exit(1)
 	}
@@ -88,7 +94,8 @@ func main() {
 
 func run(scheme, wl string, requests int, seed, scale, cache int64, fraction float64,
 	warmup int, precond float64, traceFile, format string, space int64, variant, gcPolicy string, wearLevel int,
-	faults string, cuts, channels, dies, qd int, tplace string) error {
+	faults string, cuts, channels, dies, qd int, tplace string,
+	metricsOut string, metricsInterval int, traceOut string) error {
 	profile, err := workload.ProfileByName(wl)
 	if err != nil {
 		return err
@@ -188,6 +195,24 @@ func run(scheme, wl string, requests int, seed, scale, cache int64, fraction flo
 		opts.AddressSpace = space
 	}
 
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		opts.MetricsOut = f
+		opts.MetricsInterval = metricsInterval
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		opts.TraceOut = f
+	}
+
 	res, err := tpftl.Run(opts)
 	if err != nil {
 		return err
@@ -241,8 +266,20 @@ func printResult(r *tpftl.Result) {
 	fmt.Println()
 	fmt.Printf("avg response time         %v (service %v, max %v)\n",
 		m.AvgResponse(), m.AvgService(), m.MaxResponse)
-	fmt.Printf("response percentiles      p50 %v, p95 %v, p99 %v\n",
-		m.ResponsePercentile(0.50), m.ResponsePercentile(0.95), m.ResponsePercentile(0.99))
+	resp := m.Phase(obs.PhaseResponse)
+	fmt.Printf("response percentiles      p50 %v, p90 %v, p99 %v, p99.9 %v\n",
+		resp.Quantile(0.50), resp.Quantile(0.90), resp.Quantile(0.99), resp.Quantile(0.999))
+	fmt.Println()
+	fmt.Printf("latency by phase               count       mean        p99        max\n")
+	for p := obs.Phase(0); p < obs.NumPhases; p++ {
+		h := m.Phase(p)
+		if h.Count == 0 {
+			continue
+		}
+		fmt.Printf("  %-14s %15d %10v %10v %10v\n",
+			p, h.Count, h.Mean(), h.Quantile(0.99), h.Max())
+	}
+	fmt.Println()
 	fmt.Printf("write amplification       %8.3f\n", m.WriteAmplification())
 	fmt.Printf("block erases              %8d\n", m.FlashErases)
 	if m.Channels > 1 || m.DiesPerChannel > 1 || m.MaxQueueDepth > 1 {

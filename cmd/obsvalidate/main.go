@@ -1,0 +1,60 @@
+// Command obsvalidate checks observability artifacts against their schemas:
+// -metrics JSONL snapshot streams (see obs.ValidateMetricsJSONL) and -trace
+// Chrome trace_event JSON files (see obs.ValidateTrace). It exits non-zero
+// on the first violation, printing the offending line or event. make
+// obs-smoke runs it over a freshly traced simulation so a schema regression
+// fails CI instead of surfacing as an unopenable Perfetto file.
+//
+// Usage:
+//
+//	obsvalidate -metrics out.jsonl -trace run.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	var (
+		metrics = flag.String("metrics", "", "JSONL metrics snapshot stream to validate")
+		trace   = flag.String("trace", "", "Chrome trace_event JSON file to validate")
+	)
+	flag.Parse()
+	if *metrics == "" && *trace == "" {
+		fmt.Fprintln(os.Stderr, "obsvalidate: nothing to do; pass -metrics and/or -trace")
+		os.Exit(2)
+	}
+	if *metrics != "" {
+		f, err := os.Open(*metrics)
+		if err != nil {
+			fatal(err)
+		}
+		n, err := obs.ValidateMetricsJSONL(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", *metrics, err))
+		}
+		fmt.Printf("%s: %d snapshot records OK\n", *metrics, n)
+	}
+	if *trace != "" {
+		f, err := os.Open(*trace)
+		if err != nil {
+			fatal(err)
+		}
+		n, err := obs.ValidateTrace(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", *trace, err))
+		}
+		fmt.Printf("%s: %d trace events OK\n", *trace, n)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "obsvalidate:", err)
+	os.Exit(1)
+}

@@ -47,8 +47,10 @@ var Analyzer = &analysis.Analyzer{
 // Directive marks a function as part of the steady-state service path.
 var Directive = "//ftl:hotpath"
 
-// PackageNames are the packages the analyzer polices.
-var PackageNames = map[string]bool{"core": true, "ssd": true}
+// PackageNames are the packages the analyzer polices. ftl and obs joined
+// when the observability layer put Metrics.ObserveResponse,
+// Device.observeRequest and Histogram.Record on the per-request path.
+var PackageNames = map[string]bool{"core": true, "ssd": true, "ftl": true, "obs": true}
 
 // BannedImports box elements through `any` on every operation.
 var BannedImports = map[string]bool{"container/heap": true, "container/list": true}

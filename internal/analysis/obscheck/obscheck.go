@@ -1,0 +1,301 @@
+// Package obscheck keeps observability free on the disabled path.
+//
+// The observability contract (internal/obs) is that a device with no tracer
+// or exporter armed pays nothing: Histogram.Record is a plain array update
+// and every tracer hook hides behind a nil check. Both halves erode
+// silently — an unguarded `t.FlashOp(...)` merely panics in the first
+// traced run, but an unguarded `s.tracer.FlashOp(fmt.Sprintf(...))` charges
+// an allocation to every untraced request and nothing fails until someone
+// reruns the AllocsPerRun guards. This analyzer makes the contract
+// structural inside //ftl:hotpath functions (the same directive hotalloc
+// polices):
+//
+//   - every method call on an *obs.Tracer receiver must be dominated by a
+//     nil check of that receiver — `if t := s.tracer; t != nil { ... }`,
+//     `if s.tracer != nil { ... }`, or an earlier `if s.tracer == nil {
+//     return }` in the same block;
+//   - arguments to obs.Tracer and obs.Histogram method calls must not
+//     allocate: no composite literals, no fmt.Sprint*/Errorf calls, no
+//     string concatenation — those run before the callee can check
+//     anything, so they cost even when recording is a no-op.
+//
+// Scoped, like hotalloc, to the packages that own the hot path.
+package obscheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/hotalloc"
+)
+
+// Analyzer enforces nil-gated tracers and allocation-free observability
+// arguments inside //ftl:hotpath functions.
+var Analyzer = &analysis.Analyzer{
+	Name: "obscheck",
+	Doc:  "hot-path observability must stay free when disabled: tracer calls nil-guarded, no allocating arguments to Tracer/Histogram methods",
+	Run:  run,
+}
+
+// PackageNames are the packages the analyzer polices (hotalloc's set: the
+// packages that own //ftl:hotpath functions).
+var PackageNames = hotalloc.PackageNames
+
+func run(pass *analysis.Pass) (any, error) {
+	if !PackageNames[pass.Pkg.Name()] {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil && isHotPath(fn) {
+				checkStmts(pass, fn, fn.Body.List, map[string]bool{})
+			}
+		}
+	}
+	return nil, nil
+}
+
+// isHotPath reports whether fn's doc comment carries the hotalloc directive.
+func isHotPath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.TrimSpace(c.Text) == hotalloc.Directive {
+			return true
+		}
+	}
+	return false
+}
+
+// checkStmts walks one statement list carrying the set of expressions
+// (flattened selector text) currently known non-nil. Guard tracking is
+// lexical and name-based, like hotalloc's fresh-slice tracking: sound for
+// the directive functions this repo writes.
+func checkStmts(pass *analysis.Pass, fn *ast.FuncDecl, stmts []ast.Stmt, guarded map[string]bool) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.IfStmt:
+			inner := copyGuards(guarded)
+			// `if t := s.tracer; t != nil` guards both the bound name and
+			// the source expression inside the body.
+			if s.Init != nil {
+				checkStmts(pass, fn, []ast.Stmt{s.Init}, guarded)
+			}
+			checkExprs(pass, fn, []ast.Expr{s.Cond}, guarded)
+			if x, ok := nilCompare(s.Cond, token.NEQ); ok {
+				inner[x] = true
+				if as, ok := s.Init.(*ast.AssignStmt); ok && len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+					if id, ok := as.Lhs[0].(*ast.Ident); ok && flatten(as.Rhs[0]) != "" && id.Name == x {
+						inner[flatten(as.Rhs[0])] = true
+					}
+				}
+			}
+			checkStmts(pass, fn, s.Body.List, inner)
+			if s.Else != nil {
+				elseGuards := copyGuards(guarded)
+				if x, ok := nilCompare(s.Cond, token.EQL); ok {
+					elseGuards[x] = true
+				}
+				switch e := s.Else.(type) {
+				case *ast.BlockStmt:
+					checkStmts(pass, fn, e.List, elseGuards)
+				case *ast.IfStmt:
+					checkStmts(pass, fn, []ast.Stmt{e}, elseGuards)
+				}
+			}
+			// `if x == nil { return }` guards the rest of the block.
+			if x, ok := nilCompare(s.Cond, token.EQL); ok && terminates(s.Body) {
+				guarded[x] = true
+			}
+		case *ast.BlockStmt:
+			checkStmts(pass, fn, s.List, copyGuards(guarded))
+		case *ast.ForStmt:
+			checkStmts(pass, fn, s.Body.List, copyGuards(guarded))
+		case *ast.RangeStmt:
+			checkStmts(pass, fn, s.Body.List, copyGuards(guarded))
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					checkStmts(pass, fn, cc.Body, copyGuards(guarded))
+				}
+			}
+		default:
+			var exprs []ast.Expr
+			ast.Inspect(stmt, func(n ast.Node) bool {
+				if e, ok := n.(ast.Expr); ok {
+					exprs = append(exprs, e)
+					return false
+				}
+				return true
+			})
+			checkExprs(pass, fn, exprs, guarded)
+		}
+	}
+}
+
+// checkExprs reports unguarded tracer calls and allocating arguments in the
+// given expressions.
+func checkExprs(pass *analysis.Pass, fn *ast.FuncDecl, exprs []ast.Expr, guarded map[string]bool) {
+	for _, expr := range exprs {
+		ast.Inspect(expr, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			recvTracer := isObsType(pass, sel, "Tracer")
+			recvHist := isObsType(pass, sel, "Histogram")
+			if !recvTracer && !recvHist {
+				return true
+			}
+			if recvTracer {
+				if recv := flatten(sel.X); !guarded[recv] {
+					pass.Reportf(call.Pos(),
+						"tracer call %s.%s in hot-path function %s without a nil guard: the disabled path must do no work (wrap in `if %s != nil` or bind-and-check)",
+						recv, sel.Sel.Name, fn.Name.Name, recv)
+				}
+			}
+			for _, arg := range call.Args {
+				if pos, what, bad := allocatingExpr(pass, arg); bad {
+					pass.Reportf(pos,
+						"%s in argument to %s.%s in hot-path function %s: argument evaluation allocates even when observability is disabled",
+						what, flatten(sel.X), sel.Sel.Name, fn.Name.Name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isObsType reports whether sel's receiver is the named type from a package
+// named "obs" (possibly behind a pointer).
+func isObsType(pass *analysis.Pass, sel *ast.SelectorExpr, name string) bool {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return false
+	}
+	t := s.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Name() == "obs"
+}
+
+// allocatingExpr reports the first sub-expression of e that allocates on
+// evaluation: a composite literal, a fmt.Sprint*/Errorf call, or a string
+// concatenation.
+func allocatingExpr(pass *analysis.Pass, e ast.Expr) (token.Pos, string, bool) {
+	var pos token.Pos
+	var what string
+	ast.Inspect(e, func(n ast.Node) bool {
+		if what != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			pos, what = n.Pos(), "composite literal"
+			return false
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok && id.Name == "fmt" && id.Obj == nil {
+					pos, what = n.Pos(), "fmt."+sel.Sel.Name+" call"
+					return false
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := pass.TypesInfo.Types[n.X]; ok {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						pos, what = n.Pos(), "string concatenation"
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return pos, what, what != ""
+}
+
+// nilCompare matches `x <op> nil` / `nil <op> x` and returns x's flattened
+// selector text.
+func nilCompare(cond ast.Expr, op token.Token) (string, bool) {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok || be.Op != op {
+		return "", false
+	}
+	if isNil(be.Y) {
+		if f := flatten(be.X); f != "" {
+			return f, true
+		}
+	}
+	if isNil(be.X) {
+		if f := flatten(be.Y); f != "" {
+			return f, true
+		}
+	}
+	return "", false
+}
+
+func isNil(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// terminates reports whether a block's last statement leaves the function
+// or loop (return, panic, continue, break, goto).
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// flatten renders a selector chain of identifiers ("s.tracer") or a lone
+// identifier as text; anything else (calls, indexing) returns "".
+func flatten(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if base := flatten(e.X); base != "" {
+			return base + "." + e.Sel.Name
+		}
+	case *ast.ParenExpr:
+		return flatten(e.X)
+	}
+	return ""
+}
+
+func copyGuards(g map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(g)+1)
+	for k, v := range g {
+		c[k] = v
+	}
+	return c
+}

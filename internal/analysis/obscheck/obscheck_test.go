@@ -1,0 +1,12 @@
+package obscheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/obscheck"
+)
+
+func TestObscheck(t *testing.T) {
+	analysistest.Run(t, "testdata", obscheck.Analyzer, "hot")
+}

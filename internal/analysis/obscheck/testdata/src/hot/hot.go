@@ -1,0 +1,76 @@
+// Fixture: tracer calls and histogram arguments inside hot-path functions —
+// the unguarded/allocating shapes the analyzer must flag, and the
+// sanctioned nil-gated, allocation-free shapes it must accept.
+package ssd
+
+import (
+	"fmt"
+	"obs"
+	"time"
+)
+
+type span struct {
+	name string
+	end  time.Duration
+}
+
+type sched struct {
+	tracer *obs.Tracer
+	hist   obs.Histogram
+	parent int64
+}
+
+//ftl:hotpath
+func (s *sched) unguarded(die int, start, end time.Duration) {
+	s.tracer.FlashOp(0, die, 0, start, end, s.parent) // want `tracer call s\.tracer\.FlashOp in hot-path function unguarded without a nil guard`
+}
+
+//ftl:hotpath
+func (s *sched) guardedInline(die int, start, end time.Duration) {
+	if s.tracer != nil {
+		s.parent = s.tracer.FlashOp(0, die, 0, start, end, s.parent)
+	}
+}
+
+//ftl:hotpath
+func (s *sched) guardedBind(die int, start, end time.Duration) {
+	if t := s.tracer; t != nil {
+		s.parent = t.FlashOp(0, die, 0, start, end, s.parent)
+	}
+}
+
+//ftl:hotpath
+func (s *sched) guardedEarlyReturn(die int, start, end time.Duration) {
+	if s.tracer == nil {
+		return
+	}
+	s.parent = s.tracer.FlashOp(0, die, 0, start, end, s.parent)
+}
+
+//ftl:hotpath
+func (s *sched) guardWrongVar(t2 *obs.Tracer, die int, start, end time.Duration) {
+	if t2 != nil {
+		s.tracer.FlashOp(0, die, 0, start, end, s.parent) // want `tracer call s\.tracer\.FlashOp in hot-path function guardWrongVar without a nil guard`
+	}
+}
+
+//ftl:hotpath
+func (s *sched) allocatingArgs(name string, id int64, end time.Duration) {
+	if t := s.tracer; t != nil {
+		t.RequestSpan(fmt.Sprintf("req-%d", id), id, 0, end) // want `fmt\.Sprintf call in argument to t\.RequestSpan in hot-path function allocatingArgs`
+		t.RequestSpan(name+"!", id, 0, end)                  // want `string concatenation in argument to t\.RequestSpan in hot-path function allocatingArgs`
+	}
+	s.hist.Record(time.Duration(span{name: name, end: end}.end)) // want `composite literal in argument to s\.hist\.Record in hot-path function allocatingArgs`
+}
+
+//ftl:hotpath
+func (s *sched) recordPlain(d time.Duration) {
+	// Histogram.Record itself needs no guard — it is unconditionally cheap;
+	// only its arguments are policed.
+	s.hist.Record(d)
+}
+
+// coldTrace is not marked: cold paths may call the tracer however they like.
+func (s *sched) coldTrace(die int, start, end time.Duration) {
+	s.tracer.FlashOp(0, die, 0, start, end, s.parent)
+}

@@ -1,0 +1,27 @@
+// Fixture stub of the observability package: the analyzer matches the
+// Tracer/Histogram receivers by type name + package name, so the shapes
+// here mirror internal/obs without its implementation.
+package obs
+
+import "time"
+
+type Op uint8
+
+type Tracer struct{ events int64 }
+
+func (t *Tracer) FlashOp(op Op, die, channel int, start, end time.Duration, parent int64) int64 {
+	t.events++
+	return t.events
+}
+
+func (t *Tracer) RequestSpan(name string, id int64, start, end time.Duration) { t.events += 2 }
+
+type Histogram struct {
+	Count int64
+	Sum   int64
+}
+
+func (h *Histogram) Record(d time.Duration) {
+	h.Count++
+	h.Sum += int64(d)
+}

@@ -154,6 +154,11 @@ func (f *FTL) loadCTP(env ftl.Env, v ftl.VTPN) (*ctpPage, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The cached translation page holds every entry while one was demanded;
+	// the remainder counts as prefetched for the phase attribution.
+	if pf, ok := env.(interface{ NotePrefetch(int) }); ok {
+		pf.NotePrefetch(len(vals) - 1)
+	}
 	p := &ctpPage{
 		vtpn:  v,
 		vals:  make([]flash.PPN, len(vals)),

@@ -2,10 +2,12 @@ package ftl
 
 import (
 	"errors"
+	"io"
 	"math/rand"
 	"time"
 
 	"repro/internal/flash"
+	"repro/internal/obs"
 	"repro/internal/ssd"
 	"repro/internal/trace"
 )
@@ -58,6 +60,23 @@ type Device struct {
 	rng *rand.Rand
 
 	m Metrics
+
+	// Observability (all nil/zero when disabled; the disabled path does no
+	// work — see internal/obs). tracer mirrors the scheduler's tracer so the
+	// device can emit request spans; metricsW streams a JSONL snapshot every
+	// metricsEvery served requests. The per-request phase accumulators
+	// (reqXlate/reqData/reqWB and the hit/miss/prefetch classification) are
+	// reset at admission and folded into m.Phases at completion.
+	tracer       *obs.Tracer
+	metricsW     *obs.MetricsWriter
+	metricsEvery int64
+	snapSeq      int64
+	lastExport   obs.Counters
+	reqXlate     time.Duration
+	reqData      time.Duration
+	reqWB        time.Duration
+	reqMiss      bool
+	reqPrefetch  bool
 
 	// OnSample, if set, is invoked every SampleEvery user page accesses
 	// with the current page-access count; the Fig. 1/2 instrumentation
@@ -149,6 +168,78 @@ func (d *Device) ResetMetrics() {
 		d.busyAtReset[c] = d.sched.ChannelBusy(c)
 	}
 	d.resetAt = d.sched.Now()
+	d.lastExport = obs.Counters{}
+}
+
+// SetTracer attaches (or with nil, detaches) a span tracer: every flash
+// operation the scheduler places becomes a Chrome trace_event span on its
+// die's track, and every served request an async span on the request lane.
+// Tracing reads the simulated clock and never advances it.
+func (d *Device) SetTracer(t *obs.Tracer) {
+	d.tracer = t
+	d.sched.SetTracer(t)
+	if t == nil {
+		return
+	}
+	t.ProcessName(0, "flash dies")
+	t.ProcessName(1, "requests")
+	fc := d.chip.Config()
+	for die := 0; die < fc.NumDies(); die++ {
+		t.ThreadName(die, fc.ChannelOfDie(die))
+	}
+}
+
+// SetMetricsExport streams a metrics snapshot (cumulative counters, deltas,
+// per-phase quantiles) to w as one JSON line every `every` served requests.
+// Arm it after the warm-up ResetMetrics so deltas cover the measured phase.
+func (d *Device) SetMetricsExport(w io.Writer, every int64) {
+	if w == nil || every <= 0 {
+		d.metricsW, d.metricsEvery = nil, 0
+		return
+	}
+	d.metricsW = obs.NewMetricsWriter(w)
+	d.metricsEvery = every
+	d.snapSeq = 0
+	m := d.Metrics()
+	d.lastExport = m.Counters()
+}
+
+// FinishObservability flushes the observability sinks at end of run: a
+// final metrics snapshot when requests were served past the last interval
+// boundary, then the JSONL flush and the trace-file footer. A device with
+// no sinks armed is untouched.
+func (d *Device) FinishObservability() error {
+	var firstErr error
+	if d.metricsW != nil {
+		if d.m.Requests > d.lastExport.Requests || d.snapSeq == 0 {
+			d.exportSnapshot()
+		}
+		firstErr = d.metricsW.Flush()
+	}
+	if d.tracer != nil {
+		if err := d.tracer.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// exportSnapshot writes one JSONL metrics record stamped with the current
+// simulated clock.
+func (d *Device) exportSnapshot() {
+	m := d.Metrics()
+	cur := m.Counters()
+	d.snapSeq++
+	rec := obs.SnapshotRecord{
+		Seq:       d.snapSeq,
+		SimTimeNS: int64(d.sched.Now()),
+		Requests:  cur.Requests,
+		Delta:     cur.Sub(d.lastExport),
+		Total:     cur,
+		Phases:    m.PhaseSnapshots(),
+	}
+	d.metricsW.Write(&rec)
+	d.lastExport = cur
 }
 
 // Now returns the simulated device clock: the completion time of the latest
@@ -283,6 +374,9 @@ func (d *Device) serveAdmitted(req trace.Request, admit time.Duration) (complete
 	d.serving = true
 	defer func() { d.serving = false }()
 	d.sched.BeginRequest(admit)
+	d.reqXlate, d.reqData, d.reqWB = 0, 0, 0
+	d.reqMiss, d.reqPrefetch = false, false
+	gcBase := d.m.GCTime
 
 	first, last := req.Pages(d.cfg.PageSize)
 	d.tr.BeginRequest(LPN(first), LPN(last), req.Write)
@@ -311,16 +405,46 @@ func (d *Device) serveAdmitted(req trace.Request, admit time.Duration) (complete
 	d.m.ServiceTime += complete - admit
 	d.m.ResponseTime += resp
 	d.m.QueueTime += admit - arrival
-	if resp > d.m.MaxResponse {
-		d.m.MaxResponse = resp
-	}
 	d.m.ObserveResponse(resp)
+	d.observeRequest(arrival, admit, complete, d.m.GCTime-gcBase, req.Write)
 	if SanitizerEnabled {
 		if err := d.sanitize(); err != nil {
 			return 0, 0, err
 		}
 	}
 	return complete, resp, nil
+}
+
+// observeRequest attributes one completed request's latency across the
+// phase histograms and feeds the tracer/export sinks. Translation time goes
+// to exactly one of the hit/miss/prefetch phases — classified by whether
+// any cache lookup missed and whether a miss load prefetched extra entries
+// — so the three counts sum to Requests.
+//
+//ftl:hotpath
+func (d *Device) observeRequest(arrival, admit, complete, gcStall time.Duration, write bool) {
+	d.m.Phases[obs.PhaseQueue].Record(admit - arrival)
+	xp := obs.PhaseXlateHit
+	if d.reqMiss {
+		xp = obs.PhaseXlateMiss
+		if d.reqPrefetch {
+			xp = obs.PhaseXlatePrefetch
+		}
+	}
+	d.m.Phases[xp].Record(d.reqXlate)
+	d.m.Phases[obs.PhaseData].Record(d.reqData)
+	d.m.Phases[obs.PhaseWriteback].Record(d.reqWB)
+	d.m.Phases[obs.PhaseGCStall].Record(gcStall)
+	if t := d.tracer; t != nil {
+		name := "read"
+		if write {
+			name = "write"
+		}
+		t.RequestSpan(name, d.m.Requests, arrival, complete)
+	}
+	if d.metricsW != nil && d.m.Requests%d.metricsEvery == 0 {
+		d.exportSnapshot()
+	}
 }
 
 // sanitize runs the per-operation invariant suite when the binary is built
@@ -367,7 +491,8 @@ func (d *Device) readPage(lpn LPN) error {
 	if err != nil {
 		return err
 	}
-	d.issuePage(ppn, lat)
+	d.issuePage(ppn, lat, obs.OpDataRead)
+	d.reqData += lat
 	d.m.FlashReads++
 	return nil
 }
@@ -396,7 +521,8 @@ func (d *Device) writePage(lpn LPN) error {
 	if err != nil {
 		return err
 	}
-	d.issuePage(ppn, lat)
+	d.issuePage(ppn, lat, obs.OpDataProgram)
+	d.reqData += lat
 	d.m.FlashPrograms++
 	if old.Valid() {
 		if err := d.bm.invalidate(old); err != nil {
@@ -413,20 +539,21 @@ func (d *Device) writePage(lpn LPN) error {
 // GC they trigger — keep their metric attribution but are not scheduled:
 // the measured timeline starts pristine, exactly as the scalar-clock device
 // discarded pre-measurement latency.
-func (d *Device) issuePage(p flash.PPN, lat time.Duration) {
-	d.issueDie(d.chip.DieOf(p), lat)
+func (d *Device) issuePage(p flash.PPN, lat time.Duration, op obs.Op) {
+	d.issueDie(d.chip.DieOf(p), lat, op)
 }
 
-func (d *Device) issueBlock(b flash.BlockID, lat time.Duration) {
-	d.issueDie(d.chip.DieOfBlock(b), lat)
+func (d *Device) issueBlock(b flash.BlockID, lat time.Duration, op obs.Op) {
+	d.issueDie(d.chip.DieOfBlock(b), lat, op)
 }
 
-func (d *Device) issueDie(die int, lat time.Duration) {
-	if d.serving {
-		d.sched.Issue(die, lat)
-	}
+func (d *Device) issueDie(die int, lat time.Duration, op obs.Op) {
 	if d.ph == phaseGC {
 		d.m.GCTime += lat
+		op = op.GC()
+	}
+	if d.serving {
+		d.sched.IssueOp(die, lat, op)
 	}
 }
 
@@ -504,12 +631,15 @@ func (d *Device) ReadTP(v VTPN) ([]flash.PPN, error) {
 		if err != nil {
 			return nil, err
 		}
-		d.issuePage(phys, lat)
+		d.issuePage(phys, lat, obs.OpTransRead)
 		d.m.FlashReads++
 		if d.ph == phaseGC {
 			d.m.TransReadsGC++
 		} else {
 			d.m.TransReadsAT++
+			if d.serving {
+				d.reqXlate += lat
+			}
 		}
 	}
 	lo := int64(v) * int64(d.entriesPerTP)
@@ -551,12 +681,15 @@ func (d *Device) WriteTP(v VTPN, updates []EntryUpdate, fullPage bool) error {
 		if err != nil {
 			return err
 		}
-		d.issuePage(old, lat)
+		d.issuePage(old, lat, obs.OpTransRead)
 		d.m.FlashReads++
 		if d.ph == phaseGC {
 			d.m.TransReadsGC++
 		} else {
 			d.m.TransReadsAT++
+			if d.serving {
+				d.reqWB += lat
+			}
 		}
 	}
 	ppn, err := d.bm.alloc(blockTrans)
@@ -567,12 +700,15 @@ func (d *Device) WriteTP(v VTPN, updates []EntryUpdate, fullPage bool) error {
 	if err != nil {
 		return err
 	}
-	d.issuePage(ppn, lat)
+	d.issuePage(ppn, lat, obs.OpTransProgram)
 	d.m.FlashPrograms++
 	if d.ph == phaseGC {
 		d.m.TransWritesGC++
 	} else {
 		d.m.TransWritesAT++
+		if d.serving {
+			d.reqWB += lat
+		}
 	}
 	if old.Valid() {
 		if err := d.bm.invalidate(old); err != nil {
@@ -588,6 +724,8 @@ func (d *Device) NoteLookup(hit bool) {
 	d.m.Lookups++
 	if hit {
 		d.m.Hits++
+	} else if d.serving && d.ph != phaseGC {
+		d.reqMiss = true
 	}
 }
 
@@ -617,7 +755,12 @@ func (d *Device) NoteBatchWriteback(cleaned int) {
 
 // NotePrefetch records entries loaded beyond the demanded one; used by
 // prefetching translators.
-func (d *Device) NotePrefetch(n int) { d.m.PrefetchedLoaded += int64(n) }
+func (d *Device) NotePrefetch(n int) {
+	d.m.PrefetchedLoaded += int64(n)
+	if n > 0 && d.serving && d.ph != phaseGC {
+		d.reqPrefetch = true
+	}
+}
 
 // nextSeq returns the next program sequence number; every programmed page
 // carries one in its OOB metadata so crash recovery can order versions.

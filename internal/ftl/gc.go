@@ -2,6 +2,7 @@ package ftl
 
 import (
 	"repro/internal/flash"
+	"repro/internal/obs"
 )
 
 // maybeGC runs garbage collection until the free-block count exceeds the
@@ -144,7 +145,7 @@ func (d *Device) collect(blk flash.BlockID) error {
 	if err != nil {
 		return err
 	}
-	d.issueBlock(blk, lat)
+	d.issueBlock(blk, lat, obs.OpErase)
 	d.m.FlashErases++
 	switch kind {
 	case blockData:
@@ -164,14 +165,16 @@ func (d *Device) collect(blk flash.BlockID) error {
 // (read + program) and invalidates the original.
 func (d *Device) migratePage(ppn flash.PPN, meta flash.Meta) (flash.PPN, error) {
 	kind := blockData
+	readOp, progOp := obs.OpDataRead, obs.OpDataProgram
 	if meta.Kind == flash.KindTranslation {
 		kind = blockTrans
+		readOp, progOp = obs.OpTransRead, obs.OpTransProgram
 	}
 	lat, err := d.chipRead(ppn)
 	if err != nil {
 		return flash.InvalidPPN, err
 	}
-	d.issuePage(ppn, lat)
+	d.issuePage(ppn, lat, readOp)
 	d.m.FlashReads++
 	newPPN, err := d.bm.alloc(kind)
 	if err != nil {
@@ -184,7 +187,7 @@ func (d *Device) migratePage(ppn flash.PPN, meta flash.Meta) (flash.PPN, error) 
 	if err != nil {
 		return flash.InvalidPPN, err
 	}
-	d.issuePage(newPPN, lat)
+	d.issuePage(newPPN, lat, progOp)
 	d.m.FlashPrograms++
 	// Invalidate directly on the chip: the old page is inside the victim
 	// block being collected, which must not re-enter the GC candidate heap.

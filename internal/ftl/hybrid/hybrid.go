@@ -176,9 +176,7 @@ func (d *Device) Serve(req trace.Request) (time.Duration, error) {
 	d.m.ServiceTime += acc
 	d.m.ResponseTime += resp
 	d.m.QueueTime += start - arrival
-	if resp > d.m.MaxResponse {
-		d.m.MaxResponse = resp
-	}
+	d.m.ObserveResponse(resp)
 	if ftl.SanitizerEnabled {
 		if err := ftl.SanitizeCheck("hybrid", d.CheckConsistency); err != nil {
 			return 0, err

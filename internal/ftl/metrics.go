@@ -3,6 +3,8 @@ package ftl
 import (
 	"math/bits"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Metrics accumulates the counters the paper's evaluation reports. Field
@@ -69,10 +71,24 @@ type Metrics struct {
 	ChanBusy       [MaxChannels]time.Duration
 	MaxQueueDepth  int64
 	QueueDepthSum  int64 // Σ in-flight at admission; mean = /Requests
+
+	// Phases holds one log-linear latency histogram per obs.Phase,
+	// recorded per request by the device. Phases[obs.PhaseResponse] is fed
+	// by ObserveResponse, so the standalone baseline devices get it too;
+	// the finer phases (queue, translation hit/miss/prefetch, data,
+	// writeback, GC stall) are attributed only by ftl.Device.
+	Phases [obs.NumPhases]obs.Histogram
 }
 
-// ObserveResponse records one response time in the histogram.
+// ObserveResponse records one response time: the per-phase histogram, the
+// legacy log2 histogram, and MaxResponse.
+//
+//ftl:hotpath
 func (m *Metrics) ObserveResponse(d time.Duration) {
+	if d > m.MaxResponse {
+		m.MaxResponse = d
+	}
+	m.Phases[obs.PhaseResponse].Record(d)
 	us := d.Microseconds()
 	b := bits.Len64(uint64(us))
 	if b >= len(m.RespHist) {
@@ -187,4 +203,109 @@ func ratio(num, den int64) float64 {
 		return 0
 	}
 	return float64(num) / float64(den)
+}
+
+// Phase returns the histogram of one latency phase.
+func (m *Metrics) Phase(p obs.Phase) *obs.Histogram { return &m.Phases[p] }
+
+// Snapshot returns a copy of the metrics at this instant. Metrics is a
+// value type (fixed arrays, no pointers), so the copy is independent of
+// further accumulation.
+func (m *Metrics) Snapshot() Metrics { return *m }
+
+// Merge folds o into m: counters, durations and histograms add; watermarks
+// (MaxResponse, MaxQueueDepth) and geometry echoes (Channels,
+// DiesPerChannel) take the maximum. Merging snapshots from repeated runs of
+// the same workload yields the aggregate a single longer run would report,
+// which is how cmd/ftlbench pools percentiles across its repetitions.
+func (m *Metrics) Merge(o *Metrics) {
+	m.Requests += o.Requests
+	m.PageReads += o.PageReads
+	m.PageWrites += o.PageWrites
+	m.ServiceTime += o.ServiceTime
+	m.ResponseTime += o.ResponseTime
+	m.QueueTime += o.QueueTime
+	m.UnmappedReads += o.UnmappedReads
+	m.Lookups += o.Lookups
+	m.Hits += o.Hits
+	m.Replacements += o.Replacements
+	m.DirtyReplaced += o.DirtyReplaced
+	m.TransReadsAT += o.TransReadsAT
+	m.TransWritesAT += o.TransWritesAT
+	m.BatchWritebacks += o.BatchWritebacks
+	m.BatchCleaned += o.BatchCleaned
+	m.PrefetchedLoaded += o.PrefetchedLoaded
+	m.GCDataCollections += o.GCDataCollections
+	m.GCTransCollections += o.GCTransCollections
+	m.GCDataMigrations += o.GCDataMigrations
+	m.GCTransMigrations += o.GCTransMigrations
+	m.GCMapUpdates += o.GCMapUpdates
+	m.GCMapHits += o.GCMapHits
+	m.TransReadsGC += o.TransReadsGC
+	m.TransWritesGC += o.TransWritesGC
+	m.GCDataValidSum += o.GCDataValidSum
+	m.GCTransValidSum += o.GCTransValidSum
+	m.GCTime += o.GCTime
+	m.WearLevelMoves += o.WearLevelMoves
+	m.FlashReads += o.FlashReads
+	m.FlashPrograms += o.FlashPrograms
+	m.FlashErases += o.FlashErases
+	m.InjectedFaults += o.InjectedFaults
+	m.FaultRetries += o.FaultRetries
+	m.Elapsed += o.Elapsed
+	m.QueueDepthSum += o.QueueDepthSum
+	if o.MaxResponse > m.MaxResponse {
+		m.MaxResponse = o.MaxResponse
+	}
+	if o.MaxQueueDepth > m.MaxQueueDepth {
+		m.MaxQueueDepth = o.MaxQueueDepth
+	}
+	if o.Channels > m.Channels {
+		m.Channels = o.Channels
+	}
+	if o.DiesPerChannel > m.DiesPerChannel {
+		m.DiesPerChannel = o.DiesPerChannel
+	}
+	for i := range m.RespHist {
+		m.RespHist[i] += o.RespHist[i]
+	}
+	for i := range m.ChanBusy {
+		m.ChanBusy[i] += o.ChanBusy[i]
+	}
+	for i := range m.Phases {
+		m.Phases[i].Merge(&o.Phases[i])
+	}
+}
+
+// Counters returns the cumulative counter subset exported on each
+// -metrics-out snapshot line.
+func (m *Metrics) Counters() obs.Counters {
+	return obs.Counters{
+		Requests:      m.Requests,
+		PageReads:     m.PageReads,
+		PageWrites:    m.PageWrites,
+		Lookups:       m.Lookups,
+		Hits:          m.Hits,
+		FlashReads:    m.FlashReads,
+		FlashPrograms: m.FlashPrograms,
+		FlashErases:   m.FlashErases,
+		TransReads:    m.TransReads(),
+		TransWrites:   m.TransWrites(),
+		Prefetched:    m.PrefetchedLoaded,
+		Collections:   m.GCDataCollections + m.GCTransCollections,
+		ResponseNS:    int64(m.ResponseTime),
+		ServiceNS:     int64(m.ServiceTime),
+		QueueNS:       int64(m.QueueTime),
+		GCNS:          int64(m.GCTime),
+	}
+}
+
+// PhaseSnapshots returns the quantile summary of every phase histogram, in
+// obs.Phase order.
+func (m *Metrics) PhaseSnapshots() []obs.PhaseSnapshot {
+	out := make([]obs.PhaseSnapshot, obs.NumPhases)
+	for p := obs.Phase(0); p < obs.NumPhases; p++ {
+		out[p] = m.Phases[p].Summary(p.String())
+	}
+	return out
 }

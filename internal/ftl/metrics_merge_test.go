@@ -1,0 +1,92 @@
+package ftl
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// populateMetrics fills every field of m with a distinct nonzero value via
+// reflection, so a field Merge forgot stays zero and is caught by equality.
+// It fails the test on any field whose kind it does not know how to fill:
+// adding a field of a new shape to Metrics must come with teaching both this
+// test and Metrics.Merge about it.
+func populateMetrics(t *testing.T, m *Metrics) {
+	t.Helper()
+	v := reflect.ValueOf(m).Elem()
+	typ := v.Type()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		name := typ.Field(i).Name
+		if name == "Phases" {
+			// Histograms have internal invariants (Min/Max vs Buckets), so
+			// populate them through Record rather than raw field writes.
+			for p := range m.Phases {
+				m.Phases[p].Record(time.Duration(1+p) * time.Microsecond)
+				m.Phases[p].Record(time.Duration(3+p) * time.Millisecond)
+			}
+			continue
+		}
+		switch f.Kind() {
+		case reflect.Int64, reflect.Int:
+			f.SetInt(int64(7 + i))
+		case reflect.Array:
+			for j := 0; j < f.Len(); j++ {
+				e := f.Index(j)
+				if e.Kind() != reflect.Int64 {
+					t.Fatalf("Metrics.%s[%d] has kind %v; teach populateMetrics and Metrics.Merge about it", name, j, e.Kind())
+				}
+				e.SetInt(int64(1 + j%5))
+			}
+		default:
+			t.Fatalf("Metrics.%s has kind %v this drift test does not know; teach it and Metrics.Merge about the new field", name, f.Kind())
+		}
+	}
+}
+
+// TestMergeCoversEveryField is the drift guard for Metrics.Merge: merging a
+// fully populated Metrics into a zero one must reproduce every field (sums
+// add from zero, watermarks take the max over zero — both are the identity),
+// so any field a future change adds without extending Merge fails here.
+func TestMergeCoversEveryField(t *testing.T) {
+	var o Metrics
+	populateMetrics(t, &o)
+	var m Metrics
+	m.Merge(&o)
+	if m == o {
+		return
+	}
+	mv, ov := reflect.ValueOf(m), reflect.ValueOf(o)
+	for i := 0; i < mv.NumField(); i++ {
+		if !reflect.DeepEqual(mv.Field(i).Interface(), ov.Field(i).Interface()) {
+			t.Errorf("Merge into a zero Metrics dropped or distorted field %s:\n got %v\nwant %v",
+				mv.Type().Field(i).Name, mv.Field(i).Interface(), ov.Field(i).Interface())
+		}
+	}
+	t.Fatal("Merge into a zero Metrics must reproduce the source exactly")
+}
+
+// TestMergeSumAndMaxSemantics distinguishes the two merge behaviours a zero
+// target cannot: summed fields double on a second merge, watermark and
+// geometry fields stay put.
+func TestMergeSumAndMaxSemantics(t *testing.T) {
+	var o Metrics
+	populateMetrics(t, &o)
+	var m Metrics
+	m.Merge(&o)
+	m.Merge(&o)
+	if m.Requests != 2*o.Requests || m.ResponseTime != 2*o.ResponseTime || m.GCTime != 2*o.GCTime {
+		t.Fatalf("summed fields did not double: Requests %d vs %d", m.Requests, o.Requests)
+	}
+	if m.Phases[obs.PhaseResponse].Count != 2*o.Phases[obs.PhaseResponse].Count {
+		t.Fatalf("phase histogram counts did not double")
+	}
+	if m.MaxResponse != o.MaxResponse || m.MaxQueueDepth != o.MaxQueueDepth {
+		t.Fatalf("watermarks must take the max, not the sum: MaxResponse %v vs %v", m.MaxResponse, o.MaxResponse)
+	}
+	if m.Channels != o.Channels || m.DiesPerChannel != o.DiesPerChannel {
+		t.Fatalf("geometry echoes must take the max, not the sum: Channels %d vs %d", m.Channels, o.Channels)
+	}
+}

@@ -158,6 +158,12 @@ func (f *FTL) loadPage(env ftl.Env, v ftl.VTPN) (*cachedPage, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A whole-page load installs every entry of the translation page while
+	// the request demanded one: the rest is prefetch, which the phase
+	// attribution (obs.PhaseXlatePrefetch) classifies by.
+	if pf, ok := env.(interface{ NotePrefetch(int) }); ok {
+		pf.NotePrefetch(len(vals) - 1)
+	}
 	p := &cachedPage{
 		vtpn:  v,
 		vals:  make([]flash.PPN, len(vals)),

@@ -183,6 +183,11 @@ func (f *FTL) loadTier2(env ftl.Env, v ftl.VTPN) (*tier2Page, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Tier-2 caches the whole translation page for one demanded entry; the
+	// remainder counts as prefetched for the phase attribution.
+	if pf, ok := env.(interface{ NotePrefetch(int) }); ok {
+		pf.NotePrefetch(len(vals) - 1)
+	}
 	p := &tier2Page{vals: make([]flash.PPN, len(vals)), dirty: make(map[int32]struct{})}
 	copy(p.vals, vals)
 	// Fold in any tier-1 entries for this page (they are newer).

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// Counters is the exported subset of simulator counters carried by each
+// metrics snapshot, both cumulative and as a delta since the previous
+// snapshot. Field names are the JSONL schema.
+type Counters struct {
+	Requests      int64 `json:"requests"`
+	PageReads     int64 `json:"page_reads"`
+	PageWrites    int64 `json:"page_writes"`
+	Lookups       int64 `json:"lookups"`
+	Hits          int64 `json:"hits"`
+	FlashReads    int64 `json:"flash_reads"`
+	FlashPrograms int64 `json:"flash_programs"`
+	FlashErases   int64 `json:"flash_erases"`
+	TransReads    int64 `json:"trans_reads"`
+	TransWrites   int64 `json:"trans_writes"`
+	Prefetched    int64 `json:"prefetched"`
+	Collections   int64 `json:"gc_collections"`
+	ResponseNS    int64 `json:"response_ns"`
+	ServiceNS     int64 `json:"service_ns"`
+	QueueNS       int64 `json:"queue_ns"`
+	GCNS          int64 `json:"gc_ns"`
+}
+
+// Sub returns c - o, the delta between two cumulative counter snapshots.
+func (c Counters) Sub(o Counters) Counters {
+	return Counters{
+		Requests:      c.Requests - o.Requests,
+		PageReads:     c.PageReads - o.PageReads,
+		PageWrites:    c.PageWrites - o.PageWrites,
+		Lookups:       c.Lookups - o.Lookups,
+		Hits:          c.Hits - o.Hits,
+		FlashReads:    c.FlashReads - o.FlashReads,
+		FlashPrograms: c.FlashPrograms - o.FlashPrograms,
+		FlashErases:   c.FlashErases - o.FlashErases,
+		TransReads:    c.TransReads - o.TransReads,
+		TransWrites:   c.TransWrites - o.TransWrites,
+		Prefetched:    c.Prefetched - o.Prefetched,
+		Collections:   c.Collections - o.Collections,
+		ResponseNS:    c.ResponseNS - o.ResponseNS,
+		ServiceNS:     c.ServiceNS - o.ServiceNS,
+		QueueNS:       c.QueueNS - o.QueueNS,
+		GCNS:          c.GCNS - o.GCNS,
+	}
+}
+
+// PhaseSnapshot is one phase histogram condensed to its quantile summary.
+type PhaseSnapshot struct {
+	Phase  string `json:"phase"`
+	Count  int64  `json:"count"`
+	MeanNS int64  `json:"mean_ns"`
+	MinNS  int64  `json:"min_ns"`
+	MaxNS  int64  `json:"max_ns"`
+	P50NS  int64  `json:"p50_ns"`
+	P90NS  int64  `json:"p90_ns"`
+	P99NS  int64  `json:"p99_ns"`
+	P999NS int64  `json:"p999_ns"`
+}
+
+// SnapshotRecord is one line of the -metrics-out JSONL stream: cumulative
+// counters, the delta since the previous line, and the quantile summary of
+// every phase histogram, stamped with the simulated clock.
+type SnapshotRecord struct {
+	Seq       int64           `json:"seq"`
+	SimTimeNS int64           `json:"sim_time_ns"`
+	Requests  int64           `json:"requests"`
+	Delta     Counters        `json:"delta"`
+	Total     Counters        `json:"total"`
+	Phases    []PhaseSnapshot `json:"phases"`
+}
+
+// MetricsWriter streams SnapshotRecords as JSON Lines.
+type MetricsWriter struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewMetricsWriter wraps w in a buffered JSONL encoder.
+func NewMetricsWriter(w io.Writer) *MetricsWriter {
+	bw := bufio.NewWriterSize(w, 1<<15)
+	return &MetricsWriter{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Write emits one record as a single JSON line.
+func (m *MetricsWriter) Write(rec *SnapshotRecord) error {
+	if m.err != nil {
+		return m.err
+	}
+	m.err = m.enc.Encode(rec)
+	return m.err
+}
+
+// Flush drains buffered output to the underlying writer.
+func (m *MetricsWriter) Flush() error {
+	if err := m.w.Flush(); err != nil && m.err == nil {
+		m.err = err
+	}
+	return m.err
+}

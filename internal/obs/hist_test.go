@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestBucketBoundsConsistent(t *testing.T) {
+	// Every bucket's upper bound must map back into that bucket, and the
+	// value one past it into the next.
+	for i := 0; i < NumBuckets-1; i++ {
+		up := bucketUpper(i)
+		if got := bucketOf(up); got != i {
+			t.Fatalf("bucketOf(bucketUpper(%d)=%d) = %d", i, up, got)
+		}
+		if got := bucketOf(up + 1); got != i+1 {
+			t.Fatalf("bucketOf(%d) = %d, want %d", up+1, got, i+1)
+		}
+	}
+}
+
+func TestBucketOverflowClamps(t *testing.T) {
+	huge := int64(1) << 62
+	if got := bucketOf(huge); got != NumBuckets-1 {
+		t.Fatalf("bucketOf(2^62) = %d, want overflow bucket %d", got, NumBuckets-1)
+	}
+	var h Histogram
+	h.Record(time.Duration(huge))
+	if h.Buckets[NumBuckets-1] != 1 {
+		t.Fatalf("overflow observation not in final bucket")
+	}
+	// The bucket upper bound exceeds the recorded max; Quantile must clamp
+	// back to the true max.
+	if got := h.Quantile(0.999); int64(got) != huge {
+		t.Fatalf("overflow p999 = %d, want %d", got, huge)
+	}
+}
+
+func TestHistogramZeroSamples(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("empty histogram must report zeros: %+v", h)
+	}
+	s := h.Summary("queue")
+	if s.Count != 0 || s.P999NS != 0 || s.MaxNS != 0 {
+		t.Fatalf("empty summary not zero: %+v", s)
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	var h Histogram
+	const v = 123456 * time.Nanosecond
+	h.Record(v)
+	for _, p := range []float64{0, 0.5, 0.9, 0.99, 0.999, 1} {
+		if got := h.Quantile(p); got != v {
+			t.Fatalf("single-sample Quantile(%v) = %v, want %v", p, got, v)
+		}
+	}
+	if h.Mean() != v || h.Min() != v || h.Max() != v {
+		t.Fatalf("single-sample stats wrong: mean=%v min=%v max=%v", h.Mean(), h.Min(), h.Max())
+	}
+}
+
+func TestHistogramNegativeClamps(t *testing.T) {
+	var h Histogram
+	h.Record(-time.Second)
+	if h.Min() != 0 || h.Max() != 0 || h.Buckets[0] != 1 {
+		t.Fatalf("negative duration must clamp to zero: %+v", h.Summary("x"))
+	}
+}
+
+func TestHistogramMergeDisjointRanges(t *testing.T) {
+	var lo, hi Histogram
+	for i := 0; i < 100; i++ {
+		lo.Record(time.Duration(1000 + i)) // ~1µs
+		hi.Record(time.Duration(int64(time.Second) + int64(i)))
+	}
+	var m Histogram
+	m.Merge(&lo)
+	m.Merge(&hi)
+	if m.Count != 200 {
+		t.Fatalf("merged count = %d", m.Count)
+	}
+	if m.Min() != lo.Min() || m.Max() != hi.Max() {
+		t.Fatalf("merged min/max wrong: %v/%v", m.Min(), m.Max())
+	}
+	if m.Sum != lo.Sum+hi.Sum {
+		t.Fatalf("merged sum wrong")
+	}
+	// Half the mass is ~1µs, half ~1s: p50 must land in the low range and
+	// p90 in the high range.
+	if p50 := m.Quantile(0.5); p50 > 10*time.Microsecond {
+		t.Fatalf("merged p50 = %v, want ~1µs", p50)
+	}
+	if p90 := m.Quantile(0.9); p90 < 500*time.Millisecond {
+		t.Fatalf("merged p90 = %v, want ~1s", p90)
+	}
+	// Merging an empty histogram is a no-op.
+	before := m
+	var empty Histogram
+	m.Merge(&empty)
+	if m != before {
+		t.Fatalf("merging empty histogram changed state")
+	}
+}
+
+func TestHistogramQuantileDeterminism(t *testing.T) {
+	// Identical observation streams must produce identical histograms and
+	// quantiles, independent of insertion order.
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]time.Duration, 5000)
+	for i := range vals {
+		vals[i] = time.Duration(rng.Int63n(int64(50 * time.Millisecond)))
+	}
+	var a, b Histogram
+	for _, v := range vals {
+		a.Record(v)
+	}
+	for i := len(vals) - 1; i >= 0; i-- {
+		b.Record(vals[i])
+	}
+	if a != b {
+		t.Fatalf("histograms differ across insertion order")
+	}
+	for _, p := range []float64{0.5, 0.9, 0.99, 0.999} {
+		if a.Quantile(p) != b.Quantile(p) {
+			t.Fatalf("quantile %v differs across identical histograms", p)
+		}
+	}
+}
+
+func TestHistogramMaxAtLeastP999(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		var h Histogram
+		n := 1 + rng.Intn(3000)
+		for i := 0; i < n; i++ {
+			h.Record(time.Duration(rng.Int63n(int64(time.Second))))
+		}
+		if h.Max() < h.Quantile(0.999) {
+			t.Fatalf("trial %d: max %v < p999 %v", trial, h.Max(), h.Quantile(0.999))
+		}
+		if h.Quantile(0.999) < h.Quantile(0.99) || h.Quantile(0.99) < h.Quantile(0.5) {
+			t.Fatalf("trial %d: quantiles out of order", trial)
+		}
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	// Uniform 0..1s: each quantile estimate must be within one sub-bucket
+	// (1/SubBuckets relative error) of the true value.
+	var h Histogram
+	const n = 100000
+	for i := 0; i < n; i++ {
+		h.Record(time.Duration(int64(i) * int64(time.Second) / n))
+	}
+	for _, p := range []float64{0.5, 0.9, 0.99} {
+		want := float64(time.Second) * p
+		got := float64(h.Quantile(p))
+		if rel := (got - want) / want; rel < -0.01 || rel > 2.0/SubBuckets {
+			t.Fatalf("Quantile(%v) = %v, want ≈%v (rel err %.3f)", p, time.Duration(got), time.Duration(want), rel)
+		}
+	}
+}
+
+func TestHistogramRecordZeroAlloc(t *testing.T) {
+	var h Histogram
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Record(42 * time.Microsecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("Histogram.Record allocates %.1f/op, want 0", allocs)
+	}
+}

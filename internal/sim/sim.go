@@ -5,6 +5,7 @@ package sim
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/core"
 	"repro/internal/flash"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/ftl/optimal"
 	"repro/internal/ftl/sftl"
 	"repro/internal/ftl/zftl"
+	"repro/internal/obs"
 	"repro/internal/ssd"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -102,6 +104,16 @@ type Options struct {
 	// run fail with flash.ErrPowerCut — use RunCrash to verify recovery
 	// instead.
 	Faults *flash.FaultPlan
+
+	// MetricsOut, if non-nil, receives a JSONL metrics snapshot (counter
+	// deltas + per-phase latency quantiles) every MetricsInterval measured
+	// requests (default 1000). TraceOut, if non-nil, receives the run's
+	// flash-operation span trace in Chrome trace_event JSON (open in
+	// Perfetto). Both are armed after warm-up, cover only the measured
+	// phase, and leave every simulated metric bit-for-bit unchanged.
+	MetricsOut      io.Writer
+	MetricsInterval int
+	TraceOut        io.Writer
 }
 
 // Sample is one cache-distribution observation (Fig. 1/2 instrumentation).
@@ -299,11 +311,26 @@ func Run(o Options) (*Result, error) {
 	if o.Faults != nil {
 		dev.Chip().SetFaultPlan(o.Faults)
 	}
+	// Arm the observability sinks only for the measured phase (after
+	// warm-up's ResetMetrics), so exports describe what the result reports.
+	if o.TraceOut != nil {
+		dev.SetTracer(obs.NewTracer(o.TraceOut))
+	}
+	if o.MetricsOut != nil {
+		interval := o.MetricsInterval
+		if interval <= 0 {
+			interval = 1000
+		}
+		dev.SetMetricsExport(o.MetricsOut, int64(interval))
+	}
 	fst, err := runReqs(reqs)
 	if err != nil {
 		return nil, fmt.Errorf("sim: %s/%s: %w", o.Scheme, profile.Name, err)
 	}
 	res.M = dev.Metrics()
+	if err := dev.FinishObservability(); err != nil {
+		return nil, fmt.Errorf("sim: %s/%s observability flush: %w", o.Scheme, profile.Name, err)
+	}
 	if useFrontend {
 		res.M.MaxQueueDepth = fst.MaxDepth
 		res.M.QueueDepthSum = fst.DepthSum

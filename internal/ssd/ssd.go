@@ -39,6 +39,8 @@ package ssd
 
 import (
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Scheduler is the event-driven clock of one device. It tracks per-die
@@ -60,6 +62,13 @@ type Scheduler struct {
 
 	ops int64  // operations scheduled (all requests)
 	sum uint64 // order-sensitive FNV fold of every scheduled op
+
+	// tracer, when non-nil, receives every scheduled operation as a span;
+	// parent is the trace id of the current chain's latest operation, so
+	// spans record the dependency edge that serialized them. Tracing reads
+	// the schedule and never changes it.
+	tracer *obs.Tracer
+	parent int64
 }
 
 // NewScheduler builds a scheduler for channels × diesPerChannel dies.
@@ -94,17 +103,26 @@ func (s *Scheduler) Now() time.Duration { return s.retired }
 // Ops returns the number of operations scheduled so far.
 func (s *Scheduler) Ops() int64 { return s.ops }
 
+// SetTracer attaches (or with nil, detaches) a span tracer. Every scheduled
+// operation is then also emitted as a Chrome trace_event span on its die's
+// track, with the causal parent that serialized it.
+func (s *Scheduler) SetTracer(t *obs.Tracer) { s.tracer = t }
+
 // BeginRequest opens a request admitted at the given time. Subsequent
 // Issue calls chain from it until BreakChain or EndRequest.
 func (s *Scheduler) BeginRequest(admit time.Duration) {
 	s.admit, s.chain, s.reqEnd = admit, admit, admit
+	s.parent = 0
 }
 
 // BreakChain starts a new dependency chain at the request's admission time.
 // The device calls it between per-page sub-operations of one request: pages
 // have no data dependency on each other, so their flash operations may
 // overlap when striped across different dies.
-func (s *Scheduler) BreakChain() { s.chain = s.admit }
+func (s *Scheduler) BreakChain() {
+	s.chain = s.admit
+	s.parent = 0
+}
 
 // Issue schedules one operation of latency lat on die. It starts at the
 // later of the chain's ready time and the die's busy-until window, occupies
@@ -112,6 +130,15 @@ func (s *Scheduler) BreakChain() { s.chain = s.admit }
 //
 //ftl:hotpath
 func (s *Scheduler) Issue(die int, lat time.Duration) time.Duration {
+	return s.IssueOp(die, lat, obs.OpUnknown)
+}
+
+// IssueOp is Issue with an operation label for the span trace. The label
+// affects only tracing: schedule, metrics, and EventHash are identical for
+// every op value.
+//
+//ftl:hotpath
+func (s *Scheduler) IssueOp(die int, lat time.Duration, op obs.Op) time.Duration {
 	start := s.chain
 	if s.dieFree[die] > start {
 		start = s.dieFree[die]
@@ -125,6 +152,9 @@ func (s *Scheduler) Issue(die int, lat time.Duration) time.Duration {
 	}
 	s.ops++
 	s.record(die, start, end)
+	if t := s.tracer; t != nil {
+		s.parent = t.FlashOp(op, die, die%s.channels, start, end, s.parent)
+	}
 	return end
 }
 
