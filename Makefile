@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint sanitize fuzz bench bench-ci bench-smoke obs-smoke ci
+.PHONY: build test race vet lint sanitize fuzz bench bench-ci bench-smoke obs-smoke trim-smoke ci
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,7 @@ sanitize:
 # every fuzz-discovered sequence also runs under the per-op invariant checks.
 fuzz:
 	$(GO) test -tags ftlsan ./internal/sim -run '^$$' -fuzz FuzzCrashRecovery -fuzztime 30s
+	$(GO) test -tags ftlsan ./internal/sim -run '^$$' -fuzz FuzzCrashTrimFlush -fuzztime 30s
 
 # ftlbench is the reproducible macro-benchmark harness (cmd/ftlbench): a
 # fixed case matrix of full device simulations, reported as sim-ops per
@@ -73,10 +74,21 @@ obs-smoke: bin/ftlsim bin/obsvalidate
 	./bin/obsvalidate -metrics /tmp/obs-smoke.jsonl -trace /tmp/obs-smoke.trace.json
 	rm -f /tmp/obs-smoke.jsonl /tmp/obs-smoke.trace.json
 
+# Host-interface smoke: run the trim-heavy and fsync-heavy profiles end to
+# end (generated workload → buffer → device → metrics), then verify the
+# discard and flush crash contracts at random power-cut points. Catches a
+# translator whose Discard/FlushDirty path regressed without waiting for
+# the full test suite.
+trim-smoke: bin/ftlsim
+	./bin/ftlsim -workload fstrim-heavy -requests 20000 -scale 67108864 > /dev/null
+	./bin/ftlsim -workload database-fsync -requests 20000 -scale 67108864 > /dev/null
+	./bin/ftlsim -workload fstrim-heavy -requests 1200 -scale 16777216 -cuts 10 > /dev/null
+	./bin/ftlsim -workload database-fsync -requests 1200 -scale 16777216 -cuts 10 > /dev/null
+
 # Short queue-depth sweep over the parallel backend under the race detector:
 # the serial golden must hold bit-for-bit, the 4-channel QD sweep must be
 # monotone, and QD8 on 4 channels must beat 1 channel by ≥2×.
 bench-smoke:
 	$(GO) test -race ./internal/sim -run 'TestSerialGoldenCompatibility|TestSchedulerDeterminism|TestParallelSpeedup|TestQueueDepthSweepSmoke' -v
 
-ci: vet lint race sanitize bench-smoke bench-ci obs-smoke
+ci: vet lint race sanitize bench-smoke bench-ci obs-smoke trim-smoke

@@ -1,8 +1,9 @@
-// Command ftlint is this repository's static-analysis suite: six
+// Command ftlint is this repository's static-analysis suite: seven
 // repo-specific analyzers that keep known bug classes from coming back
 // (global randomness, drifting cache accounting, swallowed flash errors,
 // hardcoded geometry, allocations on the marked translation hot path,
-// unguarded or allocating observability hooks on that same path).
+// unguarded or allocating observability hooks on that same path, and
+// non-exhaustive switches over the request-op enum).
 //
 // Two modes:
 //
@@ -26,6 +27,7 @@ import (
 	"repro/internal/analysis/geometry"
 	"repro/internal/analysis/hotalloc"
 	"repro/internal/analysis/obscheck"
+	"repro/internal/analysis/opswitch"
 	"repro/internal/analysis/randsource"
 )
 
@@ -37,6 +39,7 @@ func analyzers() []*analysis.Analyzer {
 		geometry.Analyzer,
 		hotalloc.Analyzer,
 		obscheck.Analyzer,
+		opswitch.Analyzer,
 	}
 }
 

@@ -30,7 +30,7 @@ import (
 func main() {
 	var (
 		scheme    = flag.String("scheme", "TPFTL", "FTL scheme: TPFTL, DFTL, S-FTL, CDFTL, ZFTL, Optimal")
-		wl        = flag.String("workload", "Financial1", "workload profile: Financial1, Financial2, MSR-ts, MSR-src")
+		wl        = flag.String("workload", "Financial1", "workload profile: Financial1, Financial2, MSR-ts, MSR-src, fstrim-heavy, database-fsync")
 		requests  = flag.Int("requests", 300_000, "number of requests to generate")
 		seed      = flag.Int64("seed", 42, "workload seed")
 		scale     = flag.Int64("scale", 0, "override the workload's address space in bytes")
@@ -282,6 +282,18 @@ func printResult(r *tpftl.Result) {
 	fmt.Println()
 	fmt.Printf("write amplification       %8.3f\n", m.WriteAmplification())
 	fmt.Printf("block erases              %8d\n", m.FlashErases)
+	if m.TrimRequests > 0 || m.FlushRequests > 0 || m.FUAWrites > 0 {
+		fmt.Println()
+		if m.TrimRequests > 0 {
+			fmt.Printf("trim requests             %8d (%d pages discarded)\n", m.TrimRequests, m.TrimmedPages)
+		}
+		if m.FlushRequests > 0 {
+			fmt.Printf("flush barriers            %8d (%d dirty-entry writebacks)\n", m.FlushRequests, m.FlushStalls)
+		}
+		if m.FUAWrites > 0 {
+			fmt.Printf("FUA writes                %8d\n", m.FUAWrites)
+		}
+	}
 	if m.Channels > 1 || m.DiesPerChannel > 1 || m.MaxQueueDepth > 1 {
 		fmt.Println()
 		fmt.Printf("backend                   %d channels × %d dies, elapsed %v\n",

@@ -17,7 +17,7 @@ import (
 
 func main() {
 	var (
-		wl       = flag.String("workload", "Financial1", "profile: Financial1, Financial2, MSR-ts, MSR-src")
+		wl       = flag.String("workload", "Financial1", "profile: Financial1, Financial2, MSR-ts, MSR-src, fstrim-heavy, database-fsync")
 		requests = flag.Int("requests", 100_000, "number of requests")
 		seed     = flag.Int64("seed", 42, "generator seed")
 		scale    = flag.Int64("scale", 0, "override address space in bytes")
@@ -71,4 +71,14 @@ func printStats(reqs []tpftl.Request) {
 	fmt.Fprintf(os.Stderr, "seq write       %.1f%%\n", s.SeqWriteRatio()*100)
 	fmt.Fprintf(os.Stderr, "address space   %.1f MB (high-water)\n", float64(s.MaxEnd)/(1<<20))
 	fmt.Fprintf(os.Stderr, "page accesses   %d\n", s.PageAccesses)
+	if s.Trims > 0 {
+		fmt.Fprintf(os.Stderr, "trims           %d (%.1f MB, %d pages)\n",
+			s.Trims, float64(s.TrimBytes)/(1<<20), s.TrimPages)
+	}
+	if s.Flushes > 0 {
+		fmt.Fprintf(os.Stderr, "flushes         %d\n", s.Flushes)
+	}
+	if s.FUAWrites > 0 {
+		fmt.Fprintf(os.Stderr, "FUA writes      %d\n", s.FUAWrites)
+	}
 }

@@ -21,7 +21,7 @@ func Example() {
 		panic(err)
 	}
 	// One 8 KB write, then read it back.
-	if _, err := dev.Serve(tpftl.Request{Arrival: 0, Offset: 0, Length: 8192, Write: true}); err != nil {
+	if _, err := dev.Serve(tpftl.Request{Arrival: 0, Offset: 0, Length: 8192, Op: tpftl.OpWrite}); err != nil {
 		panic(err)
 	}
 	if _, err := dev.Serve(tpftl.Request{Arrival: 1_000_000, Offset: 0, Length: 8192}); err != nil {

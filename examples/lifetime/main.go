@@ -63,7 +63,7 @@ func main() {
 				p = rng.Int63n(pages)
 			}
 			arrival += 100_000
-			req := trace.Request{Arrival: arrival, Offset: p * pageBytes, Length: pageBytes, Write: true}
+			req := trace.Request{Arrival: arrival, Offset: p * pageBytes, Length: pageBytes, Op: trace.OpWrite}
 			if _, err := dev.Serve(req); err != nil {
 				log.Fatal(err)
 			}

@@ -1,0 +1,128 @@
+// Package opswitch enforces exhaustive switches over the request-op enum.
+//
+// The host interface grew from a boolean (read/write) to a five-way enum
+// (read, write, FUA write, trim, flush), and the original migration had to
+// chase down every `switch req.Op` in six translators, three baseline
+// devices, the write buffer and the crash harness. A switch that silently
+// falls through for a new op is exactly how a future op (say, a zone reset)
+// would corrupt state without failing loudly. This analyzer flags every
+// switch statement over a value of type trace.Op that neither covers all
+// declared op constants nor carries a default clause.
+//
+// The constant set is discovered from the Op type's defining package, so
+// adding an op constant automatically widens the requirement everywhere.
+// The NumOps sentinel is exempt: it bounds the enum and is not a request
+// kind.
+package opswitch
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags non-exhaustive switches over the trace.Op enum.
+var Analyzer = &analysis.Analyzer{
+	Name: "opswitch",
+	Doc:  "require switches over trace.Op to cover every op constant or declare a default",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[sw.Tag]
+			if !ok {
+				return true
+			}
+			named := opType(tv.Type)
+			if named == nil {
+				return true
+			}
+			missing := missingOps(pass, sw, named)
+			if len(missing) > 0 {
+				pass.Reportf(sw.Pos(),
+					"switch on %s.Op is not exhaustive: missing %s (add the cases or a default clause)",
+					named.Obj().Pkg().Name(), strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// opType returns t as a named type Op declared in a package named trace,
+// or nil if it is anything else.
+func opType(t types.Type) *types.Named {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Name() != "Op" || obj.Pkg() == nil || obj.Pkg().Name() != "trace" {
+		return nil
+	}
+	return named
+}
+
+// missingOps returns the names of op constants not covered by the switch, in
+// declaration-value order. A default clause covers everything.
+func missingOps(pass *analysis.Pass, sw *ast.SwitchStmt, named *types.Named) []string {
+	type opConst struct {
+		name string
+		val  int64
+	}
+	var all []opConst
+	scope := named.Obj().Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		if name == "NumOps" { // sentinel, not a request kind
+			continue
+		}
+		v, ok := constant.Int64Val(c.Val())
+		if !ok {
+			continue
+		}
+		all = append(all, opConst{name, v})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].val < all[j].val })
+
+	covered := make(map[int64]bool)
+	for _, stmt := range sw.Body.List {
+		clause, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if clause.List == nil {
+			return nil // default clause: exhaustive by construction
+		}
+		for _, expr := range clause.List {
+			ctv, ok := pass.TypesInfo.Types[expr]
+			if !ok || ctv.Value == nil {
+				continue
+			}
+			if v, ok := constant.Int64Val(ctv.Value); ok {
+				covered[v] = true
+			}
+		}
+	}
+
+	var missing []string
+	for _, c := range all {
+		if !covered[c.val] {
+			missing = append(missing, c.name)
+		}
+	}
+	return missing
+}

@@ -1,0 +1,12 @@
+package opswitch_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/opswitch"
+)
+
+func TestOpSwitch(t *testing.T) {
+	analysistest.Run(t, "testdata", opswitch.Analyzer, "a")
+}

@@ -1,0 +1,65 @@
+// Fixture: switches over the request-op enum, good and bad shapes.
+package a
+
+import (
+	"trace"
+)
+
+func exhaustive(req trace.Request) int {
+	switch req.Op {
+	case trace.OpRead:
+		return 1
+	case trace.OpWrite, trace.OpWriteFUA:
+		return 2
+	case trace.OpTrim:
+		return 3
+	case trace.OpFlush:
+		return 4
+	}
+	return 0
+}
+
+func withDefault(op trace.Op) int {
+	switch op {
+	case trace.OpRead:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func missingNewOps(req trace.Request) int {
+	switch req.Op { // want `switch on trace.Op is not exhaustive: missing OpWriteFUA, OpTrim, OpFlush`
+	case trace.OpRead:
+		return 1
+	case trace.OpWrite:
+		return 2
+	}
+	return 0
+}
+
+func missingFlush(op trace.Op) int {
+	switch op { // want `switch on trace.Op is not exhaustive: missing OpFlush`
+	case trace.OpRead, trace.OpWrite, trace.OpWriteFUA, trace.OpTrim:
+		return 1
+	}
+	return 0
+}
+
+func notAnOpSwitch(x int) int {
+	// A switch over a non-Op value is out of scope.
+	switch x {
+	case 1:
+		return 1
+	}
+	return 0
+}
+
+func tagless(op trace.Op) int {
+	// A tagless switch is a condition chain, not an enum dispatch.
+	switch {
+	case op == trace.OpRead:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,22 @@
+// Fixture stand-in for repro/internal/trace: the analyzer matches a named
+// type Op in a package named trace and discovers its constants from the
+// package scope.
+package trace
+
+type Op uint8
+
+const (
+	OpRead Op = iota
+	OpWrite
+	OpWriteFUA
+	OpTrim
+	OpFlush
+	NumOps
+)
+
+type Request struct {
+	Arrival int64
+	Offset  int64
+	Length  int64
+	Op      Op
+}

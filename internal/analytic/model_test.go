@@ -169,7 +169,7 @@ func TestModelMatchesSimulator(t *testing.T) {
 		page := int64(rng.Intn(4096))
 		write := rng.Intn(10) < 8 // Rw ≈ 0.8
 		arrival += 50_000
-		req := trace.Request{Arrival: arrival, Offset: page * 4096, Length: 4096, Write: write}
+		req := trace.Request{Arrival: arrival, Offset: page * 4096, Length: 4096, Op: opOf(write)}
 		if _, err := d.Serve(req); err != nil {
 			t.Fatal(err)
 		}
@@ -224,4 +224,11 @@ func relErr(a, b float64) float64 {
 		return math.Abs(a)
 	}
 	return math.Abs(a-b) / math.Abs(b)
+}
+
+func opOf(write bool) trace.Op {
+	if write {
+		return trace.OpWrite
+	}
+	return trace.OpRead
 }

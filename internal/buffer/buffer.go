@@ -37,9 +37,11 @@ type Metrics struct {
 	ReadHits    int64
 	WriteHits   int64 // overwrites absorbed in RAM
 	Fetches     int64 // read misses forwarded to the device
-	Flushes     int64 // dirty evictions written to the device
+	Flushes     int64 // buffered dirty pages written to the device (all paths)
 	CleanDrops  int64 // clean evictions (free)
 	ForcedDirty int64 // dirty evictions with no clean page in the window
+	FUAWrites   int64 // write-through pages forwarded for FUA requests
+	TrimDrops   int64 // buffered pages dropped by TRIM (dirty ones never written)
 }
 
 type bufPage struct {
@@ -101,8 +103,12 @@ func (b *Buffered) DirtyLen() int {
 }
 
 // Serve executes one request through the buffer. Buffer hits cost no flash
-// time; misses and flushes are forwarded to the device as page requests
-// carrying the original arrival time.
+// time; misses and writebacks are forwarded to the device as page requests
+// carrying the original arrival time. FUA writes go straight through to the
+// device (and stay cached clean); a flush drains every dirty buffered page
+// before forwarding the barrier; a TRIM drops buffered copies of the
+// discarded range — dirty ones included, their data is dead — and forwards
+// the discard.
 func (b *Buffered) Serve(req trace.Request) (time.Duration, error) {
 	if err := req.Validate(); err != nil {
 		return 0, err
@@ -111,17 +117,40 @@ func (b *Buffered) Serve(req trace.Request) (time.Duration, error) {
 	if arrival > b.clock {
 		b.clock = arrival
 	}
-	first, last := req.Pages(int(b.pageSize))
-	for lpn := first; lpn <= last; lpn++ {
-		var err error
-		if req.Write {
-			err = b.writePage(req.Arrival, ftl.LPN(lpn))
-		} else {
-			err = b.readPage(req.Arrival, ftl.LPN(lpn))
+	switch req.Op {
+	case trace.OpRead, trace.OpWrite:
+		first, last := req.Pages(int(b.pageSize))
+		for lpn := first; lpn <= last; lpn++ {
+			var err error
+			if req.Op == trace.OpWrite {
+				err = b.writePage(req.Arrival, ftl.LPN(lpn))
+			} else {
+				err = b.readPage(req.Arrival, ftl.LPN(lpn))
+			}
+			if err != nil {
+				return 0, err
+			}
 		}
-		if err != nil {
+	case trace.OpWriteFUA:
+		first, last := req.Pages(int(b.pageSize))
+		for lpn := first; lpn <= last; lpn++ {
+			if err := b.writeThrough(req.Arrival, ftl.LPN(lpn)); err != nil {
+				return 0, err
+			}
+		}
+	case trace.OpTrim:
+		if err := b.trim(req); err != nil {
 			return 0, err
 		}
+	case trace.OpFlush:
+		if err := b.Flush(req.Arrival); err != nil {
+			return 0, err
+		}
+		if _, err := b.dev.Serve(req); err != nil {
+			return 0, err
+		}
+	default:
+		return 0, fmt.Errorf("buffer: unhandled request op %v", req.Op)
 	}
 	if dc := b.dev.Now(); dc > b.clock {
 		b.clock = dc
@@ -166,6 +195,44 @@ func (b *Buffered) writePage(arrival int64, lpn ftl.LPN) error {
 	return b.insert(arrival, lpn, true)
 }
 
+// writeThrough serves one page of a FUA write: the page goes to flash
+// immediately (the durability the host asked for) and stays cached clean —
+// the copy just written is also the freshest, so later reads still hit.
+func (b *Buffered) writeThrough(arrival int64, lpn ftl.LPN) error {
+	b.m.Writes++
+	b.m.FUAWrites++
+	if _, err := b.dev.Serve(trace.Request{
+		Arrival: arrival, Offset: int64(lpn) * b.pageSize,
+		Length: b.pageSize, Op: trace.OpWriteFUA,
+	}); err != nil {
+		return err
+	}
+	if p, ok := b.pages[lpn]; ok {
+		p.dirty = false
+		b.list.MoveToFront(&p.node)
+		return nil
+	}
+	return b.insert(arrival, lpn, false)
+}
+
+// trim drops every buffered copy inside the discarded range (inward page
+// rounding: a partially-covered page keeps its data) and forwards the
+// discard to the device. Dirty buffered pages are dropped without
+// writeback — their content was just declared dead by the host.
+func (b *Buffered) trim(req trace.Request) error {
+	first := (req.Offset + b.pageSize - 1) / b.pageSize
+	last := req.End()/b.pageSize - 1
+	for lpn := first; lpn <= last; lpn++ {
+		if p, ok := b.pages[ftl.LPN(lpn)]; ok {
+			b.list.Remove(&p.node)
+			delete(b.pages, p.lpn)
+			b.m.TrimDrops++
+		}
+	}
+	_, err := b.dev.Serve(req)
+	return err
+}
+
 func (b *Buffered) insert(arrival int64, lpn ftl.LPN, dirty bool) error {
 	for len(b.pages) >= b.cfg.Pages {
 		if err := b.evict(arrival); err != nil {
@@ -208,29 +275,38 @@ func (b *Buffered) evict(arrival int64) error {
 		b.m.CleanDrops++
 		return nil
 	}
-	b.m.Flushes++
-	_, err := b.dev.Serve(trace.Request{
-		Arrival: arrival, Offset: int64(victim.lpn) * b.pageSize,
-		Length: b.pageSize, Write: true,
-	})
-	return err
+	return b.writeback(arrival, victim)
 }
 
-// Flush writes back every dirty buffered page (end-of-run drain).
+// writeback writes one dirty buffered page to the device and marks it
+// clean. It is the single writeback path — evictions and flush drains both
+// funnel through it — so Metrics.Flushes counts every buffered page write
+// reaching flash exactly once, no matter which path issued it. (The two
+// paths previously duplicated this logic and could drift in accounting.)
+func (b *Buffered) writeback(arrival int64, p *bufPage) error {
+	b.m.Flushes++
+	if _, err := b.dev.Serve(trace.Request{
+		Arrival: arrival, Offset: int64(p.lpn) * b.pageSize,
+		Length: b.pageSize, Op: trace.OpWrite,
+	}); err != nil {
+		return err
+	}
+	p.dirty = false
+	return nil
+}
+
+// Flush writes back every dirty buffered page, LRU first. Host flush
+// barriers and the end-of-run drain both use it; the pages stay cached,
+// now clean.
 func (b *Buffered) Flush(arrival int64) error {
 	for n := b.list.Back(); n != nil; n = n.Prev() {
 		p := n.Value
 		if !p.dirty {
 			continue
 		}
-		b.m.Flushes++
-		if _, err := b.dev.Serve(trace.Request{
-			Arrival: arrival, Offset: int64(p.lpn) * b.pageSize,
-			Length: b.pageSize, Write: true,
-		}); err != nil {
+		if err := b.writeback(arrival, p); err != nil {
 			return err
 		}
-		p.dirty = false
 	}
 	return nil
 }

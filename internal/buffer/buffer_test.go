@@ -35,11 +35,11 @@ func newBuffered(t *testing.T, pages int) (*Buffered, *ftl.Device) {
 }
 
 func wr(arrival, page int64) trace.Request {
-	return trace.Request{Arrival: arrival, Offset: page * 4096, Length: 4096, Write: true}
+	return trace.Request{Arrival: arrival, Offset: page * 4096, Length: 4096, Op: trace.OpWrite}
 }
 
 func rd(arrival, page int64) trace.Request {
-	return trace.Request{Arrival: arrival, Offset: page * 4096, Length: 4096, Write: false}
+	return trace.Request{Arrival: arrival, Offset: page * 4096, Length: 4096, Op: trace.OpRead}
 }
 
 func TestConfigValidation(t *testing.T) {
@@ -199,7 +199,7 @@ func TestBufferReducesDeviceWrites(t *testing.T) {
 
 func TestMultiPageRequests(t *testing.T) {
 	b, _ := newBuffered(t, 16)
-	req := trace.Request{Arrival: 0, Offset: 0, Length: 5 * 4096, Write: true}
+	req := trace.Request{Arrival: 0, Offset: 0, Length: 5 * 4096, Op: trace.OpWrite}
 	if _, err := b.Serve(req); err != nil {
 		t.Fatal(err)
 	}
@@ -208,5 +208,143 @@ func TestMultiPageRequests(t *testing.T) {
 	}
 	if b.DirtyLen() != 5 {
 		t.Fatalf("dirty = %d, want 5", b.DirtyLen())
+	}
+}
+
+// TestFlushMetricConsistency is the regression for the once-divergent
+// writeback paths: whether a dirty page reaches flash via capacity eviction
+// or via an explicit flush drain, Metrics.Flushes must count it exactly
+// once, and it must equal the device-visible buffered writes.
+func TestFlushMetricConsistency(t *testing.T) {
+	b, dev := newBuffered(t, 4)
+	arrival := int64(0)
+	// 12 distinct dirty pages through a 4-page buffer: 8 leave by
+	// eviction, the rest by the final drain.
+	for i := int64(0); i < 12; i++ {
+		arrival += 1000
+		if _, err := b.Serve(wr(arrival, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	evicted := b.Metrics().Flushes
+	if evicted != 8 {
+		t.Fatalf("evictions flushed %d pages, want 8", evicted)
+	}
+	if err := b.Flush(arrival); err != nil {
+		t.Fatal(err)
+	}
+	m := b.Metrics()
+	if m.Flushes != 12 {
+		t.Fatalf("Flushes = %d after drain, want 12 (every dirty page once)", m.Flushes)
+	}
+	if got := dev.Metrics().PageWrites; got != int64(m.Flushes) {
+		t.Fatalf("device saw %d page writes, buffer claims %d flushes", got, m.Flushes)
+	}
+	if b.DirtyLen() != 0 {
+		t.Fatalf("%d dirty pages after drain", b.DirtyLen())
+	}
+}
+
+// TestFlushRequestDrainsBuffer checks the OpFlush path end to end: serving
+// a flush request writes back every dirty buffered page and forwards the
+// barrier to the device (FlushRequests accounting), and a second flush is
+// free because nothing is dirty.
+func TestFlushRequestDrainsBuffer(t *testing.T) {
+	b, dev := newBuffered(t, 8)
+	arrival := int64(0)
+	for i := int64(0); i < 5; i++ {
+		arrival += 1000
+		if _, err := b.Serve(wr(arrival, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dev.Metrics().PageWrites != 0 {
+		t.Fatal("writes reached the device before any flush")
+	}
+	arrival += 1000
+	if _, err := b.Serve(trace.Request{Arrival: arrival, Op: trace.OpFlush}); err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.Metrics().PageWrites; got != 5 {
+		t.Fatalf("flush drained %d pages, want 5", got)
+	}
+	if got := dev.Metrics().FlushRequests; got != 1 {
+		t.Fatalf("device saw %d flush requests, want 1", got)
+	}
+	before := b.Metrics().Flushes
+	arrival += 1000
+	if _, err := b.Serve(trace.Request{Arrival: arrival, Op: trace.OpFlush}); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Metrics().Flushes; got != before {
+		t.Fatalf("idle flush wrote back %d pages", got-before)
+	}
+}
+
+// TestFUAWriteThrough checks that a FUA write bypasses buffering — the
+// device sees it immediately — while still landing in the buffer clean, so
+// a subsequent read hits RAM and a subsequent flush has nothing to do for
+// it.
+func TestFUAWriteThrough(t *testing.T) {
+	b, dev := newBuffered(t, 8)
+	req := trace.Request{Arrival: 1000, Offset: 3 * 4096, Length: 4096, Op: trace.OpWriteFUA}
+	if _, err := b.Serve(req); err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.Metrics().PageWrites; got != 1 {
+		t.Fatalf("device saw %d writes after FUA, want 1", got)
+	}
+	m := b.Metrics()
+	if m.FUAWrites != 1 {
+		t.Fatalf("FUAWrites = %d, want 1", m.FUAWrites)
+	}
+	if b.DirtyLen() != 0 {
+		t.Fatal("FUA write left a dirty buffered page")
+	}
+	reads := dev.Metrics().PageReads
+	if _, err := b.Serve(rd(2000, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.Metrics().PageReads; got != reads {
+		t.Fatal("read after FUA write missed the buffer")
+	}
+}
+
+// TestTrimDropsBufferedPages checks that a trim drops buffered pages —
+// dirty ones without writeback (the data is declared dead) — and forwards
+// the discard to the device so the mapping goes away.
+func TestTrimDropsBufferedPages(t *testing.T) {
+	b, dev := newBuffered(t, 8)
+	arrival := int64(0)
+	for i := int64(0); i < 4; i++ {
+		arrival += 1000
+		if _, err := b.Serve(wr(arrival, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	arrival += 1000
+	// Trim pages 0–3 (page-aligned, fully covered).
+	req := trace.Request{Arrival: arrival, Offset: 0, Length: 4 * 4096, Op: trace.OpTrim}
+	if _, err := b.Serve(req); err != nil {
+		t.Fatal(err)
+	}
+	m := b.Metrics()
+	if m.TrimDrops != 4 {
+		t.Fatalf("TrimDrops = %d, want 4", m.TrimDrops)
+	}
+	if b.Len() != 0 || b.DirtyLen() != 0 {
+		t.Fatalf("buffer kept %d pages (%d dirty) past the trim", b.Len(), b.DirtyLen())
+	}
+	if got := dev.Metrics().PageWrites; got != 0 {
+		t.Fatalf("trim wrote back %d dead pages", got)
+	}
+	if got := dev.Metrics().TrimmedPages; got != 4 {
+		// The dirty data only ever lived in the buffer, but Format mapped
+		// every logical page, so the device still discards its 4 formatted
+		// pages when the trim is forwarded.
+		t.Fatalf("device trimmed %d pages, want 4", got)
+	}
+	if got := dev.Metrics().TrimRequests; got != 1 {
+		t.Fatalf("device saw %d trim requests, want 1", got)
 	}
 }

@@ -189,6 +189,10 @@ type FTL struct {
 	evictScratch []ftl.EntryUpdate
 	gcPending    []gcFlush
 	gcScratch    []ftl.EntryUpdate
+	// flushScratch backs FlushDirty's per-page batch. It must be distinct
+	// from evictScratch and gcScratch: a flush writeback can trigger GC,
+	// which re-enters through OnGCDataMoves while the flush batch is live.
+	flushScratch []ftl.EntryUpdate
 
 	used    int64 // bytes charged against cfg.CacheBytes
 	entries int
@@ -744,6 +748,59 @@ func (f *FTL) Update(env ftl.Env, lpn ftl.LPN, ppn flash.PPN) error {
 	}
 	e := f.addEntry(tp, off, ppn, true)
 	f.touch(tp, e)
+	return nil
+}
+
+// Discard implements ftl.Translator: a trimmed page's cached entry is
+// dropped without writeback (the mapping is dead; the device rewrites the
+// translation page itself as part of the discard). removeEntry handles the
+// dirty count and drops the TP node when it empties — all slab-recycled,
+// nothing allocates.
+//
+//ftl:hotpath
+func (f *FTL) Discard(lpn ftl.LPN) {
+	v := ftl.VTPNOf(lpn, f.ePerTP)
+	tp := f.tpAt(v)
+	if tp == nil {
+		return
+	}
+	off := int32(ftl.OffOf(lpn, f.ePerTP))
+	if e := tp.byOff[off]; e != nil {
+		f.removeEntry(e)
+	}
+}
+
+// FlushDirty implements ftl.Translator: a host flush barrier writes every
+// dirty entry back, one batched translation-page update per dirty TP node,
+// in ascending VTPN order (the dense directory is index-ordered already).
+// Entries are marked clean as they are captured, BEFORE the flash write: a
+// GC triggered mid-flush refreshes cached entries in place and must leave
+// them dirty again. The batch uses flushScratch, not evictScratch or
+// gcScratch, because the WriteTP below can re-enter through OnGCDataMoves.
+func (f *FTL) FlushDirty(env ftl.Env) error {
+	f.ePerTP = env.EntriesPerTP()
+	for v := 0; v < len(f.byVTPN); v++ {
+		tp := f.byVTPN[v]
+		if tp == nil || tp.dirty == 0 {
+			continue
+		}
+		ups := f.flushScratch[:0]
+		for n := tp.entries.Front(); n != nil; n = n.Next() {
+			e := n.Value
+			if !e.dirty {
+				continue
+			}
+			ups = append(ups, ftl.EntryUpdate{Off: int(e.off), PPN: e.ppn})
+			e.dirty = false
+		}
+		tp.dirty = 0
+		ftl.SortUpdates(ups)
+		f.flushScratch = ups
+		env.NoteBatchWriteback(len(ups) - 1)
+		if err := env.WriteTP(ftl.VTPN(v), ups, false); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

@@ -39,15 +39,15 @@ func newTPFTLDevice(t *testing.T, cfg Config, devCacheBytes int64) (*ftl.Device,
 }
 
 func wr(arrival, page int64) trace.Request {
-	return trace.Request{Arrival: arrival, Offset: page * 4096, Length: 4096, Write: true}
+	return trace.Request{Arrival: arrival, Offset: page * 4096, Length: 4096, Op: trace.OpWrite}
 }
 
 func rd(arrival, page int64) trace.Request {
-	return trace.Request{Arrival: arrival, Offset: page * 4096, Length: 4096, Write: false}
+	return trace.Request{Arrival: arrival, Offset: page * 4096, Length: 4096, Op: trace.OpRead}
 }
 
 func rdSpan(arrival, page, n int64) trace.Request {
-	return trace.Request{Arrival: arrival, Offset: page * 4096, Length: n * 4096, Write: false}
+	return trace.Request{Arrival: arrival, Offset: page * 4096, Length: n * 4096, Op: trace.OpRead}
 }
 
 func TestVariantNames(t *testing.T) {
@@ -524,7 +524,7 @@ func TestRandomOpsConsistency(t *testing.T) {
 				arrival += int64(rng.Intn(300_000))
 				req := trace.Request{
 					Arrival: arrival, Offset: page * 4096, Length: n * 4096,
-					Write: rng.Intn(2) == 0,
+					Op: opOf(rng.Intn(2) == 0),
 				}
 				if _, err := d.Serve(req); err != nil {
 					t.Fatalf("variant %q batch %d op %d: %v", cfg.VariantName(), batch, i, err)

@@ -14,6 +14,8 @@
 package cdftl
 
 import (
+	"sort"
+
 	"repro/internal/flash"
 	"repro/internal/ftl"
 	"repro/internal/lru"
@@ -270,6 +272,83 @@ func (f *FTL) Update(env ftl.Env, lpn ftl.LPN, ppn flash.PPN) error {
 		return err
 	}
 	f.addCMT(lpn, ppn, true)
+	return nil
+}
+
+// Discard implements ftl.Translator: drop the trimmed page's CMT entry and
+// clear its CTP slot in RAM. The CTP slot is set to InvalidPPN with the
+// dirty mark removed so no later writeback resurrects the dead mapping (the
+// device rewrites the translation page itself as part of the discard).
+func (f *FTL) Discard(lpn ftl.LPN) {
+	if e, ok := f.cmt[lpn]; ok {
+		f.cmtLRU.Remove(&e.node)
+		delete(f.cmt, lpn)
+	}
+	v := ftl.VTPNOf(lpn, f.ePerTP)
+	off := int32(ftl.OffOf(lpn, f.ePerTP))
+	if p, ok := f.ctp[v]; ok {
+		p.vals[off] = flash.InvalidPPN
+		delete(p.dirty, off)
+	}
+}
+
+// FlushDirty implements ftl.Translator: a host flush barrier forces every
+// dirty entry in both levels to flash. Dirty CMT entries whose page is in
+// the CTP fold into it first (the normal kick-out path, minus the flash
+// cost); each dirty CTP page then writes back whole, and remaining cold
+// dirty CMT entries group into one read-modify-write per translation page.
+// Pages flush in ascending VTPN order for determinism.
+func (f *FTL) FlushDirty(env ftl.Env) error {
+	f.ePerTP = env.EntriesPerTP()
+	pending := map[ftl.VTPN][]ftl.EntryUpdate{}
+	for lpn, e := range f.cmt {
+		if !e.dirty {
+			continue
+		}
+		v := ftl.VTPNOf(lpn, f.ePerTP)
+		off := int32(ftl.OffOf(lpn, f.ePerTP))
+		if p, ok := f.ctp[v]; ok {
+			p.vals[off] = e.ppn
+			p.dirty[off] = struct{}{}
+		} else {
+			pending[v] = append(pending[v], ftl.EntryUpdate{Off: int(off), PPN: e.ppn})
+		}
+		e.dirty = false
+	}
+	dirtyPages := make([]*ctpPage, 0, len(f.ctp))
+	for _, p := range f.ctp {
+		if len(p.dirty) > 0 {
+			dirtyPages = append(dirtyPages, p)
+		}
+	}
+	sort.Slice(dirtyPages, func(i, j int) bool { return dirtyPages[i].vtpn < dirtyPages[j].vtpn })
+	numLPNs := env.NumLPNs()
+	for _, p := range dirtyPages {
+		// Capture and clear the marks BEFORE the write: a GC triggered by
+		// it refreshes this cached page in place and must leave its marks
+		// dirty again, not have them wiped afterwards.
+		base := int64(p.vtpn) * int64(f.ePerTP)
+		updates := make([]ftl.EntryUpdate, 0, len(p.dirty))
+		for off := range p.dirty {
+			if base+int64(off) >= numLPNs {
+				continue
+			}
+			updates = append(updates, ftl.EntryUpdate{Off: int(off), PPN: p.vals[off]})
+		}
+		ftl.SortUpdates(updates)
+		p.dirty = make(map[int32]struct{})
+		env.NoteBatchWriteback(len(updates) - 1)
+		if err := env.WriteTP(p.vtpn, updates, true); err != nil {
+			return err
+		}
+	}
+	for _, v := range ftl.SortedVTPNs(pending) {
+		ups := pending[v]
+		ftl.SortUpdates(ups)
+		if err := env.WriteTP(v, ups, false); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

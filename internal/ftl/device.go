@@ -378,25 +378,47 @@ func (d *Device) serveAdmitted(req trace.Request, admit time.Duration) (complete
 	d.reqMiss, d.reqPrefetch = false, false
 	gcBase := d.m.GCTime
 
-	first, last := req.Pages(d.cfg.PageSize)
-	d.tr.BeginRequest(LPN(first), LPN(last), req.Write)
-	for lpn := LPN(first); lpn <= LPN(last); lpn++ {
-		// Page sub-operations of one request carry no dependency on each
-		// other: each opens a fresh chain from the admission time, so
-		// sub-ops striped onto different dies overlap.
-		d.sched.BreakChain()
-		var err error
-		if req.Write {
-			err = d.writePage(lpn)
-		} else {
-			err = d.readPage(lpn)
+	switch req.Op {
+	case trace.OpRead, trace.OpWrite, trace.OpWriteFUA:
+		first, last := req.Pages(d.cfg.PageSize)
+		d.tr.BeginRequest(LPN(first), LPN(last), req.IsWrite())
+		for lpn := LPN(first); lpn <= LPN(last); lpn++ {
+			// Page sub-operations of one request carry no dependency on
+			// each other: each opens a fresh chain from the admission time,
+			// so sub-ops striped onto different dies overlap.
+			d.sched.BreakChain()
+			var err error
+			if req.IsWrite() {
+				err = d.writePage(lpn)
+			} else {
+				err = d.readPage(lpn)
+			}
+			if err != nil {
+				return 0, 0, err
+			}
+			if d.SampleEvery > 0 && d.m.PageAccesses()%d.SampleEvery == 0 && d.OnSample != nil {
+				d.OnSample(d.m.PageAccesses())
+			}
 		}
-		if err != nil {
+		if req.Op == trace.OpWriteFUA {
+			// Every acknowledged program is durable in this device (no
+			// volatile data buffer inside), so FUA costs nothing extra
+			// here; the counter feeds the host-interface accounting and
+			// any buffer wrapped around the device honors write-through.
+			d.m.FUAWrites++
+		}
+	case trace.OpTrim:
+		d.m.TrimRequests++
+		if err := d.trimRequest(req); err != nil {
 			return 0, 0, err
 		}
-		if d.SampleEvery > 0 && d.m.PageAccesses()%d.SampleEvery == 0 && d.OnSample != nil {
-			d.OnSample(d.m.PageAccesses())
+	case trace.OpFlush:
+		d.m.FlushRequests++
+		if err := d.flushMapping(); err != nil {
+			return 0, 0, err
 		}
+	default:
+		return 0, 0, errf("unhandled request op %v", req.Op)
 	}
 
 	complete = d.sched.EndRequest()
@@ -406,7 +428,7 @@ func (d *Device) serveAdmitted(req trace.Request, admit time.Duration) (complete
 	d.m.ResponseTime += resp
 	d.m.QueueTime += admit - arrival
 	d.m.ObserveResponse(resp)
-	d.observeRequest(arrival, admit, complete, d.m.GCTime-gcBase, req.Write)
+	d.observeRequest(arrival, admit, complete, d.m.GCTime-gcBase, req.Op)
 	if SanitizerEnabled {
 		if err := d.sanitize(); err != nil {
 			return 0, 0, err
@@ -416,31 +438,36 @@ func (d *Device) serveAdmitted(req trace.Request, admit time.Duration) (complete
 }
 
 // observeRequest attributes one completed request's latency across the
-// phase histograms and feeds the tracer/export sinks. Translation time goes
-// to exactly one of the hit/miss/prefetch phases — classified by whether
-// any cache lookup missed and whether a miss load prefetched extra entries
-// — so the three counts sum to Requests.
+// phase histograms and feeds the tracer/export sinks. For reads and writes,
+// translation time goes to exactly one of the hit/miss/prefetch phases —
+// classified by whether any cache lookup missed and whether a miss load
+// prefetched extra entries — so those three counts sum to the read/write
+// request count. Trims and flushes record their flash time into their own
+// phases instead.
 //
 //ftl:hotpath
-func (d *Device) observeRequest(arrival, admit, complete, gcStall time.Duration, write bool) {
+func (d *Device) observeRequest(arrival, admit, complete, gcStall time.Duration, op trace.Op) {
 	d.m.Phases[obs.PhaseQueue].Record(admit - arrival)
-	xp := obs.PhaseXlateHit
-	if d.reqMiss {
-		xp = obs.PhaseXlateMiss
-		if d.reqPrefetch {
-			xp = obs.PhaseXlatePrefetch
+	switch op {
+	case trace.OpTrim:
+		d.m.Phases[obs.PhaseTrim].Record(d.reqWB)
+	case trace.OpFlush:
+		d.m.Phases[obs.PhaseFlush].Record(d.reqWB)
+	default:
+		xp := obs.PhaseXlateHit
+		if d.reqMiss {
+			xp = obs.PhaseXlateMiss
+			if d.reqPrefetch {
+				xp = obs.PhaseXlatePrefetch
+			}
 		}
+		d.m.Phases[xp].Record(d.reqXlate)
+		d.m.Phases[obs.PhaseData].Record(d.reqData)
+		d.m.Phases[obs.PhaseWriteback].Record(d.reqWB)
 	}
-	d.m.Phases[xp].Record(d.reqXlate)
-	d.m.Phases[obs.PhaseData].Record(d.reqData)
-	d.m.Phases[obs.PhaseWriteback].Record(d.reqWB)
 	d.m.Phases[obs.PhaseGCStall].Record(gcStall)
 	if t := d.tracer; t != nil {
-		name := "read"
-		if write {
-			name = "write"
-		}
-		t.RequestSpan(name, d.m.Requests, arrival, complete)
+		t.RequestSpan(op.String(), d.m.Requests, arrival, complete)
 	}
 	if d.metricsW != nil && d.m.Requests%d.metricsEvery == 0 {
 		d.exportSnapshot()
@@ -531,6 +558,142 @@ func (d *Device) writePage(lpn LPN) error {
 	}
 	d.truth[lpn] = ppn
 	return d.tr.Update(d, lpn, ppn)
+}
+
+// trimRequest discards the logical pages wholly covered by a TRIM request.
+// Trims round inward: a partially-covered page keeps its data (discarding
+// it would destroy bytes outside the trimmed range), so a sub-page trim is
+// a no-op.
+func (d *Device) trimRequest(req trace.Request) error {
+	pageSize := int64(d.cfg.PageSize)
+	first := (req.Offset + pageSize - 1) / pageSize
+	last := req.End()/pageSize - 1
+	lpn := LPN(first)
+	for lpn <= LPN(last) {
+		v := VTPNOf(lpn, d.entriesPerTP)
+		end := LPNAt(v+1, 0, d.entriesPerTP) - 1
+		if end > LPN(last) {
+			end = LPN(last)
+		}
+		d.sched.BreakChain()
+		if err := d.trimTP(v, lpn, end); err != nil {
+			return err
+		}
+		lpn = end + 1
+	}
+	return nil
+}
+
+// trimTP makes the discard of [lo, hi] — all inside translation page v —
+// durable, then applies it to the live state. The discard durability
+// contract (a trimmed LPN must never resurrect its old data after a crash)
+// forces a strict order: first rewrite the translation page with the
+// trimmed slots cleared (read-modify-write + program, all fault-retried),
+// and only once the program has succeeded invalidate the old translation
+// page, the trimmed data pages and the live mapping. A power cut anywhere
+// before that commit point aborts with no live state touched, so the device
+// never exposes a discard that would not survive the crash — the exact dual
+// of writePage, which updates truth only after its data program succeeded.
+//
+// Trims deliberately bypass WriteTP: WriteTP applies content updates to the
+// persisted view before its program (safe for the valid mappings
+// translators write back, where a premature entry only goes stale), but a
+// premature Invalid would claim a discard is durable when the cut may have
+// prevented exactly that.
+func (d *Device) trimTP(v VTPN, lo, hi LPN) error {
+	// Drop cached entries first: RAM-only state, lost in a crash anyway,
+	// and a dirty entry for a trimmed page must never be written back.
+	for lpn := lo; lpn <= hi; lpn++ {
+		d.tr.Discard(lpn)
+	}
+	if err := d.maybeGC(); err != nil {
+		return err
+	}
+	old := d.gtd[v]
+	if old.Valid() {
+		lat, err := d.chipRead(old)
+		if err != nil {
+			return err
+		}
+		d.issuePage(old, lat, obs.OpTransRead)
+		d.m.FlashReads++
+		d.m.TransReadsAT++
+		if d.serving {
+			d.reqWB += lat
+		}
+	}
+	ppn, err := d.bm.alloc(blockTrans)
+	if err != nil {
+		return err
+	}
+	lat, err := d.chipProgram(ppn, flash.Meta{Kind: flash.KindTranslation, Tag: int64(v), Seq: d.nextSeq()})
+	if err != nil {
+		return err
+	}
+	d.issuePage(ppn, lat, obs.OpTransProgram)
+	d.m.FlashPrograms++
+	d.m.TransWritesAT++
+	if d.serving {
+		d.reqWB += lat
+	}
+	// Commit point: the cleared translation page is on flash.
+	if old.Valid() {
+		if err := d.bm.invalidate(old); err != nil {
+			return err
+		}
+	}
+	d.gtd[v] = ppn
+	d.foldTPPersist(v)
+	for lpn := lo; lpn <= hi; lpn++ {
+		d.persist[lpn] = flash.InvalidPPN
+		if t := d.truth[lpn]; t.Valid() {
+			if err := d.bm.invalidate(t); err != nil {
+				return err
+			}
+			d.truth[lpn] = flash.InvalidPPN
+			d.m.TrimmedPages++
+		}
+	}
+	return nil
+}
+
+// flushMapping serves a host flush barrier: every dirty cached mapping
+// entry is written back, so no acknowledged write's mapping lives only in
+// RAM once the flush is acknowledged. (Data pages are always durable at
+// acknowledgement in this device; recovery rebuilds their mapping from OOB
+// metadata even without the writeback, but the flush bounds the recovery
+// scan's exposure and is the contract sim.RunCrash verifies.) A flush that
+// found nothing dirty is free; one that had to touch flash counts as a
+// stall.
+func (d *Device) flushMapping() error {
+	base := d.m.FlashPrograms
+	if err := d.tr.FlushDirty(d); err != nil {
+		return err
+	}
+	if d.m.FlashPrograms > base {
+		d.m.FlushStalls++
+	}
+	return nil
+}
+
+// foldTPPersist folds ground truth into the persisted view of translation
+// page v: every slot whose persisted entry is unmapped while the live
+// mapping is valid takes the live value. Called whenever a new physical
+// copy of v is programmed (WriteTP, trim rewrite, GC migration) — the
+// rewrite opportunistically persists mappings whose writeback was still
+// pending. This keeps recovery's trim rule sound: after any translation
+// page program, a persisted-unmapped slot implies the page really is
+// unmapped, so "translation page newer than data page + slot unmapped"
+// can only mean a durable discard. On a device that never trims, persisted
+// entries are never unmapped after Format and this is a no-op.
+func (d *Device) foldTPPersist(v VTPN) {
+	lo := int64(v) * int64(d.entriesPerTP)
+	hi := min64(lo+int64(d.entriesPerTP), d.logicalPages)
+	for lpn := lo; lpn < hi; lpn++ {
+		if d.persist[lpn] == flash.InvalidPPN && d.truth[lpn].Valid() {
+			d.persist[lpn] = d.truth[lpn]
+		}
+	}
 }
 
 // issuePage charges one completed flash operation on p's die to the
@@ -672,6 +835,10 @@ func (d *Device) WriteTP(v VTPN, updates []EntryUpdate, fullPage bool) error {
 		}
 		d.persist[lpn] = u.PPN
 	}
+	// The fresh physical copy opportunistically persists any mapping whose
+	// writeback was still pending (see foldTPPersist); unmapped slots after
+	// this point are durable discards.
+	d.foldTPPersist(v)
 	if err := d.maybeGC(); err != nil {
 		return err
 	}

@@ -52,11 +52,11 @@ func newDFTLDevice(t *testing.T, cfg ftl.Config) (*ftl.Device, *dftl.FTL) {
 }
 
 func wr(arrival, page int64) trace.Request {
-	return trace.Request{Arrival: arrival, Offset: page * 4096, Length: 4096, Write: true}
+	return trace.Request{Arrival: arrival, Offset: page * 4096, Length: 4096, Op: trace.OpWrite}
 }
 
 func rd(arrival, page int64) trace.Request {
-	return trace.Request{Arrival: arrival, Offset: page * 4096, Length: 4096, Write: false}
+	return trace.Request{Arrival: arrival, Offset: page * 4096, Length: 4096, Op: trace.OpRead}
 }
 
 func TestConfigDefaults(t *testing.T) {
@@ -388,7 +388,7 @@ func TestOptimalVsDFTLAgreeOnReads(t *testing.T) {
 func TestMultiPageRequestSplitting(t *testing.T) {
 	d, _ := newOptimalDevice(t, testConfig())
 	// A 5-page write.
-	req := trace.Request{Arrival: 0, Offset: 3 * 4096, Length: 5 * 4096, Write: true}
+	req := trace.Request{Arrival: 0, Offset: 3 * 4096, Length: 5 * 4096, Op: trace.OpWrite}
 	if _, err := d.Serve(req); err != nil {
 		t.Fatal(err)
 	}
@@ -396,7 +396,7 @@ func TestMultiPageRequestSplitting(t *testing.T) {
 		t.Fatalf("PageWrites = %d, want 5", m.PageWrites)
 	}
 	// Unaligned 1-byte read straddling nothing: 1 page access.
-	req = trace.Request{Arrival: 1e9, Offset: 4097, Length: 1, Write: false}
+	req = trace.Request{Arrival: 1e9, Offset: 4097, Length: 1, Op: trace.OpRead}
 	if _, err := d.Serve(req); err != nil {
 		t.Fatal(err)
 	}
@@ -492,7 +492,7 @@ func TestRandomOpsConsistency(t *testing.T) {
 				}
 				req := trace.Request{
 					Arrival: arrival, Offset: page * 4096, Length: n * 4096,
-					Write: rng.Intn(2) == 0,
+					Op: opOf(rng.Intn(2) == 0),
 				}
 				if _, err := d.Serve(req); err != nil {
 					t.Fatalf("seed %d batch %d op %d: %v", seed, batch, i, err)
@@ -547,4 +547,11 @@ func TestDFTLSnapshot(t *testing.T) {
 	if s.UsedBytes != 15*8 {
 		t.Fatalf("UsedBytes = %d", s.UsedBytes)
 	}
+}
+
+func opOf(write bool) trace.Op {
+	if write {
+		return trace.OpWrite
+	}
+	return trace.OpRead
 }

@@ -196,6 +196,50 @@ func (f *FTL) evictOne(env ftl.Env) error {
 	return nil
 }
 
+// Discard implements ftl.Translator: a trimmed page's cached entry is
+// dropped without writeback — the mapping it holds is dead, and the device
+// rewrites the translation page itself as part of the discard.
+func (f *FTL) Discard(lpn ftl.LPN) {
+	e, ok := f.entries[lpn]
+	if !ok {
+		return
+	}
+	if e.protected {
+		f.prot.Remove(&e.node)
+	} else {
+		f.prob.Remove(&e.node)
+	}
+	delete(f.entries, lpn)
+}
+
+// FlushDirty implements ftl.Translator: a host flush barrier forces every
+// dirty cached entry to its translation page. Entries sharing a translation
+// page are written back in one batched read-modify-write, and pages are
+// visited in ascending VTPN order so the writeback sequence is deterministic.
+func (f *FTL) FlushDirty(env ftl.Env) error {
+	e := env.EntriesPerTP()
+	pending := map[ftl.VTPN][]ftl.EntryUpdate{}
+	// Entries are marked clean as they are captured, NOT after the writes:
+	// a GC triggered mid-flush refreshes cached entries (hit path) and must
+	// leave them dirty again, or the refreshed mappings would be lost.
+	for lpn, ent := range f.entries {
+		if !ent.dirty {
+			continue
+		}
+		v := ftl.VTPNOf(lpn, e)
+		pending[v] = append(pending[v], ftl.EntryUpdate{Off: ftl.OffOf(lpn, e), PPN: ent.ppn})
+		ent.dirty = false
+	}
+	for _, v := range ftl.SortedVTPNs(pending) {
+		ups := pending[v]
+		ftl.SortUpdates(ups)
+		if err := env.WriteTP(v, ups, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // OnGCDataMoves implements ftl.Translator. Updates for moves whose entries
 // are cached happen in RAM (GC hits); the rest are grouped by translation
 // page and applied in one batch update per page — DFTL's original GC-time

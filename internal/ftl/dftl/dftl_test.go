@@ -29,11 +29,11 @@ func newDevice(t *testing.T, cacheBytes int64) (*ftl.Device, *FTL) {
 }
 
 func rd(arrival, page int64) trace.Request {
-	return trace.Request{Arrival: arrival, Offset: page * 4096, Length: 4096, Write: false}
+	return trace.Request{Arrival: arrival, Offset: page * 4096, Length: 4096, Op: trace.OpRead}
 }
 
 func wr(arrival, page int64) trace.Request {
-	return trace.Request{Arrival: arrival, Offset: page * 4096, Length: 4096, Write: true}
+	return trace.Request{Arrival: arrival, Offset: page * 4096, Length: 4096, Op: trace.OpWrite}
 }
 
 func TestCapacityClamp(t *testing.T) {

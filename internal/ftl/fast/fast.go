@@ -147,21 +147,30 @@ func (d *Device) Serve(req trace.Request) (time.Duration, error) {
 		start = arrival
 	}
 	var acc time.Duration
-	first, last := req.Pages(d.cfg.Device.PageSize)
-	for lpn := first; lpn <= last; lpn++ {
-		var lat time.Duration
-		var err error
-		if req.Write {
-			d.m.PageWrites++
-			lat, err = d.writePage(lpn)
-		} else {
-			d.m.PageReads++
-			lat, err = d.readPage(lpn)
+	switch req.Op {
+	case trace.OpRead, trace.OpWrite, trace.OpWriteFUA:
+		first, last := req.Pages(d.cfg.Device.PageSize)
+		for lpn := first; lpn <= last; lpn++ {
+			var lat time.Duration
+			var err error
+			if req.IsWrite() {
+				d.m.PageWrites++
+				lat, err = d.writePage(lpn)
+			} else {
+				d.m.PageReads++
+				lat, err = d.readPage(lpn)
+			}
+			if err != nil {
+				return 0, err
+			}
+			acc += lat
 		}
-		if err != nil {
-			return 0, err
-		}
-		acc += lat
+	case trace.OpTrim, trace.OpFlush:
+		// TRIM is advisory and this pre-TRIM design ignores it (the data
+		// stays until overwritten, which the spec permits); every write is
+		// already synchronous, so a flush barrier has nothing to drain.
+	default:
+		return 0, fmt.Errorf("fast: unhandled request op %v", req.Op)
 	}
 	d.clock = start + acc
 	resp := d.clock - arrival

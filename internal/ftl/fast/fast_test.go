@@ -27,11 +27,11 @@ func newDevice(t *testing.T, logBlocks int) *Device {
 }
 
 func wr(arrival, page int64) trace.Request {
-	return trace.Request{Arrival: arrival, Offset: page * 4096, Length: 4096, Write: true}
+	return trace.Request{Arrival: arrival, Offset: page * 4096, Length: 4096, Op: trace.OpWrite}
 }
 
 func rd(arrival, page int64) trace.Request {
-	return trace.Request{Arrival: arrival, Offset: page * 4096, Length: 4096, Write: false}
+	return trace.Request{Arrival: arrival, Offset: page * 4096, Length: 4096, Op: trace.OpRead}
 }
 
 func TestSharedLogAbsorbsScatteredUpdates(t *testing.T) {

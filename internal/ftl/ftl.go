@@ -17,6 +17,7 @@ package ftl
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/flash"
 )
@@ -47,6 +48,24 @@ type GCMove struct {
 type EntryUpdate struct {
 	Off int // entry offset within the translation page
 	PPN flash.PPN
+}
+
+// SortUpdates orders updates by ascending slot offset, giving batched
+// writebacks a deterministic entry order regardless of map iteration.
+func SortUpdates(ups []EntryUpdate) {
+	sort.Slice(ups, func(i, j int) bool { return ups[i].Off < ups[j].Off })
+}
+
+// SortedVTPNs returns the map's keys in ascending order, so multi-page
+// writebacks (flush barriers, GC batches) visit translation pages
+// deterministically.
+func SortedVTPNs[V any](m map[VTPN]V) []VTPN {
+	keys := make([]VTPN, 0, len(m))
+	for v := range m {
+		keys = append(keys, v)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
 }
 
 // Translator is the mapping-cache policy of one FTL scheme. Implementations
@@ -81,6 +100,18 @@ type Translator interface {
 	// share a translation page into one flash update and must call
 	// env.NoteGCMapUpdate for each move.
 	OnGCDataMoves(env Env, moves []GCMove) error
+
+	// Discard drops any cached entry for lpn without writing it back: the
+	// host has trimmed the page, so a dirty entry's pending mapping must
+	// never reach flash. Pure RAM bookkeeping — no Env, no flash cost. The
+	// device invalidates truth/persist and the flash pages itself.
+	Discard(lpn LPN)
+
+	// FlushDirty writes every dirty cached entry back to its translation
+	// page (batched per page, deterministic page order) and marks the
+	// cache clean. A host flush bounds dirty-entry loss to zero: after
+	// FlushDirty returns, no acknowledged mapping lives only in RAM.
+	FlushDirty(env Env) error
 }
 
 // CacheSnapshot describes the mapping-cache contents at one instant; the

@@ -126,6 +126,7 @@ func (d *Device) collect(blk flash.BlockID) error {
 				return err
 			}
 			d.gtd[v] = newPPN
+			d.foldTPPersist(v)
 			d.m.GCTransMigrations++
 		default:
 			return errf("GC: page %d has kind %v", ppn, meta.Kind)

@@ -25,7 +25,7 @@ func hotColdWrites(t *testing.T, d *ftl.Device, n int, seed int64) {
 			p = rng.Int63n(pages)
 		}
 		arrival += int64(50 * time.Microsecond)
-		req := trace.Request{Arrival: arrival, Offset: p * 4096, Length: 4096, Write: true}
+		req := trace.Request{Arrival: arrival, Offset: p * 4096, Length: 4096, Op: trace.OpWrite}
 		if _, err := d.Serve(req); err != nil {
 			t.Fatalf("write %d: %v", i, err)
 		}

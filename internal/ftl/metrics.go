@@ -20,6 +20,13 @@ type Metrics struct {
 	QueueTime     time.Duration
 	UnmappedReads int64 // reads of never-written pages (no flash op)
 
+	// Host-interface ops beyond plain read/write.
+	TrimRequests  int64 // TRIM/discard requests served
+	TrimmedPages  int64 // live logical pages invalidated by TRIM (GC credit)
+	FlushRequests int64 // host flush barriers served
+	FlushStalls   int64 // flushes that had to write ≥1 translation page back
+	FUAWrites     int64 // forced-unit-access write requests served
+
 	// Address-translation phase.
 	Lookups          int64 // cache lookups (hits+misses)
 	Hits             int64 // Hr = Hits/Lookups
@@ -226,6 +233,11 @@ func (m *Metrics) Merge(o *Metrics) {
 	m.ResponseTime += o.ResponseTime
 	m.QueueTime += o.QueueTime
 	m.UnmappedReads += o.UnmappedReads
+	m.TrimRequests += o.TrimRequests
+	m.TrimmedPages += o.TrimmedPages
+	m.FlushRequests += o.FlushRequests
+	m.FlushStalls += o.FlushStalls
+	m.FUAWrites += o.FUAWrites
 	m.Lookups += o.Lookups
 	m.Hits += o.Hits
 	m.Replacements += o.Replacements
@@ -292,6 +304,8 @@ func (m *Metrics) Counters() obs.Counters {
 		TransReads:    m.TransReads(),
 		TransWrites:   m.TransWrites(),
 		Prefetched:    m.PrefetchedLoaded,
+		TrimmedPages:  m.TrimmedPages,
+		Flushes:       m.FlushRequests,
 		Collections:   m.GCDataCollections + m.GCTransCollections,
 		ResponseNS:    int64(m.ResponseTime),
 		ServiceNS:     int64(m.ServiceTime),

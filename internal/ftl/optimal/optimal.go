@@ -45,6 +45,16 @@ func (f *FTL) Update(env ftl.Env, lpn ftl.LPN, ppn flash.PPN) error {
 // BeginRequest implements ftl.Translator.
 func (f *FTL) BeginRequest(first, last ftl.LPN, write bool) {}
 
+// Discard implements ftl.Translator: the trimmed page's resident entry is
+// cleared in RAM; the device rewrites the translation page itself.
+func (f *FTL) Discard(lpn ftl.LPN) {
+	f.table[lpn] = flash.InvalidPPN
+}
+
+// FlushDirty implements ftl.Translator: the optimal FTL's accounting incurs
+// no translation-page operations, so a host flush barrier is free.
+func (f *FTL) FlushDirty(env ftl.Env) error { return nil }
+
 // OnGCDataMoves implements ftl.Translator: all entries are resident, so
 // every update is a GC hit with zero flash cost.
 func (f *FTL) OnGCDataMoves(env ftl.Env, moves []ftl.GCMove) error {

@@ -34,7 +34,7 @@ func TestEveryLookupHits(t *testing.T) {
 	d, _ := newDevice(t)
 	arrival := int64(0)
 	for p := int64(0); p < 100; p++ {
-		req := trace.Request{Arrival: arrival, Offset: p * 4096, Length: 4096, Write: p%2 == 0}
+		req := trace.Request{Arrival: arrival, Offset: p * 4096, Length: 4096, Op: opOf(p%2 == 0)}
 		if _, err := d.Serve(req); err != nil {
 			t.Fatal(err)
 		}
@@ -83,7 +83,7 @@ func TestGCMovesAreAllHits(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	for i := 0; i < 20000; i++ {
 		p := int64(rng.Intn(2000)) // random overwrites leave victims partly valid
-		req := trace.Request{Arrival: arrival, Offset: p * 4096, Length: 4096, Write: true}
+		req := trace.Request{Arrival: arrival, Offset: p * 4096, Length: 4096, Op: trace.OpWrite}
 		if _, err := d.Serve(req); err != nil {
 			t.Fatal(err)
 		}
@@ -113,4 +113,11 @@ func TestName(t *testing.T) {
 	if New(1).Name() != "Optimal" {
 		t.Fatal("wrong name")
 	}
+}
+
+func opOf(write bool) trace.Op {
+	if write {
+		return trace.OpWrite
+	}
+	return trace.OpRead
 }

@@ -82,6 +82,28 @@ func (d *Device) RecoverMapping() (*RecoveredState, error) {
 			}
 		}
 	}
+
+	// TRIM demotion: a discard leaves the old data page programmed — OOB
+	// alone would resurrect it. The discard's durable record is the
+	// translation-page rewrite that cleared the slot, so whenever the
+	// newest translation page of lpn's TP is fresher than the newest data
+	// page tagged lpn AND that page's slot for lpn is unmapped, the data
+	// page is pre-trim garbage. A real scan reads the slot from the
+	// translation page content itself; the simulator models translation
+	// page content in persist, which is mutated to InvalidPPN only after a
+	// trim's rewrite succeeded, and every translation-page program folds
+	// pending live mappings into its content first (foldTPPersist) — so
+	// "newer TP + unmapped slot" can never misfire on a mapping whose
+	// writeback was merely pending.
+	for lpn := int64(0); lpn < d.logicalPages; lpn++ {
+		if rs.Truth[lpn] == flash.InvalidPPN {
+			continue
+		}
+		v := int64(VTPNOf(LPN(lpn), d.entriesPerTP))
+		if gtdSeq[v] > truthSeq[lpn] && d.persist[lpn] == flash.InvalidPPN {
+			rs.Truth[lpn] = flash.InvalidPPN
+		}
+	}
 	return rs, nil
 }
 

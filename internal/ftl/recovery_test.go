@@ -57,7 +57,7 @@ func TestRecoverAfterWorkload(t *testing.T) {
 				arrival += int64(rng.Intn(100_000))
 				req := trace.Request{
 					Arrival: arrival, Offset: page * 4096, Length: 4096,
-					Write: rng.Intn(4) > 0,
+					Op: opOf(rng.Intn(4) > 0),
 				}
 				if _, err := d.Serve(req); err != nil {
 					t.Fatalf("op %d: %v", i, err)
@@ -107,3 +107,4 @@ func TestRecoveryScanCost(t *testing.T) {
 		t.Fatalf("scanned %d, want %d", rs.ScannedPages, want)
 	}
 }
+

@@ -332,6 +332,85 @@ func (f *FTL) setEntry(p *cachedPage, off int32, ppn flash.PPN) {
 	f.used += p.cost
 }
 
+// Discard implements ftl.Translator: the trimmed page's cached slot is
+// cleared in RAM without any writeback. The slot is set to InvalidPPN and
+// its dirty mark removed — the device rewrites the translation page itself,
+// so nothing here may later write the dead mapping (or an Invalid entry)
+// back to flash. Any pending dirty-buffer copy is dropped the same way.
+func (f *FTL) Discard(lpn ftl.LPN) {
+	v := ftl.VTPNOf(lpn, f.ePerTP)
+	off := int32(ftl.OffOf(lpn, f.ePerTP))
+	if p := f.byVTPN[v]; p != nil {
+		old := p.vals[off]
+		if old != flash.InvalidPPN {
+			p.runs += runDelta(p.vals, off, flash.InvalidPPN)
+			p.vals[off] = flash.InvalidPPN
+			f.used -= p.cost
+			p.cost = f.costOf(p.runs)
+			f.used += p.cost
+		}
+		delete(p.dirty, off)
+	}
+	if ents := f.buffer[v]; ents != nil {
+		if _, ok := ents[off]; ok {
+			delete(ents, off)
+			f.buffered--
+			if len(ents) == 0 {
+				delete(f.buffer, v)
+			}
+		}
+	}
+}
+
+// FlushDirty implements ftl.Translator: a host flush barrier writes back
+// every dirty cached page (full-page write, no prior read) and every dirty
+// buffer group, in ascending VTPN order for determinism.
+func (f *FTL) FlushDirty(env ftl.Env) error {
+	f.ePerTP = env.EntriesPerTP()
+	dirtyPages := make([]*cachedPage, 0, f.pages.Len())
+	for n := f.pages.Front(); n != nil; n = n.Next() {
+		if p := n.Value; len(p.dirty) > 0 {
+			dirtyPages = append(dirtyPages, p)
+		}
+	}
+	sort.Slice(dirtyPages, func(i, j int) bool { return dirtyPages[i].vtpn < dirtyPages[j].vtpn })
+	numLPNs := env.NumLPNs()
+	for _, p := range dirtyPages {
+		// Capture the updates and clear the dirty marks BEFORE the write: a
+		// GC triggered by it refreshes this cached page in place and must
+		// leave its marks dirty again, not have them wiped afterwards.
+		base := int64(p.vtpn) * int64(f.ePerTP)
+		updates := make([]ftl.EntryUpdate, 0, len(p.dirty))
+		for off := range p.dirty {
+			if base+int64(off) >= numLPNs {
+				continue
+			}
+			updates = append(updates, ftl.EntryUpdate{Off: int(off), PPN: p.vals[off]})
+		}
+		ftl.SortUpdates(updates)
+		p.dirty = make(map[int32]struct{})
+		env.NoteBatchWriteback(len(updates) - 1)
+		if err := env.WriteTP(p.vtpn, updates, true); err != nil {
+			return err
+		}
+	}
+	for _, v := range ftl.SortedVTPNs(f.buffer) {
+		ents := f.buffer[v]
+		updates := make([]ftl.EntryUpdate, 0, len(ents))
+		for off, ppn := range ents {
+			updates = append(updates, ftl.EntryUpdate{Off: int(off), PPN: ppn})
+		}
+		ftl.SortUpdates(updates)
+		f.buffered -= len(ents)
+		delete(f.buffer, v)
+		env.NoteBatchWriteback(len(updates) - 1)
+		if err := env.WriteTP(v, updates, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // OnGCDataMoves implements ftl.Translator.
 func (f *FTL) OnGCDataMoves(env ftl.Env, moves []ftl.GCMove) error {
 	f.ePerTP = env.EntriesPerTP()

@@ -34,11 +34,11 @@ func newDevice(t *testing.T, cacheBytes int64) (*ftl.Device, *FTL) {
 }
 
 func wr(arrival, page int64) trace.Request {
-	return trace.Request{Arrival: arrival, Offset: page * 4096, Length: 4096, Write: true}
+	return trace.Request{Arrival: arrival, Offset: page * 4096, Length: 4096, Op: trace.OpWrite}
 }
 
 func rd(arrival, page int64) trace.Request {
-	return trace.Request{Arrival: arrival, Offset: page * 4096, Length: 4096, Write: false}
+	return trace.Request{Arrival: arrival, Offset: page * 4096, Length: 4096, Op: trace.OpRead}
 }
 
 func TestRunCounting(t *testing.T) {
@@ -235,7 +235,7 @@ func TestRandomOpsConsistency(t *testing.T) {
 				arrival += int64(rng.Intn(300_000))
 				req := trace.Request{
 					Arrival: arrival, Offset: page * 4096, Length: n * 4096,
-					Write: rng.Intn(2) == 0,
+					Op: opOf(rng.Intn(2) == 0),
 				}
 				if _, err := d.Serve(req); err != nil {
 					t.Fatalf("seed %d batch %d op %d: %v", seed, batch, i, err)
@@ -273,4 +273,11 @@ func TestSnapshot(t *testing.T) {
 			t.Fatalf("dirty entry %d stale", lpn)
 		}
 	}
+}
+
+func opOf(write bool) trace.Op {
+	if write {
+		return trace.OpWrite
+	}
+	return trace.OpRead
 }

@@ -250,6 +250,64 @@ func (f *FTL) evictTier1Batch(env ftl.Env) error {
 	return env.WriteTP(bestV, ups, false)
 }
 
+// Discard implements ftl.Translator: drop the trimmed page's tier-1 entry
+// and clear its tier-2 slot in RAM (InvalidPPN, dirty mark removed) so no
+// later flush writes the dead mapping back; the device rewrites the
+// translation page itself as part of the discard.
+func (f *FTL) Discard(lpn ftl.LPN) {
+	delete(f.tier1, lpn)
+	v := ftl.VTPNOf(lpn, f.ePerTP)
+	if p, ok := f.tier2[v]; ok {
+		off := int32(ftl.OffOf(lpn, f.ePerTP))
+		p.vals[off] = flash.InvalidPPN
+		delete(p.dirty, off)
+	}
+}
+
+// FlushDirty implements ftl.Translator: a host flush barrier writes every
+// dirty entry of both tiers back, batched per translation page in ascending
+// VTPN order, without dropping the caches (unlike a zone switch). Each
+// page's updates are captured immediately before its own WriteTP (which
+// applies them before any GC it triggers), so a GC run mid-flush always
+// sees — and can refresh — the entries still awaiting their turn.
+func (f *FTL) FlushDirty(env ftl.Env) error {
+	f.ePerTP = env.EntriesPerTP()
+	dirtyVTPNs := map[ftl.VTPN]struct{}{}
+	for lpn := range f.tier1 {
+		dirtyVTPNs[ftl.VTPNOf(lpn, f.ePerTP)] = struct{}{}
+	}
+	for v, p := range f.tier2 {
+		if len(p.dirty) > 0 {
+			dirtyVTPNs[v] = struct{}{}
+		}
+	}
+	for _, v := range ftl.SortedVTPNs(dirtyVTPNs) {
+		var ups []ftl.EntryUpdate
+		base := ftl.LPNAt(v, 0, f.ePerTP)
+		for off := 0; off < f.ePerTP; off++ {
+			if ppn, ok := f.tier1[base+ftl.LPN(off)]; ok {
+				ups = append(ups, ftl.EntryUpdate{Off: off, PPN: ppn})
+				delete(f.tier1, base+ftl.LPN(off))
+			}
+		}
+		if p, ok := f.tier2[v]; ok {
+			for off := range p.dirty {
+				ups = append(ups, ftl.EntryUpdate{Off: int(off), PPN: p.vals[off]})
+			}
+			p.dirty = make(map[int32]struct{})
+		}
+		if len(ups) == 0 {
+			continue
+		}
+		ftl.SortUpdates(ups)
+		env.NoteBatchWriteback(len(ups) - 1)
+		if err := env.WriteTP(v, ups, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // OnGCDataMoves implements ftl.Translator.
 func (f *FTL) OnGCDataMoves(env ftl.Env, moves []ftl.GCMove) error {
 	f.ePerTP = env.EntriesPerTP()

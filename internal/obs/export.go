@@ -21,6 +21,8 @@ type Counters struct {
 	TransReads    int64 `json:"trans_reads"`
 	TransWrites   int64 `json:"trans_writes"`
 	Prefetched    int64 `json:"prefetched"`
+	TrimmedPages  int64 `json:"trimmed_pages"`
+	Flushes       int64 `json:"flushes"`
 	Collections   int64 `json:"gc_collections"`
 	ResponseNS    int64 `json:"response_ns"`
 	ServiceNS     int64 `json:"service_ns"`
@@ -42,6 +44,8 @@ func (c Counters) Sub(o Counters) Counters {
 		TransReads:    c.TransReads - o.TransReads,
 		TransWrites:   c.TransWrites - o.TransWrites,
 		Prefetched:    c.Prefetched - o.Prefetched,
+		TrimmedPages:  c.TrimmedPages - o.TrimmedPages,
+		Flushes:       c.Flushes - o.Flushes,
 		Collections:   c.Collections - o.Collections,
 		ResponseNS:    c.ResponseNS - o.ResponseNS,
 		ServiceNS:     c.ServiceNS - o.ServiceNS,

@@ -44,6 +44,12 @@ const (
 	PhaseGCStall
 	// PhaseResponse is the full response time: arrival → completion.
 	PhaseResponse
+	// PhaseTrim is the flash time of TRIM/discard requests: the
+	// translation-page rewrites that make the discard durable.
+	PhaseTrim
+	// PhaseFlush is the flash time of host flush barriers: the bounded
+	// dirty-entry writeback forced by the flush.
+	PhaseFlush
 
 	// NumPhases is the number of phases; Metrics carries one Histogram per
 	// phase in this order.
@@ -59,6 +65,8 @@ var phaseNames = [NumPhases]string{
 	"writeback",
 	"gc_stall",
 	"response",
+	"trim",
+	"flush",
 }
 
 // String returns the phase's stable export name (the JSONL schema key).

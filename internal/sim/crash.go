@@ -29,6 +29,12 @@ type CrashOptions struct {
 	Requests     int
 	Seed         int64
 
+	// Trace, when non-empty, replays these requests instead of generating
+	// a workload from Profile/Requests/Seed. AddressSpace must be set.
+	// Differential and fuzz tests use this to drive explicit trim/flush/
+	// write interleavings through every cut point.
+	Trace []trace.Request
+
 	// CacheBytes is the mapping-cache budget (0: paper convention).
 	CacheBytes int64
 	// Precondition ages the device before arming faults (see Options).
@@ -66,6 +72,13 @@ type CutResult struct {
 	ScannedPages int64
 	// Injected counts transient faults injected before the cut (FaultProb).
 	Injected int64
+	// TrimmedPages counts the logical pages whose acknowledged discards
+	// (not overwritten since) were verified not to resurrect after
+	// recovery.
+	TrimmedPages int
+	// FlushBarriers counts the acknowledged flush requests whose
+	// drained-cache contract was verified at the ack instant.
+	FlushBarriers int
 }
 
 // CrashReport aggregates a RunCrash execution.
@@ -80,11 +93,15 @@ type CrashReport struct {
 // RunCrash runs the crash-consistency property: for every cut point it
 // verifies that (a) the mapping rebuilt by the OOB scan equals the device's
 // live mapping at the instant of the cut — the device must never expose
-// state that would not survive a crash — and (b) every write acknowledged
+// state that would not survive a crash — (b) every write acknowledged
 // before the cut is recovered with its logical tag and a program sequence at
-// least as fresh as the acknowledged one. Any divergence is returned as an
-// error naming the cut point, which reproduces deterministically from
-// (options, cut index).
+// least as fresh as the acknowledged one, (c) every logical page whose
+// discard was acknowledged before the cut (and not rewritten since) stays
+// unmapped after recovery — a TRIM must never resurrect old data — and
+// (d) every acknowledged flush barrier left the mapping cache with no dirty
+// entry at its ack instant (unless a concurrent GC legitimately re-dirtied
+// entries mid-flush). Any divergence is returned as an error naming the cut
+// point, which reproduces deterministically from (options, cut index).
 func RunCrash(o CrashOptions) (*CrashReport, error) {
 	if o.Cuts <= 0 {
 		o.Cuts = 1
@@ -97,15 +114,19 @@ func RunCrash(o CrashOptions) (*CrashReport, error) {
 	if space <= 0 {
 		return nil, fmt.Errorf("sim: no address space configured")
 	}
-	profile := o.Profile.Scale(space)
-	reqs, err := workload.Generate(profile, o.Requests, o.Seed)
-	if err != nil {
-		return nil, err
+	reqs := o.Trace
+	if len(reqs) == 0 {
+		profile := o.Profile.Scale(space)
+		var err error
+		reqs, err = workload.Generate(profile, o.Requests, o.Seed)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	// Baseline: run the workload uninterrupted under an empty fault plan,
 	// which injects nothing but counts chip ops, sizing the cut space.
-	dev, err := o.buildDevice(space)
+	dev, _, err := o.buildDevice(space)
 	if err != nil {
 		return nil, err
 	}
@@ -143,7 +164,7 @@ func RunCrash(o CrashOptions) (*CrashReport, error) {
 // buildDevice constructs, formats and optionally preconditions a fresh
 // device for one run. Every call produces bit-identical state: faults are
 // armed only afterwards, so cut indexes land in the measured workload.
-func (o CrashOptions) buildDevice(space int64) (*ftl.Device, error) {
+func (o CrashOptions) buildDevice(space int64) (*ftl.Device, ftl.Translator, error) {
 	cacheBytes := o.CacheBytes
 	if cacheBytes == 0 {
 		cacheBytes = ftl.DefaultCacheBytes(space)
@@ -157,33 +178,33 @@ func (o CrashOptions) buildDevice(space int64) (*ftl.Device, error) {
 
 	tr, err := NewTranslator(o.Scheme, cacheBytes, devCfg.LogicalPages(), o.TPFTL)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	dev, err := ftl.NewDevice(devCfg, tr)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := dev.Format(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if o.Precondition > 0 {
 		pages := devCfg.LogicalPages()
 		writes := int(o.Precondition * float64(pages))
 		if err := dev.PreconditionRange(writes, pages, o.Seed+1); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		dev.ResetMetrics()
 	}
 	if w, ok := tr.(ftl.Warmer); ok {
 		w.Warm(dev.Truth)
 	}
-	return dev, nil
+	return dev, tr, nil
 }
 
 // runOneCut replays the workload with power cut at the given op index and
 // verifies recovery.
 func (o CrashOptions) runOneCut(space int64, reqs []trace.Request, cut int64) (*CutResult, error) {
-	dev, err := o.buildDevice(space)
+	dev, tr, err := o.buildDevice(space)
 	if err != nil {
 		return nil, err
 	}
@@ -196,12 +217,31 @@ func (o CrashOptions) runOneCut(space int64, reqs []trace.Request, cut int64) (*
 	})
 
 	// Serve until the cut, recording the acknowledged durability point of
-	// every completed write: the program sequence number its pages carry
-	// the moment Serve returns success.
+	// every completed write (the program sequence number its pages carry
+	// the moment Serve returns success) and the set of pages whose discard
+	// was acknowledged and not rewritten since.
 	res := &CutResult{CutOp: cut}
 	acked := make(map[ftl.LPN]int64)
+	trimmed := make(map[ftl.LPN]struct{})
 	pageSize := dev.Config().PageSize
 	for i := range reqs {
+		var gcBefore int64
+		if reqs[i].Op == trace.OpFlush {
+			m := dev.Metrics()
+			gcBefore = m.GCDataCollections + m.GCTransCollections
+		}
+		if reqs[i].Op.IsWrite() {
+			// A write ISSUED to a trimmed page voids the resurrection check
+			// even if the cut lands mid-request: its pages may already be
+			// programmed with fresh sequence numbers, and recovery is then
+			// allowed to surface the new (unacknowledged) data. Old pre-trim
+			// data still cannot reappear — its sequence predates the trim's
+			// translation-page rewrite, so the demotion rule masks it.
+			first, last := reqs[i].Pages(pageSize)
+			for lpn := first; lpn <= last; lpn++ {
+				delete(trimmed, ftl.LPN(lpn))
+			}
+		}
 		if _, err := dev.Serve(reqs[i]); err != nil {
 			if errors.Is(err, flash.ErrPowerCut) {
 				break
@@ -209,12 +249,37 @@ func (o CrashOptions) runOneCut(space int64, reqs []trace.Request, cut int64) (*
 			return nil, fmt.Errorf("request %d died before the cut: %w", i, err)
 		}
 		res.ServedRequests++
-		if reqs[i].Write {
+		switch reqs[i].Op {
+		case trace.OpRead:
+			// Reads claim no durability; nothing to track.
+		case trace.OpWrite, trace.OpWriteFUA:
 			first, last := reqs[i].Pages(pageSize)
 			for lpn := first; lpn <= last; lpn++ {
 				ppn := dev.Truth(ftl.LPN(lpn))
 				acked[ftl.LPN(lpn)] = dev.Chip().MetaOf(ppn).Seq
+				delete(trimmed, ftl.LPN(lpn))
 			}
+		case trace.OpTrim:
+			// Inward page rounding, mirroring the device: only pages fully
+			// inside the range are discarded. An acknowledged discard voids
+			// any earlier write's durability claim on those pages.
+			first := (reqs[i].Offset + int64(pageSize) - 1) / int64(pageSize)
+			last := reqs[i].End()/int64(pageSize) - 1
+			for lpn := first; lpn <= last; lpn++ {
+				trimmed[ftl.LPN(lpn)] = struct{}{}
+				delete(acked, ftl.LPN(lpn))
+			}
+		case trace.OpFlush:
+			// (d) At the ack instant every dirty cached entry has been
+			// written back — unless a GC run inside the flush legitimately
+			// re-dirtied entries with migrated locations.
+			m := dev.Metrics()
+			if m.GCDataCollections+m.GCTransCollections == gcBefore {
+				if dirty := dirtySetOf(tr); len(dirty) > 0 {
+					return nil, fmt.Errorf("flush request %d acked with %d dirty cached entries", i, len(dirty))
+				}
+			}
+			res.FlushBarriers++
 		}
 	}
 	res.Injected = dev.Chip().FaultStats().Injected()
@@ -257,5 +322,15 @@ func (o CrashOptions) runOneCut(space int64, reqs []trace.Request, cut int64) (*
 		}
 	}
 	res.AckedPages = len(acked)
+
+	// (c) Discard durability: a page whose TRIM was acknowledged (and that
+	// was not rewritten) must stay unmapped after recovery — the on-flash
+	// state must never resurrect the pre-trim data.
+	for lpn := range trimmed {
+		if rs.Truth[lpn] != flash.InvalidPPN {
+			return nil, fmt.Errorf("trimmed lpn %d resurrected as ppn %d after recovery", lpn, rs.Truth[lpn])
+		}
+	}
+	res.TrimmedPages = len(trimmed)
 	return res, nil
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/ftl"
+	"repro/internal/trace"
 	"repro/internal/ftl/blockftl"
 	"repro/internal/ftl/fast"
 	"repro/internal/ftl/hybrid"
@@ -130,7 +131,7 @@ func TestMappingGranularityTaxonomy(t *testing.T) {
 	}
 	// Make every request a single-page write (worst case for merges).
 	for i := range reqs {
-		reqs[i].Write = true
+		reqs[i].Op = trace.OpWrite
 		reqs[i].Length = 4096
 		reqs[i].Offset = reqs[i].Offset / 4096 * 4096
 	}
@@ -159,5 +160,60 @@ func TestZFTLInHarness(t *testing.T) {
 	}
 	if r.M.Lookups == 0 {
 		t.Fatal("no lookups")
+	}
+}
+
+// TestDifferentialTrimThenRead drives the same write→trim→flush→read
+// sequence through all six page-level translators: every trimmed page must
+// read back as unmapped (the discard dropped the mapping, including any
+// dirty cached entry, without resurrection), every untrimmed page must
+// still translate, and the trim/flush accounting must agree exactly across
+// schemes.
+func TestDifferentialTrimThenRead(t *testing.T) {
+	const space = 8 << 20
+	const pageBytes = 4096
+	const pages = 64
+	p := workload.Financial1().Scale(space)
+
+	var reqs []trace.Request
+	arrival := int64(0)
+	step := func(op trace.Op, page, length int64) {
+		arrival += 100_000
+		r := trace.Request{Arrival: arrival, Offset: page * pageBytes, Length: length, Op: op}
+		if op == trace.OpFlush {
+			r.Offset, r.Length = 0, 0
+		}
+		reqs = append(reqs, r)
+	}
+	for i := int64(0); i < pages; i++ {
+		step(trace.OpWrite, i, pageBytes)
+	}
+	// Trim every even page; the flush in between forces dirty cached
+	// entries through writeback so both the cached and the persisted
+	// mapping paths are exercised before the reads.
+	for i := int64(0); i < pages; i += 2 {
+		step(trace.OpTrim, i, pageBytes)
+	}
+	step(trace.OpFlush, 0, 0)
+	for i := int64(0); i < pages; i++ {
+		step(trace.OpRead, i, pageBytes)
+	}
+
+	for _, s := range []Scheme{SchemeDFTL, SchemeTPFTL, SchemeSFTL, SchemeCDFTL, SchemeZFTL, SchemeOptimal} {
+		r, err := Run(Options{Scheme: s, Profile: p, Trace: reqs})
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if r.M.UnmappedReads != pages/2 {
+			t.Errorf("%s: %d unmapped reads after trimming %d pages, want %d",
+				s, r.M.UnmappedReads, pages/2, pages/2)
+		}
+		if r.M.TrimRequests != pages/2 || r.M.TrimmedPages != pages/2 {
+			t.Errorf("%s: trim accounting %d requests/%d pages, want %d/%d",
+				s, r.M.TrimRequests, r.M.TrimmedPages, pages/2, pages/2)
+		}
+		if r.M.FlushRequests != 1 {
+			t.Errorf("%s: %d flush requests, want 1", s, r.M.FlushRequests)
+		}
 	}
 }

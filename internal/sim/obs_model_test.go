@@ -45,7 +45,7 @@ func runModelDevice(t *testing.T) (ftl.Metrics, analytic.Params) {
 	serve := func(page int64, write bool) {
 		t.Helper()
 		arrival += spacing
-		req := trace.Request{Arrival: arrival, Offset: page * 4096, Length: 4096, Write: write}
+		req := trace.Request{Arrival: arrival, Offset: page * 4096, Length: 4096, Op: opOf(write)}
 		if _, err := dev.Serve(req); err != nil {
 			t.Fatal(err)
 		}
@@ -167,4 +167,11 @@ func TestPhaseHistogramsMatchAnalyticModel(t *testing.T) {
 			t.Errorf("phase %s never observed; the model comparison is vacuous", ph)
 		}
 	}
+}
+
+func opOf(write bool) trace.Op {
+	if write {
+		return trace.OpWrite
+	}
+	return trace.OpRead
 }

@@ -222,7 +222,7 @@ func TestDisabledObservabilityAllocates0(t *testing.T) {
 		t.Fatal(err)
 	}
 	req := func(arrival int64, write bool) trace.Request {
-		return trace.Request{Arrival: arrival, Offset: 5 * 4096, Length: 4096, Write: write}
+		return trace.Request{Arrival: arrival, Offset: 5 * 4096, Length: 4096, Op: opOf(write)}
 	}
 	if _, err := dev.Serve(req(0, true)); err != nil {
 		t.Fatal(err)

@@ -70,7 +70,7 @@ func TestSanitizerRunsStandaloneDevices(t *testing.T) {
 			before := ftl.SanitizerChecks()
 			page := int64(cfg.PageSize)
 			for i := int64(0); i < 64; i++ {
-				req := trace.Request{Arrival: i * 1000, Offset: (i % 37) * page, Length: page, Write: true}
+				req := trace.Request{Arrival: i * 1000, Offset: (i % 37) * page, Length: page, Op: trace.OpWrite}
 				if _, err := dev.Serve(req); err != nil {
 					t.Fatal(err)
 				}

@@ -36,13 +36,78 @@ func (e *ParseError) Error() string {
 	return fmt.Sprintf("trace: line %d: %s", e.Line, e.Msg)
 }
 
+// parseOpToken maps an opcode token shared across the trace formats to an
+// Op. Accepted tokens (case-insensitive): r/read, w/write, wf/fua/writefua,
+// t/trim/discard, f/flush.
+func parseOpToken(tok string) (Op, bool) {
+	switch strings.ToLower(tok) {
+	case "r", "read":
+		return OpRead, true
+	case "w", "write":
+		return OpWrite, true
+	case "wf", "fua", "writefua":
+		return OpWriteFUA, true
+	case "t", "trim", "discard":
+		return OpTrim, true
+	case "f", "flush":
+		return OpFlush, true
+	}
+	return 0, false
+}
+
+// opToken returns the canonical single-token spelling of an op for the
+// native and SPC writers.
+func opToken(o Op) string {
+	switch o {
+	case OpRead:
+		return "r"
+	case OpWrite:
+		return "w"
+	case OpWriteFUA:
+		return "wf"
+	case OpTrim:
+		return "t"
+	case OpFlush:
+		return "f"
+	}
+	return "?"
+}
+
+// rebaseArrivals shifts arrival timestamps so the first request arrives at
+// time 0, preserving all inter-arrival gaps. Captured traces start at an
+// arbitrary wall-clock epoch; without rebasing, a replay would idle for the
+// whole epoch of simulated time before the first request. All parsers apply
+// it, so the behavior is uniform across formats.
+func rebaseArrivals(reqs []Request) {
+	if len(reqs) == 0 {
+		return
+	}
+	base := reqs[0].Arrival
+	if base == 0 {
+		return
+	}
+	for i := range reqs {
+		reqs[i].Arrival -= base
+	}
+}
+
+// skippableZeroLength reports whether a parsed line with size 0 should be
+// silently dropped. Captured traces contain zero-length marker records for
+// reads, writes and trims; every parser skips them identically. A flush
+// legitimately has no payload and is never skipped.
+func skippableZeroLength(op Op, size int64) bool {
+	return size == 0 && op != OpFlush
+}
+
 // ParseSPC reads an SPC-format trace (UMass Financial1/2):
 //
 //	ASU,LBA,Size,Opcode,Timestamp
 //
 // where LBA is the address in 512-byte sectors, Size is in bytes, Opcode is
-// r/R or w/W, and Timestamp is in seconds (float). Extra trailing fields are
-// ignored. The paper's Financial traces use this format.
+// r/R, w/W, wf (FUA write), t/T (trim) or f/F (flush), and Timestamp is in
+// seconds (float). Extra trailing fields are ignored. Arrival times are
+// rebased so the first request arrives at 0. The paper's Financial traces
+// use this format.
 func ParseSPC(r io.Reader) ([]Request, error) {
 	var out []Request
 	sc := bufio.NewScanner(r)
@@ -66,28 +131,25 @@ func ParseSPC(r io.Reader) ([]Request, error) {
 		if err != nil {
 			return nil, &ParseError{lineNo, "bad size: " + err.Error()}
 		}
-		op := strings.TrimSpace(f[3])
-		var write bool
-		switch op {
-		case "w", "W":
-			write = true
-		case "r", "R":
-			write = false
-		default:
-			return nil, &ParseError{lineNo, "bad opcode " + op}
+		op, ok := parseOpToken(strings.TrimSpace(f[3]))
+		if !ok {
+			return nil, &ParseError{lineNo, "bad opcode " + strings.TrimSpace(f[3])}
 		}
 		ts, err := strconv.ParseFloat(strings.TrimSpace(f[4]), 64)
 		if err != nil {
 			return nil, &ParseError{lineNo, "bad timestamp: " + err.Error()}
 		}
-		if size == 0 {
+		if skippableZeroLength(op, size) {
 			continue // some traces contain zero-length markers
 		}
 		req := Request{
 			Arrival: int64(ts * 1e9),
 			Offset:  lba * spcSectorSize,
 			Length:  size,
-			Write:   write,
+			Op:      op,
+		}
+		if op == OpFlush {
+			req.Offset, req.Length = 0, 0
 		}
 		if err := req.Validate(); err != nil {
 			return nil, &ParseError{lineNo, err.Error()}
@@ -97,6 +159,7 @@ func ParseSPC(r io.Reader) ([]Request, error) {
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("trace: reading SPC trace: %w", err)
 	}
+	rebaseArrivals(out)
 	return out, nil
 }
 
@@ -109,14 +172,15 @@ const msrTicksPerSecond = 10_000_000
 //	Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
 //
 // Timestamp is a Windows filetime (100 ns ticks), Offset and Size are in
-// bytes, Type is Read/Write. Arrival times are rebased so the first request
-// arrives at 0.
+// bytes, Type is Read/Write/Trim/Flush/WriteFUA. Arrival times are rebased
+// so the first request arrives at 0.
 func ParseMSR(r io.Reader) ([]Request, error) {
 	var out []Request
+	var baseTicks int64
+	haveBase := false
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<20)
 	lineNo := 0
-	var base int64 = -1
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
@@ -131,14 +195,9 @@ func ParseMSR(r io.Reader) ([]Request, error) {
 		if err != nil {
 			return nil, &ParseError{lineNo, "bad timestamp: " + err.Error()}
 		}
-		var write bool
-		switch op := strings.TrimSpace(f[3]); strings.ToLower(op) {
-		case "write", "w":
-			write = true
-		case "read", "r":
-			write = false
-		default:
-			return nil, &ParseError{lineNo, "bad type " + op}
+		op, ok := parseOpToken(strings.TrimSpace(f[3]))
+		if !ok {
+			return nil, &ParseError{lineNo, "bad type " + strings.TrimSpace(f[3])}
 		}
 		off, err := strconv.ParseInt(strings.TrimSpace(f[4]), 10, 64)
 		if err != nil {
@@ -148,17 +207,24 @@ func ParseMSR(r io.Reader) ([]Request, error) {
 		if err != nil {
 			return nil, &ParseError{lineNo, "bad size: " + err.Error()}
 		}
-		if size == 0 {
+		if skippableZeroLength(op, size) {
 			continue
 		}
-		if base < 0 {
-			base = ts
+		// Rebase in the tick domain: MSR timestamps are Windows FILETIME
+		// ticks (~1.3e17 for 2007-era captures), and converting an absolute
+		// tick count to nanoseconds overflows int64. Subtracting the first
+		// request's ticks before scaling keeps the arithmetic in range.
+		if !haveBase {
+			baseTicks, haveBase = ts, true
 		}
 		req := Request{
-			Arrival: (ts - base) * (1e9 / msrTicksPerSecond),
+			Arrival: (ts - baseTicks) * (1e9 / msrTicksPerSecond),
 			Offset:  off,
 			Length:  size,
-			Write:   write,
+			Op:      op,
+		}
+		if op == OpFlush {
+			req.Offset, req.Length = 0, 0
 		}
 		if err := req.Validate(); err != nil {
 			return nil, &ParseError{lineNo, err.Error()}
@@ -168,11 +234,14 @@ func ParseMSR(r io.Reader) ([]Request, error) {
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("trace: reading MSR trace: %w", err)
 	}
+	rebaseArrivals(out)
 	return out, nil
 }
 
 // ParseNative reads the native CSV format: arrival_ns,offset,length,op with
-// op ∈ {r,w}. Lines starting with '#' are comments.
+// op ∈ {r, w, wf, t, f}. Lines starting with '#' are comments. Arrival
+// times are rebased so the first request arrives at 0, matching the SPC and
+// MSR parsers.
 func ParseNative(r io.Reader) ([]Request, error) {
 	var out []Request
 	sc := bufio.NewScanner(r)
@@ -200,16 +269,14 @@ func ParseNative(r io.Reader) ([]Request, error) {
 		if err != nil {
 			return nil, &ParseError{lineNo, "bad length: " + err.Error()}
 		}
-		var write bool
-		switch op := strings.TrimSpace(f[3]); op {
-		case "w", "W":
-			write = true
-		case "r", "R":
-			write = false
-		default:
-			return nil, &ParseError{lineNo, "bad op " + op}
+		op, ok := parseOpToken(strings.TrimSpace(f[3]))
+		if !ok {
+			return nil, &ParseError{lineNo, "bad op " + strings.TrimSpace(f[3])}
 		}
-		req := Request{Arrival: arrival, Offset: off, Length: size, Write: write}
+		if skippableZeroLength(op, size) {
+			continue
+		}
+		req := Request{Arrival: arrival, Offset: off, Length: size, Op: op}
 		if err := req.Validate(); err != nil {
 			return nil, &ParseError{lineNo, err.Error()}
 		}
@@ -218,6 +285,7 @@ func ParseNative(r io.Reader) ([]Request, error) {
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("trace: reading native trace: %w", err)
 	}
+	rebaseArrivals(out)
 	return out, nil
 }
 
@@ -256,11 +324,7 @@ func WriteNative(w io.Writer, reqs []Request) error {
 		return err
 	}
 	for _, r := range reqs {
-		op := "r"
-		if r.Write {
-			op = "w"
-		}
-		if _, err := fmt.Fprintf(bw, "%d,%d,%d,%s\n", r.Arrival, r.Offset, r.Length, op); err != nil {
+		if _, err := fmt.Fprintf(bw, "%d,%d,%d,%s\n", r.Arrival, r.Offset, r.Length, opToken(r.Op)); err != nil {
 			return err
 		}
 	}
@@ -273,16 +337,29 @@ func WriteNative(w io.Writer, reqs []Request) error {
 func WriteSPC(w io.Writer, reqs []Request) error {
 	bw := bufio.NewWriter(w)
 	for _, r := range reqs {
-		op := "r"
-		if r.Write {
-			op = "w"
-		}
 		if _, err := fmt.Fprintf(bw, "0,%d,%d,%s,%.6f\n",
-			r.Offset/spcSectorSize, r.Length, op, float64(r.Arrival)/1e9); err != nil {
+			r.Offset/spcSectorSize, r.Length, opToken(r.Op), float64(r.Arrival)/1e9); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
+}
+
+// msrTypeName spells an op in the Type column style of MSR Cambridge CSVs.
+func msrTypeName(o Op) string {
+	switch o {
+	case OpRead:
+		return "Read"
+	case OpWrite:
+		return "Write"
+	case OpWriteFUA:
+		return "WriteFUA"
+	case OpTrim:
+		return "Trim"
+	case OpFlush:
+		return "Flush"
+	}
+	return "?"
 }
 
 // WriteMSR writes reqs in the MSR Cambridge CSV format (Timestamp,Hostname,
@@ -291,13 +368,9 @@ func WriteSPC(w io.Writer, reqs []Request) error {
 func WriteMSR(w io.Writer, reqs []Request) error {
 	bw := bufio.NewWriter(w)
 	for _, r := range reqs {
-		op := "Read"
-		if r.Write {
-			op = "Write"
-		}
 		ticks := r.Arrival / (1e9 / msrTicksPerSecond)
 		if _, err := fmt.Fprintf(bw, "%d,host,0,%s,%d,%d,0\n",
-			ticks, op, r.Offset, r.Length); err != nil {
+			ticks, msrTypeName(r.Op), r.Offset, r.Length); err != nil {
 			return err
 		}
 	}

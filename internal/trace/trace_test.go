@@ -14,7 +14,7 @@ func TestRequestValidate(t *testing.T) {
 		req  Request
 		ok   bool
 	}{
-		{"ok", Request{Arrival: 0, Offset: 0, Length: 512, Write: true}, true},
+		{"ok", Request{Arrival: 0, Offset: 0, Length: 512, Op: OpWrite}, true},
 		{"negative offset", Request{Offset: -1, Length: 512}, false},
 		{"zero length", Request{Offset: 0, Length: 0}, false},
 		{"negative arrival", Request{Arrival: -5, Offset: 0, Length: 1}, false},
@@ -58,10 +58,10 @@ func TestPagesSplitting(t *testing.T) {
 
 func TestSummarize(t *testing.T) {
 	reqs := []Request{
-		{Arrival: 0, Offset: 0, Length: 4096, Write: true},
-		{Arrival: 1, Offset: 4096, Length: 4096, Write: true},  // sequential write
-		{Arrival: 2, Offset: 8192, Length: 4096, Write: false}, // sequential read
-		{Arrival: 3, Offset: 100000, Length: 2048, Write: false},
+		{Arrival: 0, Offset: 0, Length: 4096, Op: OpWrite},
+		{Arrival: 1, Offset: 4096, Length: 4096, Op: OpWrite},  // sequential write
+		{Arrival: 2, Offset: 8192, Length: 4096, Op: OpRead}, // sequential read
+		{Arrival: 3, Offset: 100000, Length: 2048, Op: OpRead},
 	}
 	s := Summarize(reqs)
 	if s.Requests != 4 || s.Writes != 2 {
@@ -110,13 +110,16 @@ func TestParseSPC(t *testing.T) {
 	if len(reqs) != 3 {
 		t.Fatalf("got %d requests", len(reqs))
 	}
-	if reqs[0].Offset != 20941264*512 || reqs[0].Length != 8192 || !reqs[0].Write {
+	if reqs[0].Offset != 20941264*512 || reqs[0].Length != 8192 || !reqs[0].IsWrite() {
 		t.Fatalf("req0 = %+v", reqs[0])
 	}
-	if reqs[0].Arrival != int64(0.551706*1e9) {
-		t.Fatalf("arrival = %d", reqs[0].Arrival)
+	if reqs[0].Arrival != 0 {
+		t.Fatalf("first arrival = %d, want rebased 0", reqs[0].Arrival)
 	}
-	if reqs[2].Write {
+	if want := int64(0.554041*1e9) - int64(0.551706*1e9); reqs[1].Arrival != want {
+		t.Fatalf("second arrival = %d, want %d", reqs[1].Arrival, want)
+	}
+	if reqs[2].IsWrite() {
 		t.Fatal("req2 should be a read")
 	}
 }
@@ -156,7 +159,7 @@ func TestParseMSR(t *testing.T) {
 	if reqs[1].Arrival != 13320526*100 {
 		t.Fatalf("second arrival = %d", reqs[1].Arrival)
 	}
-	if reqs[0].Write || !reqs[1].Write {
+	if reqs[0].IsWrite() || !reqs[1].IsWrite() {
 		t.Fatal("op direction wrong")
 	}
 	if reqs[1].Offset != 1863680 || reqs[1].Length != 4096 {
@@ -191,8 +194,15 @@ func TestNativeRoundTrip(t *testing.T) {
 			Arrival: arrival,
 			Offset:  int64(rng.Intn(1 << 28)),
 			Length:  int64(1 + rng.Intn(1<<16)),
-			Write:   rng.Intn(2) == 0,
+			Op:      opOf(rng.Intn(2) == 0),
 		}
+	}
+	// ParseNative rebases arrivals to start at 0, so round-tripping shifts
+	// every timestamp by the first request's arrival. Compare against the
+	// rebased originals.
+	base := reqs[0].Arrival
+	for i := range reqs {
+		reqs[i].Arrival -= base
 	}
 	var buf bytes.Buffer
 	if err := WriteNative(&buf, reqs); err != nil {
@@ -299,8 +309,8 @@ func TestQuickPageCoverage(t *testing.T) {
 
 func TestSPCRoundTrip(t *testing.T) {
 	reqs := []Request{
-		{Arrival: 0, Offset: 512 * 100, Length: 4096, Write: true},
-		{Arrival: 1_500_000_000, Offset: 512 * 999, Length: 8192, Write: false},
+		{Arrival: 0, Offset: 512 * 100, Length: 4096, Op: OpWrite},
+		{Arrival: 1_500_000_000, Offset: 512 * 999, Length: 8192, Op: OpRead},
 	}
 	var buf bytes.Buffer
 	if err := WriteSPC(&buf, reqs); err != nil {
@@ -316,7 +326,7 @@ func TestSPCRoundTrip(t *testing.T) {
 	for i := range got {
 		// SPC timestamps are seconds at µs precision; compare accordingly.
 		if got[i].Offset != reqs[i].Offset || got[i].Length != reqs[i].Length ||
-			got[i].Write != reqs[i].Write {
+			got[i].Op != reqs[i].Op {
 			t.Fatalf("req %d: %+v != %+v", i, got[i], reqs[i])
 		}
 		if d := got[i].Arrival - reqs[i].Arrival; d < -1000 || d > 1000 {
@@ -327,8 +337,8 @@ func TestSPCRoundTrip(t *testing.T) {
 
 func TestMSRRoundTrip(t *testing.T) {
 	reqs := []Request{
-		{Arrival: 0, Offset: 4096, Length: 4096, Write: false},
-		{Arrival: 2_000_000_000, Offset: 81920, Length: 512, Write: true},
+		{Arrival: 0, Offset: 4096, Length: 4096, Op: OpRead},
+		{Arrival: 2_000_000_000, Offset: 81920, Length: 512, Op: OpWrite},
 	}
 	var buf bytes.Buffer
 	if err := WriteMSR(&buf, reqs); err != nil {
@@ -349,7 +359,7 @@ func TestMSRRoundTrip(t *testing.T) {
 }
 
 func TestWriteDispatch(t *testing.T) {
-	reqs := []Request{{Arrival: 0, Offset: 0, Length: 512, Write: true}}
+	reqs := []Request{{Arrival: 0, Offset: 0, Length: 512, Op: OpWrite}}
 	for _, f := range []Format{FormatNative, FormatSPC, FormatMSR} {
 		var buf bytes.Buffer
 		if err := Write(&buf, reqs, f); err != nil {
@@ -362,5 +372,136 @@ func TestWriteDispatch(t *testing.T) {
 	}
 	if err := Write(nil, reqs, Format(99)); err == nil {
 		t.Fatal("unknown format accepted")
+	}
+}
+
+func opOf(write bool) Op {
+	if write {
+		return OpWrite
+	}
+	return OpRead
+}
+
+// TestRebaseLateStartingTrace is the regression for the unified
+// arrival-rebasing contract: traces captured at an arbitrary wall-clock
+// epoch — including MSR's Windows FILETIME ticks, whose nanosecond
+// conversion overflows int64 unless the parser rebases in the tick domain —
+// must come back with the first request at time 0 and every inter-arrival
+// gap preserved, identically across all three formats.
+func TestRebaseLateStartingTrace(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		f    Format
+	}{
+		// Native trace starting 5000 s in.
+		{"native", "5000000000000,0,4096,r\n5000000100000,4096,4096,w\n", FormatNative},
+		// SPC trace starting at t=86400 s (a day of captured epoch).
+		{"spc", "0,8,4096,r,86400.000000\n0,16,4096,w,86400.000100\n", FormatSPC},
+		// MSR trace with a realistic 2007 FILETIME epoch (~1.28e17 ticks):
+		// 1.28e17 ticks × 100 ns/tick = 1.28e19 ns, past int64's 9.2e18.
+		{"msr", "128166372003061629,ts,0,Read,0,4096,0\n128166372003062629,ts,0,Write,4096,4096,0\n", FormatMSR},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			reqs, err := Parse(strings.NewReader(tc.in), tc.f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(reqs) != 2 {
+				t.Fatalf("got %d requests", len(reqs))
+			}
+			if reqs[0].Arrival != 0 {
+				t.Fatalf("first arrival = %d, want rebased 0", reqs[0].Arrival)
+			}
+			if reqs[1].Arrival != 100_000 {
+				t.Fatalf("gap = %d ns, want 100000", reqs[1].Arrival)
+			}
+		})
+	}
+}
+
+// TestZeroLengthSkip checks the unified zero-length rule: zero-length
+// read/write/trim marker records are silently dropped by every parser,
+// while a flush — which legitimately has no payload — is kept.
+func TestZeroLengthSkip(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		f    Format
+	}{
+		{"native", "100,0,0,r\n200,0,0,w\n300,0,0,t\n400,0,0,f\n500,4096,4096,w\n", FormatNative},
+		{"spc", "0,0,0,r,0.1\n0,0,0,w,0.2\n0,0,0,t,0.3\n0,0,0,f,0.4\n0,8,4096,w,0.5\n", FormatSPC},
+		{"msr", "1000,h,0,Read,0,0,0\n2000,h,0,Write,0,0,0\n3000,h,0,Trim,0,0,0\n4000,h,0,Flush,0,0,0\n5000,h,0,Write,4096,4096,0\n", FormatMSR},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			reqs, err := Parse(strings.NewReader(tc.in), tc.f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(reqs) != 2 {
+				t.Fatalf("got %d requests, want 2 (flush + real write)", len(reqs))
+			}
+			if reqs[0].Op != OpFlush {
+				t.Fatalf("first kept request is %v, want flush", reqs[0].Op)
+			}
+			if reqs[1].Op != OpWrite || reqs[1].Length != 4096 {
+				t.Fatalf("second kept request = %+v", reqs[1])
+			}
+		})
+	}
+}
+
+// TestOpRoundTripAllFormats round-trips one request of every op kind
+// through each format's writer and parser: the op must survive, and a
+// flush must come back with no payload.
+func TestOpRoundTripAllFormats(t *testing.T) {
+	reqs := []Request{
+		{Arrival: 0, Offset: 0, Length: 4096, Op: OpRead},
+		{Arrival: 1_000_000, Offset: 4096, Length: 4096, Op: OpWrite},
+		{Arrival: 2_000_000, Offset: 8192, Length: 4096, Op: OpWriteFUA},
+		{Arrival: 3_000_000, Offset: 12288, Length: 8192, Op: OpTrim},
+		{Arrival: 4_000_000, Offset: 0, Length: 0, Op: OpFlush},
+	}
+	for _, f := range []Format{FormatNative, FormatSPC, FormatMSR} {
+		var buf bytes.Buffer
+		if err := Write(&buf, reqs, f); err != nil {
+			t.Fatalf("format %d: %v", f, err)
+		}
+		got, err := Parse(&buf, f)
+		if err != nil {
+			t.Fatalf("format %d: %v", f, err)
+		}
+		if len(got) != len(reqs) {
+			t.Fatalf("format %d: %d requests round-tripped, want %d", f, len(got), len(reqs))
+		}
+		for i := range got {
+			if got[i].Op != reqs[i].Op {
+				t.Errorf("format %d req %d: op %v, want %v", f, i, got[i].Op, reqs[i].Op)
+			}
+		}
+		if got[4].Offset != 0 || got[4].Length != 0 {
+			t.Errorf("format %d: flush came back with payload %+v", f, got[4])
+		}
+	}
+}
+
+// TestOpTokenParsing checks the shared token table: canonical single-letter
+// tokens, long aliases, and case-insensitivity.
+func TestOpTokenParsing(t *testing.T) {
+	in := "100,0,4096,READ\n200,0,4096,Write\n300,0,4096,fua\n400,0,4096,discard\n500,0,0,FLUSH\n"
+	reqs, err := ParseNative(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Op{OpRead, OpWrite, OpWriteFUA, OpTrim, OpFlush}
+	if len(reqs) != len(want) {
+		t.Fatalf("got %d requests", len(reqs))
+	}
+	for i := range want {
+		if reqs[i].Op != want[i] {
+			t.Errorf("req %d: op %v, want %v", i, reqs[i].Op, want[i])
+		}
 	}
 }

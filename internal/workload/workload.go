@@ -59,6 +59,19 @@ type Profile struct {
 	// nanoseconds (exponential). It must be chosen so the simulated
 	// device is stably utilized; see DefaultProfiles.
 	MeanInterarrival int64
+
+	// TrimRatio is the fraction of requests that are TRIM/discard
+	// commands (0 disables them; the four paper workloads predate TRIM).
+	TrimRatio float64
+	// TrimAvgBytes is the mean TRIM length; 0 means 16× AvgRequestBytes
+	// (file deletions discard far more than one I/O covers).
+	TrimAvgBytes int
+	// FlushEvery issues a flush barrier after every N write requests, the
+	// fsync cadence of databases and journaling filesystems (0 disables).
+	FlushEvery int
+	// FUAFraction is the fraction of writes tagged force-unit-access
+	// (write-through past the buffer cache, as journal commits are).
+	FUAFraction float64
 }
 
 // Validate reports whether the profile is self-consistent.
@@ -78,6 +91,14 @@ func (p Profile) Validate() error {
 		return fmt.Errorf("workload %s: non-positive interarrival", p.Name)
 	case p.FootprintFraction < 0 || p.FootprintFraction > 1:
 		return fmt.Errorf("workload %s: footprint %v out of [0,1]", p.Name, p.FootprintFraction)
+	case p.TrimRatio < 0 || p.TrimRatio >= 1:
+		return fmt.Errorf("workload %s: trim ratio %v out of [0,1)", p.Name, p.TrimRatio)
+	case p.TrimAvgBytes < 0:
+		return fmt.Errorf("workload %s: negative trim size", p.Name)
+	case p.FlushEvery < 0:
+		return fmt.Errorf("workload %s: negative flush interval", p.Name)
+	case p.FUAFraction < 0 || p.FUAFraction > 1:
+		return fmt.Errorf("workload %s: FUA fraction %v out of [0,1]", p.Name, p.FUAFraction)
 	}
 	return nil
 }
@@ -181,17 +202,51 @@ func MSRsrc() Profile {
 	}
 }
 
+// FstrimHeavy models a filesystem running periodic fstrim over a busy
+// device: Financial1's random-write character plus a steady stream of large
+// page-aligned discards, the workload that exercises a translator's
+// unmapped-read and GC-credit paths.
+func FstrimHeavy() Profile {
+	p := Financial1()
+	p.Name = "fstrim-heavy"
+	p.TrimRatio = 0.15
+	p.TrimAvgBytes = 256 << 10 // 256 KB per discard, a deleted-file extent
+	return p
+}
+
+// DatabaseFsync models a database committing through fsync: write-dominant
+// with a flush barrier every few writes and journal commits tagged FUA.
+func DatabaseFsync() Profile {
+	p := Financial1()
+	p.Name = "database-fsync"
+	p.FlushEvery = 8
+	p.FUAFraction = 0.10
+	return p
+}
+
 // DefaultProfiles returns the paper's four workloads in evaluation order.
 func DefaultProfiles() []Profile {
 	return []Profile{Financial1(), Financial2(), MSRts(), MSRsrc()}
 }
 
-// ProfileByName returns the named default profile.
+// AllProfiles returns every built-in profile: the paper's four plus the
+// host-interface workloads (TRIM and flush/FUA).
+func AllProfiles() []Profile {
+	return append(DefaultProfiles(), FstrimHeavy(), DatabaseFsync())
+}
+
+// ProfileByName returns the named built-in profile.
 func ProfileByName(name string) (Profile, error) {
-	for _, p := range DefaultProfiles() {
+	for _, p := range AllProfiles() {
 		if p.Name == name {
 			return p, nil
 		}
+	}
+	switch name {
+	case "fstrim", "trim":
+		return FstrimHeavy(), nil
+	case "fsync", "database":
+		return DatabaseFsync(), nil
 	}
 	return Profile{}, fmt.Errorf("workload: unknown profile %q", name)
 }
@@ -228,6 +283,9 @@ type Generator struct {
 	wasSeq [2]bool // last decision per direction (0 read, 1 write)
 	pCont  [2]float64
 	pStart [2]float64
+
+	// writesSinceFlush counts writes toward the FlushEvery barrier.
+	writesSinceFlush int
 }
 
 // NewGenerator creates a generator for p seeded with seed.
@@ -271,8 +329,26 @@ func NewGenerator(p Profile, seed int64) (*Generator, error) {
 }
 
 // Next returns the next request.
+//
+// Every extra random draw is gated on its knob being nonzero, so profiles
+// without TRIM/flush/FUA consume the random stream exactly as before and
+// stay bit-identical to their golden traces.
 func (g *Generator) Next() trace.Request {
 	p := g.p
+
+	// A pending flush barrier preempts the next request: databases block
+	// on fsync before issuing more I/O.
+	if p.FlushEvery > 0 && g.writesSinceFlush >= p.FlushEvery {
+		g.writesSinceFlush = 0
+		g.clock += int64(g.rng.ExpFloat64() * float64(p.MeanInterarrival))
+		return trace.Request{Arrival: g.clock, Op: trace.OpFlush}
+	}
+
+	// TRIM decision next: discards are their own request class, not reads
+	// or writes, so they bypass the direction Markov chains entirely.
+	if p.TrimRatio > 0 && g.rng.Float64() < p.TrimRatio {
+		return g.nextTrim()
+	}
 
 	// Direction first: the sequential continuation decision is
 	// per-direction (Table 4 reports seq-read and seq-write fractions).
@@ -311,10 +387,46 @@ func (g *Generator) Next() trace.Request {
 		offset = foot - length
 	}
 
+	op := trace.OpRead
+	if write {
+		op = trace.OpWrite
+		if p.FUAFraction > 0 && g.rng.Float64() < p.FUAFraction {
+			op = trace.OpWriteFUA
+		}
+		g.writesSinceFlush++
+	}
+
 	g.clock += int64(g.rng.ExpFloat64() * float64(p.MeanInterarrival))
-	req := trace.Request{Arrival: g.clock, Offset: offset, Length: length, Write: write}
+	req := trace.Request{Arrival: g.clock, Offset: offset, Length: length, Op: op}
 	g.prevEnd = req.End()
 	return req
+}
+
+// nextTrim produces one TRIM request: a page-aligned extent, exponential
+// around TrimAvgBytes, at a uniformly random footprint offset (deletions
+// have no temporal locality — cold files go first).
+func (g *Generator) nextTrim() trace.Request {
+	p := g.p
+	avg := int64(p.TrimAvgBytes)
+	if avg == 0 {
+		avg = 16 * int64(p.AvgRequestBytes)
+	}
+	length := int64(g.rng.ExpFloat64() * float64(avg))
+	length = (length + pageSize - 1) / pageSize * pageSize
+	if length < pageSize {
+		length = pageSize
+	}
+	foot := p.footprintBytes()
+	if length > foot {
+		length = foot
+	}
+	maxStart := (foot - length) / pageSize
+	var offset int64
+	if maxStart > 0 {
+		offset = g.rng.Int63n(maxStart+1) * pageSize
+	}
+	g.clock += int64(g.rng.ExpFloat64() * float64(p.MeanInterarrival))
+	return trace.Request{Arrival: g.clock, Offset: offset, Length: length, Op: trace.OpTrim}
 }
 
 // randomOffset picks a page-aligned offset with the profile's locality,

@@ -65,6 +65,8 @@ type (
 	Profile = workload.Profile
 	// Request is one block-level I/O request.
 	Request = trace.Request
+	// Op is the request kind carried by a Request.
+	Op = trace.Op
 	// TraceStats summarizes a request stream (Table 4's columns).
 	TraceStats = trace.Stats
 	// ExpConfig scales the paper-evaluation experiment suite.
@@ -98,6 +100,15 @@ const (
 	CDFTL   = sim.SchemeCDFTL
 	ZFTL    = sim.SchemeZFTL
 	Optimal = sim.SchemeOptimal
+)
+
+// Request kinds (host-interface op codes).
+const (
+	OpRead     = trace.OpRead
+	OpWrite    = trace.OpWrite
+	OpWriteFUA = trace.OpWriteFUA
+	OpTrim     = trace.OpTrim
+	OpFlush    = trace.OpFlush
 )
 
 // Run executes one simulation run.

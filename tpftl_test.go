@@ -101,7 +101,7 @@ func TestPublicTaxonomyDevices(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	req := tpftl.Request{Arrival: 0, Offset: 0, Length: 4096, Write: true}
+	req := tpftl.Request{Arrival: 0, Offset: 0, Length: 4096, Op: tpftl.OpWrite}
 	if _, err := bd.Serve(req); err != nil {
 		t.Fatal(err)
 	}
