@@ -75,14 +75,17 @@ type Finding struct {
 }
 
 // RunAnalyzers executes each analyzer over one type-checked package and
-// returns the findings. A nil info or pkg is rejected: every ftlint analyzer
-// depends on type information, and running without it would silently report
-// nothing.
+// returns the findings, with //lint:ignore and //lint:file-ignore
+// suppressions already applied (malformed directives are returned as
+// findings of the pseudo-analyzer "lintdirective"). A nil info or pkg is
+// rejected: every ftlint analyzer depends on type information, and running
+// without it would silently report nothing.
 func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Finding, error) {
 	if pkg == nil || info == nil {
 		return nil, fmt.Errorf("analysis: package not type-checked")
 	}
-	var out []Finding
+	sup := parseSuppressions(fset, files)
+	out := append([]Finding(nil), sup.malformed...)
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer:  a,
@@ -93,9 +96,13 @@ func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, in
 		}
 		name := a.Name
 		pass.Report = func(d Diagnostic) {
+			pos := fset.Position(d.Pos)
+			if sup.suppressed(name, pos) {
+				return
+			}
 			out = append(out, Finding{
 				Analyzer: name,
-				Position: fset.Position(d.Pos),
+				Position: pos,
 				Message:  d.Message,
 			})
 		}
@@ -104,6 +111,38 @@ func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, in
 		}
 	}
 	return out, nil
+}
+
+// DirectiveAt looks for a `//<directive> <reason>` comment anchored to the
+// source line of pos: trailing on the same line, or a comment on the line
+// immediately above. It returns the reason text and whether the directive
+// was found at all — analyzers that require a justification treat a found
+// directive with an empty reason as its own finding. The shared semantic
+// annotations (//ftl:orderinsensitive, //ftl:shardsafe) go through this so
+// placement rules stay identical across analyzers.
+func (p *Pass) DirectiveAt(pos token.Pos, directive string) (reason string, found bool) {
+	target := p.Fset.Position(pos)
+	for _, f := range p.Files {
+		if p.Fset.Position(f.Pos()).Filename != target.Filename {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				line := p.Fset.Position(c.Pos()).Line
+				if line != target.Line && line != target.Line-1 {
+					continue
+				}
+				text := strings.TrimSpace(c.Text)
+				if text == directive {
+					return "", true
+				}
+				if strings.HasPrefix(text, directive+" ") {
+					return strings.TrimSpace(text[len(directive)+1:]), true
+				}
+			}
+		}
+	}
+	return "", false
 }
 
 // NewInfo returns a types.Info with every map the analyzers consult

@@ -1,0 +1,185 @@
+// Baseline support: a checked-in inventory of known findings so `make lint`
+// fails only on *new* findings while the legacy debt is burned down
+// explicitly.
+//
+// Entries are keyed by (analyzer, repo-relative file, message) — not by
+// line number, so unrelated edits that shift code do not invalidate the
+// baseline, while any change to what the analyzer actually says does. An
+// entry carries a count: a file may legitimately hold several identical
+// findings, and fixing one of them must surface as progress (the filter
+// consumes matches up to the count and reports the overflow as new).
+//
+// Staleness is the other direction: an entry whose finding no longer occurs
+// is debt already paid, and keeping it would let a regression of the same
+// message slide back in unnoticed. The standalone driver reports stale
+// entries as fixable (remove the entry, or regenerate with
+// -write-baseline); the per-unit vet driver cannot see the whole tree and
+// leaves staleness to the standalone run.
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// BaselineEntry is one known finding.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"` // slash-separated, relative to the baseline file's directory
+	Message  string `json:"message"`
+	Count    int    `json:"count,omitempty"` // 0 reads as 1
+}
+
+// Baseline is the decoded lint-baseline.json.
+type Baseline struct {
+	// Comment documents the burn-down contract inside the JSON itself.
+	Comment  string          `json:"comment,omitempty"`
+	Findings []BaselineEntry `json:"findings"`
+
+	// Root is the directory the File entries are relative to (the
+	// directory of the baseline file). Not serialized.
+	Root string `json:"-"`
+}
+
+type baselineKey struct{ analyzer, file, message string }
+
+// LoadBaseline reads a baseline file. A missing file is not an error: it
+// reads as the empty baseline, so the flow works before the first
+// -write-baseline.
+func LoadBaseline(path string) (*Baseline, error) {
+	abs, err := filepath.Abs(path)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: baseline %s: %v", path, err)
+	}
+	b := &Baseline{Root: filepath.Dir(abs)}
+	data, err := os.ReadFile(abs)
+	if os.IsNotExist(err) {
+		return b, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analysis: baseline %s: %v", path, err)
+	}
+	if err := json.Unmarshal(data, b); err != nil {
+		return nil, fmt.Errorf("analysis: baseline %s: %v", path, err)
+	}
+	return b, nil
+}
+
+// RelFile renders a finding's file path relative to the baseline root, in
+// slash form, matching how entries are stored. Files outside the root keep
+// their absolute path (they can then never match, which is the safe
+// failure mode).
+func (b *Baseline) RelFile(file string) string {
+	if rel, err := filepath.Rel(b.Root, file); err == nil && !filepath.IsAbs(rel) && rel != ".." && !hasDotDotPrefix(rel) {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(file)
+}
+
+func hasDotDotPrefix(p string) bool {
+	return len(p) >= 3 && p[:3] == ".."+string(filepath.Separator)
+}
+
+// Filter splits findings into new ones (not covered by the baseline) and
+// counts the matches it consumed. Matching is order-stable: findings are
+// consumed in the given order against each entry's count.
+func (b *Baseline) Filter(findings []Finding) (fresh []Finding, matched map[BaselineEntry]int) {
+	budget := make(map[baselineKey]int, len(b.Findings))
+	for _, e := range b.Findings {
+		n := e.Count
+		if n <= 0 {
+			n = 1
+		}
+		budget[baselineKey{e.Analyzer, e.File, e.Message}] += n
+	}
+	matched = make(map[BaselineEntry]int)
+	for _, f := range findings {
+		k := baselineKey{f.Analyzer, b.RelFile(f.Position.Filename), f.Message}
+		if budget[k] > 0 {
+			budget[k]--
+			matched[BaselineEntry{Analyzer: k.analyzer, File: k.file, Message: k.message}]++
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	return fresh, matched
+}
+
+// Stale returns entries whose budgeted count was not fully consumed, but
+// only for files the run actually analyzed (analyzedFiles holds
+// baseline-relative slash paths). The standalone driver does not load
+// _test.go files, so an entry living in an unanalyzed file must not be
+// declared fixed by it.
+func (b *Baseline) Stale(matched map[BaselineEntry]int, analyzedFiles map[string]bool) []BaselineEntry {
+	var stale []BaselineEntry
+	for _, e := range b.Findings {
+		if !analyzedFiles[e.File] {
+			continue
+		}
+		n := e.Count
+		if n <= 0 {
+			n = 1
+		}
+		have := matched[BaselineEntry{Analyzer: e.Analyzer, File: e.File, Message: e.Message}]
+		if have < n {
+			left := e
+			left.Count = n - have
+			stale = append(stale, left)
+		}
+	}
+	return stale
+}
+
+// DebtByAnalyzer totals the baseline's entry counts per analyzer — the
+// burn-down scoreboard `make lint-fix-audit` prints.
+func (b *Baseline) DebtByAnalyzer() map[string]int {
+	debt := make(map[string]int)
+	for _, e := range b.Findings {
+		n := e.Count
+		if n <= 0 {
+			n = 1
+		}
+		debt[e.Analyzer] += n
+	}
+	return debt
+}
+
+// WriteBaseline serializes the given findings as a fresh baseline at path,
+// aggregating identical findings into counts and sorting for a stable
+// diff.
+func WriteBaseline(path, comment string, findings []Finding) error {
+	abs, err := filepath.Abs(path)
+	if err != nil {
+		return fmt.Errorf("analysis: baseline %s: %v", path, err)
+	}
+	b := &Baseline{Root: filepath.Dir(abs), Comment: comment}
+	counts := make(map[baselineKey]int)
+	for _, f := range findings {
+		counts[baselineKey{f.Analyzer, b.RelFile(f.Position.Filename), f.Message}]++
+	}
+	for k, n := range counts {
+		e := BaselineEntry{Analyzer: k.analyzer, File: k.file, Message: k.message}
+		if n > 1 {
+			e.Count = n
+		}
+		b.Findings = append(b.Findings, e)
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		return a.Message < c.Message
+	})
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(abs, append(data, '\n'), 0o666)
+}

@@ -1,0 +1,149 @@
+package analysis_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func finding(analyzer, file string, line int, msg string) analysis.Finding {
+	return analysis.Finding{
+		Analyzer: analyzer,
+		Position: token.Position{Filename: file, Line: line, Column: 3},
+		Message:  msg,
+	}
+}
+
+func TestBaselineFilterSplitsNewFromKnown(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "lint-baseline.json")
+	known := finding("maporder", filepath.Join(dir, "pkg", "a.go"), 10, "range over map feeds state")
+	if err := analysis.WriteBaseline(path, "test", []analysis.Finding{known}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := analysis.LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The known finding (at a different line — baselines are line-agnostic)
+	// passes; a new finding fails.
+	moved := known
+	moved.Position.Line = 99
+	fresh := finding("globalstate", filepath.Join(dir, "pkg", "b.go"), 5, "package-level var x")
+	got, matched := b.Filter([]analysis.Finding{moved, fresh})
+	if len(got) != 1 || got[0].Analyzer != "globalstate" {
+		t.Fatalf("Filter returned %v, want only the globalstate finding", got)
+	}
+	if len(matched) != 1 {
+		t.Fatalf("matched = %v, want one consumed entry", matched)
+	}
+
+	// Count semantics: two identical findings against a count-1 entry
+	// surface the second as new.
+	got, _ = b.Filter([]analysis.Finding{moved, moved})
+	if len(got) != 1 {
+		t.Fatalf("count overflow: got %d new findings, want 1", len(got))
+	}
+}
+
+func TestBaselineStaleEntryIsFixable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "lint-baseline.json")
+	gone := finding("clocksafe", filepath.Join(dir, "pkg", "c.go"), 7, "wall clock in simulator")
+	if err := analysis.WriteBaseline(path, "test", []analysis.Finding{gone}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := analysis.LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, matched := b.Filter(nil) // the finding no longer occurs
+
+	// The file was analyzed → entry is stale and fixable.
+	stale := b.Stale(matched, map[string]bool{"pkg/c.go": true})
+	if len(stale) != 1 || stale[0].Analyzer != "clocksafe" {
+		t.Fatalf("Stale = %v, want the clocksafe entry", stale)
+	}
+	// The file was NOT analyzed (e.g. a _test.go the standalone loader
+	// skips) → staleness must not be claimed.
+	if stale := b.Stale(matched, map[string]bool{}); len(stale) != 0 {
+		t.Fatalf("Stale over unanalyzed files = %v, want none", stale)
+	}
+}
+
+func TestBaselineMissingFileIsEmpty(t *testing.T) {
+	b, err := analysis.LoadBaseline(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := finding("maporder", "x.go", 1, "m")
+	if got, _ := b.Filter([]analysis.Finding{fresh}); len(got) != 1 {
+		t.Fatalf("empty baseline must pass findings through, got %v", got)
+	}
+}
+
+func TestBaselineDebtByAnalyzer(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "b.json")
+	fs := []analysis.Finding{
+		finding("maporder", filepath.Join(dir, "a.go"), 1, "m1"),
+		finding("maporder", filepath.Join(dir, "a.go"), 2, "m1"),
+		finding("globalstate", filepath.Join(dir, "b.go"), 3, "g1"),
+	}
+	if err := analysis.WriteBaseline(path, "test", fs); err != nil {
+		t.Fatal(err)
+	}
+	b, err := analysis.LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	debt := b.DebtByAnalyzer()
+	if debt["maporder"] != 2 || debt["globalstate"] != 1 {
+		t.Fatalf("DebtByAnalyzer = %v", debt)
+	}
+}
+
+func TestReportFormats(t *testing.T) {
+	a := &analysis.Analyzer{Name: "maporder", Doc: "doc"}
+	fresh := []analysis.Finding{finding("maporder", "/r/pkg/a.go", 4, "boom")}
+	base := []analysis.Finding{finding("maporder", "/r/pkg/b.go", 9, "known")}
+
+	var buf bytes.Buffer
+	if err := analysis.WriteJSON(&buf, []*analysis.Analyzer{a}, fresh, base, "/r"); err != nil {
+		t.Fatal(err)
+	}
+	var rep analysis.JSONReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("invalid JSON report: %v", err)
+	}
+	if rep.New != 1 || rep.Baselined != 1 || len(rep.Findings) != 2 {
+		t.Fatalf("JSON report counts: %+v", rep)
+	}
+	if rep.Findings[0].File != "pkg/a.go" {
+		t.Fatalf("paths not relativized: %+v", rep.Findings[0])
+	}
+
+	buf.Reset()
+	if err := analysis.WriteSARIF(&buf, []*analysis.Analyzer{a}, fresh, base, "/r"); err != nil {
+		t.Fatal(err)
+	}
+	var sarif map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &sarif); err != nil {
+		t.Fatalf("invalid SARIF: %v", err)
+	}
+	if v, _ := sarif["version"].(string); v != "2.1.0" {
+		t.Fatalf("SARIF version = %q", v)
+	}
+	out := buf.String()
+	for _, want := range []string{`"ruleId": "maporder"`, `"level": "error"`, `"level": "note"`, `"uri": "pkg/a.go"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SARIF output missing %s", want)
+		}
+	}
+}

@@ -3,16 +3,28 @@ package cacheaccount_test
 import (
 	"testing"
 
+	"repro/internal/analysis"
 	"repro/internal/analysis/analysistest"
-	"repro/internal/analysis/cacheaccount"
+	"repro/internal/analysis/registry"
 )
 
+// analyzer resolves cacheaccount through the registry: being registered —
+// and therefore run by cmd/ftlint — is part of what these tests prove.
+func analyzer(t *testing.T) *analysis.Analyzer {
+	t.Helper()
+	a := registry.Get("cacheaccount")
+	if a == nil {
+		t.Fatal("cacheaccount is not registered in internal/analysis/registry")
+	}
+	return a
+}
+
 func TestCacheAccount(t *testing.T) {
-	analysistest.Run(t, "testdata", cacheaccount.Analyzer, "core")
+	analysistest.Run(t, "testdata", analyzer(t), "core")
 }
 
 // TestOtherPackagesExempt ensures the analyzer is scoped: the same shapes in
 // a package that is not the TPFTL core are not flagged.
 func TestOtherPackagesExempt(t *testing.T) {
-	analysistest.Run(t, "testdata", cacheaccount.Analyzer, "other")
+	analysistest.Run(t, "testdata", analyzer(t), "other")
 }

@@ -1,0 +1,142 @@
+// Package clocksafe enforces the simulator's clock discipline: simulated
+// time is owned by ssd.Scheduler, advanced only by the scheduler itself and
+// the ftl device layer that drives it, and merely read everywhere else.
+//
+// Two rules:
+//
+//  1. The advancing methods of ssd.Scheduler (BeginRequest, BreakChain,
+//     Issue, IssueOp, EndRequest) may be called only from packages on the
+//     advance allowlist — ssd and ftl. A translator or observability hook
+//     that advances the clock corrupts the request timeline in a way the
+//     EventHash determinism tests cannot localize; the read-only accessors
+//     (Now, Ops, DieBusy, ...) are free.
+//
+//  2. Wall-clock time (time.Now, time.Since, time.Sleep, timers) is banned
+//     in the simulator packages outright: the simulation must be a pure
+//     function of its inputs, and any wall-clock read is nondeterminism
+//     waiting to leak into a decision. cmd/ is exempt — benchmark harnesses
+//     legitimately time real execution.
+//
+// There is deliberately no //ftl: annotation for this analyzer: clock
+// discipline has no sanctioned exceptions. A truly special case can use a
+// //lint:ignore clocksafe <reason> suppression and defend it in review.
+package clocksafe
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer enforces who may advance and who may only read simulated time.
+var Analyzer = &analysis.Analyzer{
+	Name: "clocksafe",
+	Doc:  "only internal/ssd and internal/ftl may advance simulated time, and wall-clock reads are banned in simulator packages: the run must be a pure function of its inputs",
+	Run:  run,
+}
+
+// PathPrefixes are the import-path prefixes policed.
+var PathPrefixes = []string{"repro/internal/"}
+
+// ExcludedPathPrefixes carves out the analysis tooling, which is not part
+// of the simulation.
+var ExcludedPathPrefixes = []string{"repro/internal/analysis"}
+
+// AdvancePackages are the package names allowed to call advancing methods.
+var AdvancePackages = map[string]bool{"ssd": true, "ftl": true}
+
+// AdvancingMethods are the ssd.Scheduler methods that move simulated time.
+var AdvancingMethods = map[string]bool{
+	"BeginRequest": true,
+	"BreakChain":   true,
+	"Issue":        true,
+	"IssueOp":      true,
+	"EndRequest":   true,
+}
+
+// wallClock are the time-package functions that read or wait on real time.
+var wallClock = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	policed := false
+	for _, p := range PathPrefixes {
+		if strings.HasPrefix(pass.Pkg.Path(), p) {
+			policed = true
+		}
+	}
+	if !policed {
+		return nil, nil
+	}
+	for _, p := range ExcludedPathPrefixes {
+		if strings.HasPrefix(pass.Pkg.Path(), p) {
+			return nil, nil
+		}
+	}
+
+	mayAdvance := AdvancePackages[pass.Pkg.Name()]
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if isTimePackageCall(pass, sel) && wallClock[sel.Sel.Name] {
+				pass.Reportf(call.Pos(),
+					"wall-clock time.%s in simulator package %s: simulated time is ssd.Scheduler.Now(); wall-clock reads make the run a function of the machine, not the workload",
+					sel.Sel.Name, pass.Pkg.Name())
+				return true
+			}
+			if !mayAdvance && AdvancingMethods[sel.Sel.Name] && isSchedulerMethod(pass, sel) {
+				pass.Reportf(call.Pos(),
+					"package %s calls ssd.Scheduler.%s, which advances simulated time: only internal/ssd and internal/ftl may advance the clock; everything else reads Now()",
+					pass.Pkg.Name(), sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isTimePackageCall reports whether sel is time.<Name> with time being the
+// standard-library package, not a local variable named "time".
+func isTimePackageCall(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "time"
+}
+
+// isSchedulerMethod reports whether sel's receiver is ssd.Scheduler
+// (possibly behind a pointer). Matching is by receiver type, not method
+// name alone: ftl.Translator has its own BeginRequest.
+func isSchedulerMethod(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return false
+	}
+	t := s.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Scheduler" && obj.Pkg() != nil && obj.Pkg().Name() == "ssd"
+}

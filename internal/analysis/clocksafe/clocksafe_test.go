@@ -1,0 +1,42 @@
+package clocksafe_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/clocksafe"
+	"repro/internal/analysis/registry"
+)
+
+func analyzer(t *testing.T) *analysis.Analyzer {
+	t.Helper()
+	a := registry.Get("clocksafe")
+	if a == nil {
+		t.Fatal("clocksafe is not registered in internal/analysis/registry")
+	}
+	return a
+}
+
+func police(t *testing.T, prefixes ...string) {
+	t.Helper()
+	old := clocksafe.PathPrefixes
+	clocksafe.PathPrefixes = prefixes
+	t.Cleanup(func() { clocksafe.PathPrefixes = old })
+}
+
+// TestClockSafe: a policed package outside the allowlist may read the
+// scheduler clock but not advance it, and wall-clock reads are banned. The
+// Translator.BeginRequest name collision must not trip the receiver-typed
+// rule.
+func TestClockSafe(t *testing.T) {
+	police(t, "c")
+	analysistest.Run(t, "testdata", analyzer(t), "c")
+}
+
+// TestAdvanceAllowlist: the ftl package may advance the scheduler, but wall
+// clock stays banned even there.
+func TestAdvanceAllowlist(t *testing.T) {
+	police(t, "ftl")
+	analysistest.Run(t, "testdata", analyzer(t), "ftl")
+}

@@ -1,0 +1,46 @@
+// Package c is a policed package outside the advance allowlist: reading the
+// scheduler clock is fine, advancing it is not, and wall-clock reads are
+// banned outright.
+package c
+
+import (
+	"time"
+
+	"ssd"
+)
+
+// Translator mirrors the real name collision: ftl.Translator has its own
+// BeginRequest, which must not trip the receiver-typed scheduler rule.
+type Translator struct{}
+
+func (t *Translator) BeginRequest(first, last int64, write bool) {}
+
+func readOnly(s *ssd.Scheduler, t *Translator) int64 {
+	t.BeginRequest(0, 1, false) // different receiver type: fine
+	_ = s.DieBusy(0)
+	return s.Now()
+}
+
+func advances(s *ssd.Scheduler) {
+	s.BeginRequest(10) // want `advances simulated time`
+	s.BreakChain()     // want `advances simulated time`
+	s.Issue(0, 5)      // want `advances simulated time`
+	s.IssueOp(0, 5, 1) // want `advances simulated time`
+	s.EndRequest()     // want `advances simulated time`
+}
+
+func wallClock() time.Duration {
+	start := time.Now()      // want `wall-clock time\.Now`
+	time.Sleep(1)            // want `wall-clock time\.Sleep`
+	return time.Since(start) // want `wall-clock time\.Since`
+}
+
+// A local named time shadows nothing: calls through it are not the package.
+type clock struct{}
+
+func (clock) Now() int64 { return 0 }
+
+func shadowed() int64 {
+	var time clock
+	return time.Now()
+}

@@ -1,0 +1,19 @@
+// Package ftl is on the advance allowlist: driving the scheduler is its
+// job. Wall-clock reads are still banned.
+package ftl
+
+import (
+	"time"
+
+	"ssd"
+)
+
+func Drive(s *ssd.Scheduler) int64 {
+	s.BeginRequest(1)
+	s.Issue(0, 2)
+	return s.EndRequest()
+}
+
+func stillNoWallClock() time.Time {
+	return time.Now() // want `wall-clock time\.Now`
+}

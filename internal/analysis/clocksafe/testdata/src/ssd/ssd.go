@@ -1,0 +1,24 @@
+// Package ssd is a fixture stand-in for the real internal/ssd scheduler:
+// same type name, same package name, same advancing/read-only method split.
+package ssd
+
+type Scheduler struct {
+	now int64
+}
+
+func (s *Scheduler) Now() int64 { return s.now }
+
+func (s *Scheduler) DieBusy(die int) int64 { return 0 }
+
+func (s *Scheduler) BeginRequest(admit int64) { s.now += admit }
+
+func (s *Scheduler) BreakChain() {}
+
+func (s *Scheduler) Issue(die int, lat int64) int64 {
+	s.now += lat
+	return s.now
+}
+
+func (s *Scheduler) IssueOp(die int, lat int64, op int) int64 { return s.Issue(die, lat) }
+
+func (s *Scheduler) EndRequest() int64 { return s.now }

@@ -1,0 +1,404 @@
+// Package dataflow is the intra-procedural dataflow layer under the ftlint
+// analyzers. The original analyzers matched single AST nodes; the
+// determinism checks (maporder in particular) need to answer a flow
+// question instead: does a value bound by a `range` statement *reach* a
+// write that feeds simulation state — a field store, a slice element or
+// append, a channel send, an argument of a call — possibly through
+// intermediate assignments, conditionals and nested loops?
+//
+// The engine is deliberately small ("CFG-lite"): it lowers one statement
+// list to a graph of basic blocks over the plain go/ast statements, then
+// runs a forward taint fixpoint over it. The lattice is the powerset of
+// types.Object (locals, parameters, named results); join is set union;
+// transfer functions cover assignment (with strong updates for plain
+// identifier targets), var declarations, nested range bindings, and
+// conservative propagation through call results. Control flow covers
+// if/else, for, range, switch, type switch, select, break/continue and
+// return. goto and labeled branches are rare in this codebase and are
+// handled conservatively: the branch's block simply keeps every taint it
+// had, and analysis continues on the syntactic successor, so a goto can
+// only make the analysis report more, never less.
+//
+// Precision notes, in the direction of soundness for the maporder use:
+//
+//   - aliasing is not tracked: `p := &x; *p = v` taints neither x nor p's
+//     pointee. Analyzers treat stores through pointers as sinks instead.
+//   - calls do not transfer taint into the callee; a call with a tainted
+//     argument or receiver is the analyzers' sink, which is exactly the
+//     historical bug shape (env.WriteTP(v, ...) inside a map range).
+//   - a call with any tainted operand taints its results, so
+//     `v2 := f(k)` keeps the chain alive when the analyzer chose not to
+//     sink the call (e.g. allowlisted pure builtins).
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Set is a taint set: the objects currently carrying iteration-derived
+// values.
+type Set map[types.Object]bool
+
+func (s Set) clone() Set {
+	c := make(Set, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// union adds src into dst, reporting whether dst changed.
+func (s Set) union(src Set) bool {
+	changed := false
+	for k := range src {
+		if !s[k] {
+			s[k] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Result holds the fixpoint: the taint set reaching each statement of the
+// analyzed body. Statements inside nested control flow are present
+// individually; a control statement (if/for/switch) maps to the state at
+// its condition's evaluation.
+type Result struct {
+	info *types.Info
+	in   map[ast.Stmt]Set
+}
+
+// Run seeds the given objects as tainted at the entry of body and
+// propagates to fixpoint. Body is typically the body of a range statement;
+// seeds its key/value objects.
+func Run(body *ast.BlockStmt, info *types.Info, seeds []types.Object) *Result {
+	b := &builder{info: info}
+	entry := b.newBlock()
+	exit := b.newBlock()
+	last := b.stmtList(body.List, entry, exit, nil, nil)
+	last.addSucc(exit)
+
+	seed := make(Set, len(seeds))
+	for _, o := range seeds {
+		if o != nil {
+			seed[o] = true
+		}
+	}
+
+	// Forward worklist fixpoint over blocks.
+	inB := make(map[*block]Set)
+	inB[entry] = seed
+	work := []*block{entry}
+	res := &Result{info: info, in: make(map[ast.Stmt]Set)}
+	for len(work) > 0 {
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		state := inB[blk].clone()
+		for _, st := range blk.stmts {
+			// Record (join) the state reaching this statement.
+			if prev, ok := res.in[st]; ok {
+				prev.union(state)
+			} else {
+				res.in[st] = state.clone()
+			}
+			transfer(st, info, state)
+		}
+		for _, succ := range blk.succs {
+			if cur, ok := inB[succ]; !ok {
+				inB[succ] = state.clone()
+				work = append(work, succ)
+			} else if cur.union(state) {
+				work = append(work, succ)
+			}
+		}
+	}
+	return res
+}
+
+// At returns the taint set reaching stmt, or nil if the statement was not
+// part of the analyzed body.
+func (r *Result) At(stmt ast.Stmt) Set { return r.in[stmt] }
+
+// TaintedExpr reports whether e evaluates to (or through) a tainted value
+// under the taint set s: a tainted identifier, any selection or indexing
+// rooted at one, or a call with a tainted operand.
+func (r *Result) TaintedExpr(e ast.Expr, s Set) bool { return taintedExpr(e, r.info, s) }
+
+// ---- CFG construction ----
+
+type block struct {
+	stmts []ast.Stmt
+	succs []*block
+}
+
+func (b *block) addSucc(s *block) {
+	for _, have := range b.succs {
+		if have == s {
+			return
+		}
+	}
+	b.succs = append(b.succs, s)
+}
+
+type builder struct {
+	info   *types.Info
+	blocks []*block
+}
+
+func (b *builder) newBlock() *block {
+	blk := &block{}
+	b.blocks = append(b.blocks, blk)
+	return blk
+}
+
+// stmtList threads a statement list from cur, returning the block that
+// control reaches after the list. brk and cont are the targets of an
+// unlabeled break/continue, exit collects return paths.
+func (b *builder) stmtList(stmts []ast.Stmt, cur, exit, brk, cont *block) *block {
+	for _, st := range stmts {
+		cur = b.stmt(st, cur, exit, brk, cont)
+	}
+	return cur
+}
+
+func (b *builder) stmt(st ast.Stmt, cur, exit, brk, cont *block) *block {
+	switch s := st.(type) {
+	case *ast.BlockStmt:
+		return b.stmtList(s.List, cur, exit, brk, cont)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur, exit, brk, cont)
+		}
+		cur.stmts = append(cur.stmts, s) // condition evaluation point
+		after := b.newBlock()
+		then := b.newBlock()
+		cur.addSucc(then)
+		b.stmt(s.Body, then, exit, brk, cont).addSucc(after)
+		if s.Else != nil {
+			els := b.newBlock()
+			cur.addSucc(els)
+			b.stmt(s.Else, els, exit, brk, cont).addSucc(after)
+		} else {
+			cur.addSucc(after)
+		}
+		return after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur, exit, brk, cont)
+		}
+		head := b.newBlock()
+		after := b.newBlock()
+		cur.addSucc(head)
+		head.stmts = append(head.stmts, s) // condition evaluation point
+		body := b.newBlock()
+		head.addSucc(body)
+		head.addSucc(after) // condition false (or absent: break only)
+		post := b.newBlock()
+		b.stmt(s.Body, body, exit, after, post).addSucc(post)
+		if s.Post != nil {
+			b.stmt(s.Post, post, exit, nil, nil).addSucc(head)
+		} else {
+			post.addSucc(head)
+		}
+		return after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		after := b.newBlock()
+		cur.addSucc(head)
+		head.stmts = append(head.stmts, s) // binding evaluation point
+		body := b.newBlock()
+		head.addSucc(body)
+		head.addSucc(after)
+		b.stmt(s.Body, body, exit, after, head).addSucc(head)
+		return after
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		var init ast.Stmt
+		var clauses []ast.Stmt
+		switch s := st.(type) {
+		case *ast.SwitchStmt:
+			init, clauses = s.Init, s.Body.List
+		case *ast.TypeSwitchStmt:
+			init, clauses = s.Init, s.Body.List
+		case *ast.SelectStmt:
+			clauses = s.Body.List
+		}
+		if init != nil {
+			cur = b.stmt(init, cur, exit, brk, cont)
+		}
+		cur.stmts = append(cur.stmts, st) // tag/assign evaluation point
+		after := b.newBlock()
+		cur.addSucc(after) // no case taken / empty switch
+		for _, cl := range clauses {
+			var body []ast.Stmt
+			switch cl := cl.(type) {
+			case *ast.CaseClause:
+				body = cl.Body
+			case *ast.CommClause:
+				if cl.Comm != nil {
+					body = append([]ast.Stmt{cl.Comm}, cl.Body...)
+				} else {
+					body = cl.Body
+				}
+			}
+			blk := b.newBlock()
+			cur.addSucc(blk)
+			b.stmtList(body, blk, exit, after, cont).addSucc(after)
+		}
+		return after
+
+	case *ast.ReturnStmt:
+		cur.stmts = append(cur.stmts, s)
+		cur.addSucc(exit)
+		return b.newBlock() // unreachable continuation
+
+	case *ast.BranchStmt:
+		cur.stmts = append(cur.stmts, s)
+		switch {
+		case s.Tok == token.BREAK && s.Label == nil && brk != nil:
+			cur.addSucc(brk)
+		case s.Tok == token.CONTINUE && s.Label == nil && cont != nil:
+			cur.addSucc(cont)
+		default:
+			// goto / labeled branch: connect to exit so the state is not
+			// lost; the syntactic successor continues fresh (conservative).
+			cur.addSucc(exit)
+		}
+		return b.newBlock()
+
+	case *ast.LabeledStmt:
+		return b.stmt(s.Stmt, cur, exit, brk, cont)
+
+	default:
+		// Simple statements: assign, decl, expr, send, incdec, defer, go,
+		// empty.
+		cur.stmts = append(cur.stmts, st)
+		return cur
+	}
+}
+
+// ---- transfer functions ----
+
+// transfer applies one statement's effect on the taint set.
+func transfer(st ast.Stmt, info *types.Info, s Set) {
+	switch st := st.(type) {
+	case *ast.AssignStmt:
+		if len(st.Lhs) == len(st.Rhs) {
+			// Evaluate taints first: a, b = b, a must not self-launder.
+			taints := make([]bool, len(st.Rhs))
+			for i, rhs := range st.Rhs {
+				taints[i] = taintedExpr(rhs, info, s)
+				if st.Tok != token.ASSIGN && st.Tok != token.DEFINE {
+					// op-assign reads the target too.
+					taints[i] = taints[i] || taintedExpr(st.Lhs[i], info, s)
+				}
+			}
+			for i, lhs := range st.Lhs {
+				assignTo(lhs, taints[i], info, s)
+			}
+		} else {
+			// Tuple assignment: v, ok := m[k] — every target gets the
+			// combined taint of the single RHS.
+			t := false
+			for _, rhs := range st.Rhs {
+				t = t || taintedExpr(rhs, info, s)
+			}
+			for _, lhs := range st.Lhs {
+				assignTo(lhs, t, info, s)
+			}
+		}
+
+	case *ast.DeclStmt:
+		gd, ok := st.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			t := false
+			for _, v := range vs.Values {
+				t = t || taintedExpr(v, info, s)
+			}
+			for _, name := range vs.Names {
+				assignTo(name, t, info, s)
+			}
+		}
+
+	case *ast.RangeStmt:
+		t := taintedExpr(st.X, info, s)
+		assignTo(st.Key, t, info, s)
+		assignTo(st.Value, t, info, s)
+
+	case *ast.IfStmt, *ast.ForStmt, *ast.SwitchStmt, *ast.SelectStmt:
+		// Condition/tag evaluation has no binding effect.
+
+	case *ast.TypeSwitchStmt:
+		// switch y := x.(type): each case binds y; taint via Implicits is
+		// keyed per clause — approximate by tainting every implicit def.
+		if as, ok := st.Assign.(*ast.AssignStmt); ok && len(as.Rhs) == 1 {
+			if taintedExpr(as.Rhs[0], info, s) {
+				for _, lhs := range as.Lhs {
+					assignTo(lhs, true, info, s)
+				}
+			}
+		}
+	}
+}
+
+// assignTo updates the taint of one assignment target. Only plain
+// identifiers get strong updates; stores through selectors, indexes or
+// dereferences leave the set unchanged (the analyzers classify those as
+// sinks themselves).
+func assignTo(lhs ast.Expr, tainted bool, info *types.Info, s Set) {
+	id, ok := lhs.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := info.Defs[id]
+	if obj == nil {
+		obj = info.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	if tainted {
+		s[obj] = true
+	} else {
+		delete(s, obj)
+	}
+}
+
+// taintedExpr reports whether evaluating e touches a tainted object: a
+// tainted identifier anywhere inside it, counting call results as tainted
+// when any operand is.
+func taintedExpr(e ast.Expr, info *types.Info, s Set) bool {
+	if e == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			obj := info.Uses[id]
+			if obj == nil {
+				obj = info.Defs[id]
+			}
+			if obj != nil && s[obj] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,201 @@
+package dataflow_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/dataflow"
+)
+
+// load type-checks one source string and returns the first function's body
+// plus the machinery to look objects up by name.
+func load(t *testing.T, src string) (*ast.File, *types.Info, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("x", fset, []*ast.File{f}, info); err != nil {
+		t.Fatal(err)
+	}
+	return f, info, fset
+}
+
+func funcBody(f *ast.File, name string) *ast.BlockStmt {
+	for _, d := range f.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok && fn.Name.Name == name {
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+func paramObj(info *types.Info, f *ast.File, fn, param string) types.Object {
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Name.Name != fn {
+			continue
+		}
+		for _, field := range fd.Type.Params.List {
+			for _, n := range field.Names {
+				if n.Name == param {
+					return info.Defs[n]
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// stmtAtLine finds the statement recorded by the fixpoint on a given line.
+func stmtAtLine(res *dataflow.Result, body *ast.BlockStmt, fset *token.FileSet, line int) (ast.Stmt, dataflow.Set) {
+	var hit ast.Stmt
+	var set dataflow.Set
+	ast.Inspect(body, func(n ast.Node) bool {
+		if st, ok := n.(ast.Stmt); ok && fset.Position(st.Pos()).Line == line {
+			if s := res.At(st); s != nil && hit == nil {
+				hit, set = st, s
+			}
+		}
+		return true
+	})
+	return hit, set
+}
+
+func TestTaintThroughAssignChain(t *testing.T) {
+	src := `package x
+func f(k int) int {
+	a := k       // line 3
+	b := a + 1   // line 4
+	b = 0        // line 5: strong update kills taint
+	c := b       // line 6
+	return c     // line 7
+}`
+	f, info, fset := load(t, src)
+	body := funcBody(f, "f")
+	res := dataflow.Run(body, info, []types.Object{paramObj(info, f, "f", "k")})
+
+	st, set := stmtAtLine(res, body, fset, 4)
+	if st == nil {
+		t.Fatal("no state at line 4")
+	}
+	if !res.TaintedExpr(st.(*ast.AssignStmt).Rhs[0], set) {
+		t.Error("a+1 should be tainted at line 4")
+	}
+	st, set = stmtAtLine(res, body, fset, 7)
+	if st == nil {
+		t.Fatal("no state at line 7")
+	}
+	if res.TaintedExpr(st.(*ast.ReturnStmt).Results[0], set) {
+		t.Error("c should be clean after b's strong update")
+	}
+}
+
+func TestTaintJoinsAcrossBranches(t *testing.T) {
+	src := `package x
+func f(k int, cond bool) int {
+	v := 0
+	if cond {
+		v = k
+	} else {
+		v = 1
+	}
+	return v // line 9: tainted via the then-branch
+}`
+	f, info, fset := load(t, src)
+	body := funcBody(f, "f")
+	res := dataflow.Run(body, info, []types.Object{paramObj(info, f, "f", "k")})
+	st, set := stmtAtLine(res, body, fset, 9)
+	if st == nil {
+		t.Fatal("no state at return")
+	}
+	if !res.TaintedExpr(st.(*ast.ReturnStmt).Results[0], set) {
+		t.Error("v should be tainted at the join of the two branches")
+	}
+}
+
+func TestTaintSurvivesLoopBackEdge(t *testing.T) {
+	src := `package x
+func f(k int) int {
+	sum := 0
+	for i := 0; i < 3; i++ {
+		next := sum + k
+		sum = next
+	}
+	return sum // line 8: tainted around the back edge
+}`
+	f, info, fset := load(t, src)
+	body := funcBody(f, "f")
+	res := dataflow.Run(body, info, []types.Object{paramObj(info, f, "f", "k")})
+	st, set := stmtAtLine(res, body, fset, 8)
+	if st == nil {
+		t.Fatal("no state at return")
+	}
+	if !res.TaintedExpr(st.(*ast.ReturnStmt).Results[0], set) {
+		t.Error("sum should be tainted after the loop fixpoint")
+	}
+}
+
+func TestNestedRangeBindsTaint(t *testing.T) {
+	src := `package x
+func f(m map[int][]int) int {
+	last := 0
+	for _, vs := range m {
+		for _, v := range vs {
+			last = v
+		}
+	}
+	return last // line 9
+}`
+	f, info, fset := load(t, src)
+	body := funcBody(f, "f")
+	res := dataflow.Run(body, info, []types.Object{paramObj(info, f, "f", "m")})
+	st, set := stmtAtLine(res, body, fset, 9)
+	if st == nil {
+		t.Fatal("no state at return")
+	}
+	if !res.TaintedExpr(st.(*ast.ReturnStmt).Results[0], set) {
+		t.Error("last should be tainted through the nested range bindings")
+	}
+}
+
+func TestCallResultPropagatesTaint(t *testing.T) {
+	src := `package x
+func g(v int) int { return v }
+func f(k int) int {
+	v := g(k)
+	w := g(1)
+	_ = w
+	return v // line 7
+}`
+	f, info, fset := load(t, src)
+	body := funcBody(f, "f")
+	res := dataflow.Run(body, info, []types.Object{paramObj(info, f, "f", "k")})
+	st, set := stmtAtLine(res, body, fset, 7)
+	if st == nil {
+		t.Fatal("no state at return")
+	}
+	if !res.TaintedExpr(st.(*ast.ReturnStmt).Results[0], set) {
+		t.Error("v = g(k) should be tainted")
+	}
+	// w = g(1) must stay clean.
+	for _, st := range body.List {
+		as, ok := st.(*ast.AssignStmt)
+		if !ok {
+			continue
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name == "w" {
+			if res.TaintedExpr(as.Rhs[0], res.At(st)) {
+				t.Error("g(1) should be clean")
+			}
+		}
+	}
+}

@@ -4,9 +4,15 @@ import (
 	"testing"
 
 	"repro/internal/analysis/analysistest"
-	"repro/internal/analysis/flasherr"
+	"repro/internal/analysis/registry"
 )
 
+// TestFlashErr resolves the analyzer through the registry: being registered —
+// and therefore run by cmd/ftlint — is part of what the test proves.
 func TestFlashErr(t *testing.T) {
-	analysistest.Run(t, "testdata", flasherr.Analyzer, "a")
+	a := registry.Get("flasherr")
+	if a == nil {
+		t.Fatal("flasherr is not registered in internal/analysis/registry")
+	}
+	analysistest.Run(t, "testdata", a, "a")
 }

@@ -3,12 +3,25 @@ package geometry_test
 import (
 	"testing"
 
+	"repro/internal/analysis"
 	"repro/internal/analysis/analysistest"
 	"repro/internal/analysis/geometry"
+	"repro/internal/analysis/registry"
 )
 
+// analyzer resolves geometry through the registry: being registered — and
+// therefore run by cmd/ftlint — is part of what these tests prove.
+func analyzer(t *testing.T) *analysis.Analyzer {
+	t.Helper()
+	a := registry.Get("geometry")
+	if a == nil {
+		t.Fatal("geometry is not registered in internal/analysis/registry")
+	}
+	return a
+}
+
 func TestGeometry(t *testing.T) {
-	analysistest.Run(t, "testdata", geometry.Analyzer, "geo")
+	analysistest.Run(t, "testdata", analyzer(t), "geo")
 }
 
 // TestGeometryStrict covers the library-only literals (1024/512) by treating
@@ -17,5 +30,5 @@ func TestGeometryStrict(t *testing.T) {
 	old := geometry.StrictPrefixes
 	geometry.StrictPrefixes = []string{"strictgeo"}
 	defer func() { geometry.StrictPrefixes = old }()
-	analysistest.Run(t, "testdata", geometry.Analyzer, "strictgeo")
+	analysistest.Run(t, "testdata", analyzer(t), "strictgeo")
 }

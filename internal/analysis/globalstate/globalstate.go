@@ -1,0 +1,209 @@
+// Package globalstate inventories package-level mutable state in the
+// simulator packages.
+//
+// The roadmap's next tentpole is a sharded concurrent frontend: N shards,
+// each owning a slice of the LPN space, running the same translator code on
+// separate goroutines. Every package-level variable that is mutable — or
+// that any function writes or takes the address of — is state those shards
+// would silently share, either racing (a correctness bug) or serializing
+// through a lock that was never in the single-shard cost model. This
+// analyzer makes that inventory mechanical: a package-level var in
+// internal/... must be provably inert or carry the annotation
+//
+//	//ftl:shardsafe <why sharing is safe>
+//
+// on its own line or the line above. The reason is mandatory; a bare
+// annotation is itself a finding.
+//
+// A var is flagged when its type is mutable in shape (map, slice, channel,
+// pointer, sync or sync/atomic type, or any array/struct containing one) or
+// when package code writes it or takes its address. It is exempt when it is
+// the blank identifier (interface-satisfaction assertions), or when it is an
+// interface-typed value — the error-sentinel idiom — that nothing in the
+// package ever writes.
+package globalstate
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags package-level mutable state lacking a shard-safety reason.
+var Analyzer = &analysis.Analyzer{
+	Name: "globalstate",
+	Doc:  "package-level vars in simulator packages are state a sharded frontend would share: make them per-shard, prove them inert, or annotate //ftl:shardsafe <reason>",
+	Run:  run,
+}
+
+// Directive marks a package-level var the author asserts shards may share.
+var Directive = "//ftl:shardsafe"
+
+// PathPrefixes are the import-path prefixes policed.
+var PathPrefixes = []string{"repro/internal/"}
+
+// ExcludedPathPrefixes carves the analysis tooling itself out: analyzers
+// declare package-level Analyzer/policy vars by design and never run inside
+// the simulator.
+var ExcludedPathPrefixes = []string{"repro/internal/analysis"}
+
+func run(pass *analysis.Pass) (any, error) {
+	policed := false
+	for _, p := range PathPrefixes {
+		if strings.HasPrefix(pass.Pkg.Path(), p) {
+			policed = true
+		}
+	}
+	if !policed {
+		return nil, nil
+	}
+	for _, p := range ExcludedPathPrefixes {
+		if strings.HasPrefix(pass.Pkg.Path(), p) {
+			return nil, nil
+		}
+	}
+
+	written := writtenObjects(pass)
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					checkVar(pass, name, written)
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+func checkVar(pass *analysis.Pass, name *ast.Ident, written map[types.Object]bool) {
+	if name.Name == "_" {
+		return // interface-satisfaction assertions hold no state
+	}
+	obj := pass.TypesInfo.Defs[name]
+	if obj == nil {
+		return
+	}
+	if reason, found := pass.DirectiveAt(name.Pos(), Directive); found {
+		if reason == "" {
+			pass.Reportf(name.Pos(),
+				"%s annotation without a reason: state why shards may share %q", Directive, name.Name)
+		}
+		return
+	}
+
+	w := written[obj]
+	mutable := mutableShape(obj.Type(), make(map[types.Type]bool))
+	if _, iface := obj.Type().Underlying().(*types.Interface); iface && !w {
+		return // unwritten error-sentinel idiom: var ErrX = errors.New(...)
+	}
+	switch {
+	case mutable:
+		pass.Reportf(name.Pos(),
+			"package-level var %q has mutable type %s: a sharded frontend would share it; move it into per-shard state or annotate %s <reason>",
+			name.Name, obj.Type(), Directive)
+	case w:
+		pass.Reportf(name.Pos(),
+			"package-level var %q is written or aliased after initialization: a sharded frontend would race on it; move it into per-shard state or annotate %s <reason>",
+			name.Name, Directive)
+	}
+}
+
+// writtenObjects collects every package-level object that non-test package
+// code assigns to, increments, or takes the address of.
+func writtenObjects(pass *analysis.Pass) map[types.Object]bool {
+	written := make(map[types.Object]bool)
+	mark := func(e ast.Expr) {
+		if id := rootIdent(e); id != nil {
+			if obj, ok := pass.TypesInfo.Uses[id]; ok && obj != nil && obj.Parent() == pass.Pkg.Scope() {
+				written[obj] = true
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					mark(lhs)
+				}
+			case *ast.IncDecStmt:
+				mark(n.X)
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					mark(n.X)
+				}
+			}
+			return true
+		})
+	}
+	return written
+}
+
+// rootIdent unwraps selectors, indexing, derefs and parens down to the base
+// identifier of an lvalue, or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// mutableShape reports whether a value of type t embeds mutable storage:
+// reference types, sync/sync-atomic types, or any aggregate containing one.
+func mutableShape(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if n, ok := t.(*types.Named); ok {
+		if pkg := n.Obj().Pkg(); pkg != nil {
+			switch pkg.Path() {
+			case "sync", "sync/atomic":
+				return true
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Map, *types.Slice, *types.Chan, *types.Pointer:
+		return true
+	case *types.Array:
+		return mutableShape(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if mutableShape(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}

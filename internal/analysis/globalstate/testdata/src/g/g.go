@@ -1,0 +1,63 @@
+// Package g exercises globalstate: mutable shapes and written scalars are
+// flagged, inert configuration and unwritten error sentinels are not, and
+// the //ftl:shardsafe annotation needs a reason.
+package g
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+var counters = map[string]int{} // want `mutable type`
+
+var scratch []byte // want `mutable type`
+
+var events chan int // want `mutable type`
+
+var cursor *int // want `mutable type`
+
+var mu sync.Mutex // want `mutable type`
+
+var calls atomic.Int64 // want `mutable type`
+
+type table struct {
+	rows []int
+}
+
+var defaults table // want `mutable type`
+
+var total int // want `written or aliased after initialization`
+
+var seed int64 // want `written or aliased after initialization`
+
+// Inert: a scalar nothing writes, and a fixed name table of strings.
+var limit = 128
+
+var opNames = [3]string{"read", "write", "trim"}
+
+// The error-sentinel idiom: interface-typed, never written.
+var ErrClosed = errors.New("g: closed")
+
+// Interface-typed but reassigned: no longer a sentinel.
+var hook error // want `written or aliased after initialization`
+
+// Blank assertions hold no state.
+var _ error = (*myErr)(nil)
+
+//ftl:shardsafe registration happens before any shard starts; read-only after
+var registry = map[string]int{}
+
+//ftl:shardsafe
+var oops = map[string]int{} // want `annotation without a reason`
+
+type myErr struct{}
+
+func (*myErr) Error() string { return "" }
+
+func bump() {
+	total++
+	hook = ErrClosed
+}
+
+func alias() *int64 { return &seed }

@@ -4,9 +4,15 @@ import (
 	"testing"
 
 	"repro/internal/analysis/analysistest"
-	"repro/internal/analysis/hotalloc"
+	"repro/internal/analysis/registry"
 )
 
+// TestHotAlloc resolves the analyzer through the registry: being registered —
+// and therefore run by cmd/ftlint — is part of what the test proves.
 func TestHotAlloc(t *testing.T) {
-	analysistest.Run(t, "testdata", hotalloc.Analyzer, "hot")
+	a := registry.Get("hotalloc")
+	if a == nil {
+		t.Fatal("hotalloc is not registered in internal/analysis/registry")
+	}
+	analysistest.Run(t, "testdata", a, "hot")
 }

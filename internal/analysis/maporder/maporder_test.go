@@ -1,0 +1,40 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/registry"
+)
+
+// analyzer resolves maporder through the registry: being registered is part
+// of what this test proves.
+func analyzer(t *testing.T) *analysis.Analyzer {
+	t.Helper()
+	a := registry.Get("maporder")
+	if a == nil {
+		t.Fatal("maporder is not registered in internal/analysis/registry")
+	}
+	return a
+}
+
+// TestMapOrder covers the rule matrix: commutative and sorted shapes stay
+// silent, order-sensitive escapes are flagged, annotation and suppression
+// directives mute with a reason.
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzer(t), "a")
+}
+
+// TestTPFTLHistoricalBug reconstructs the OnGCDataMoves map-order bug the
+// repository shipped and fixed: the buggy shape must be flagged and the
+// fixed SortedVTPNs shape must stay silent.
+func TestTPFTLHistoricalBug(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzer(t), "tpftl")
+}
+
+// TestSFTLHistoricalBug reconstructs the S-FTL flush-order bug: the
+// page-order loop is flagged, the sorted per-page update collection is not.
+func TestSFTLHistoricalBug(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzer(t), "sftl")
+}

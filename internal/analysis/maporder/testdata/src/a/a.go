@@ -1,0 +1,121 @@
+// Package a exercises the maporder rule matrix: the provably
+// order-insensitive shapes stay silent, the order-sensitive escapes are
+// flagged, the annotation and suppression directives mute with a reason.
+package a
+
+import "sort"
+
+type sink struct {
+	total int
+	bits  uint64
+	fsum  float64
+	last  int
+	out   []int
+	byKey map[int]int
+}
+
+func orderInsensitive(m map[int]int, s *sink, gone map[int]bool) {
+	count := 0
+	any := false
+	for k, v := range m {
+		count++      // commutative
+		s.total += v // integer accumulation commutes
+		s.bits |= uint64(k)
+		s.byKey[k] = v  // keyed by the iteration key: distinct slots
+		delete(gone, k) // delete by key commutes
+		any = any || v > 0
+	}
+	_, _ = count, any
+
+	// The collect-then-sort idiom: the slice's final order is the sort's,
+	// not the map's.
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	_ = keys
+
+	// Mutating the per-iteration element touches a distinct object each
+	// time around.
+	objs := map[int]*sink{}
+	for _, o := range objs {
+		o.total = 0
+		o.out = nil
+	}
+
+	// The pure max fold is idempotent and commutative.
+	maxV := 0
+	for _, v := range m {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	_ = maxV
+}
+
+func annotated(m map[int]int, s *sink) {
+	//ftl:orderinsensitive any key serves as the representative element
+	for k := range m {
+		s.last = k
+		break
+	}
+}
+
+func orderSensitive(m map[int]int, s *sink, ch chan int, emit func(int)) (int, int) {
+	for k, v := range m {
+		s.last = k               // want `assigns an iteration-derived value to "last"|stores an iteration-derived value into field`
+		s.fsum += float64(v)     // want `stores an iteration-derived value into field s\.fsum`
+		s.out = append(s.out, v) // want `stores an iteration-derived value into field s\.out`
+		ch <- v                  // want `sends an iteration-derived value on a channel`
+		emit(k)                  // want `passes an iteration-derived value to emit`
+	}
+
+	// Append without a sort afterwards: element order is map order.
+	collected := []int{}
+	for k := range m {
+		collected = append(collected, k) // want `appends an iteration-derived value to "collected" without sorting`
+	}
+	_ = collected
+
+	// Taint flows through intermediate locals and conditionals.
+	worst := 0
+	for k, v := range m {
+		label := k * 2
+		if v > 10 {
+			worst = label // want `assigns an iteration-derived value to "worst"`
+		}
+	}
+
+	for k := range m {
+		if k > 10 {
+			return k, worst // want `returns an iteration-derived value`
+		}
+	}
+
+	// A payload-carrying argmax: the max accumulator itself is a pure
+	// fold, but the payload ties break by map order.
+	best, bestK := -1, 0
+	for k, v := range m {
+		if v > best {
+			best = v
+			bestK = k // want `assigns an iteration-derived value to "bestK"`
+		}
+	}
+	_ = bestK
+	return 0, worst
+}
+
+func missingReason(m map[int]int, emit func(int)) {
+	//ftl:orderinsensitive
+	for k := range m { // want `annotation without a reason`
+		emit(k)
+	}
+}
+
+func suppressed(m map[int]int, emit func(int)) {
+	for k := range m {
+		//lint:ignore maporder replay order is rebuilt downstream by the scheduler
+		emit(k)
+	}
+}

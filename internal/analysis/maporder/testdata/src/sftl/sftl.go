@@ -1,0 +1,52 @@
+// Package sftl reconstructs the second historical map-order bug: S-FTL's
+// flush path wrote dirty cached pages back by ranging over the dirty-page
+// map, so the full-page WriteTP order — and the resulting block allocation
+// — differed run to run. Fixed in the zero-allocation PR by collecting the
+// dirty pages and sorting by VTPN before writing (TestSFTLDeterminism pins
+// it). The per-page update collection below already uses the sorted idiom
+// and must stay silent; only the page-order loop is the bug.
+package sftl
+
+type VTPN int32
+
+type PPN int64
+
+type EntryUpdate struct {
+	Off int32
+	PPN PPN
+}
+
+type Env interface {
+	WriteTP(v VTPN, ups []EntryUpdate, fullPage bool) error
+}
+
+type page struct {
+	dirty map[int32]struct{}
+	vals  map[int32]PPN
+}
+
+type FTL struct {
+	pages map[VTPN]*page
+}
+
+// SortUpdates stands in for ftl.SortUpdates.
+func SortUpdates(ups []EntryUpdate) {}
+
+// FlushDirty is the buggy pre-fix shape: page write order is map order.
+func (f *FTL) FlushDirty(env Env) error {
+	for v, p := range f.pages {
+		if len(p.dirty) == 0 {
+			continue
+		}
+		ups := make([]EntryUpdate, 0, len(p.dirty))
+		for off := range p.dirty {
+			ups = append(ups, EntryUpdate{Off: off, PPN: p.vals[off]})
+		}
+		SortUpdates(ups)
+		if err := env.WriteTP(v, ups, true); err != nil { // want `passes an iteration-derived value to env\.WriteTP`
+			return err
+		}
+		p.dirty = map[int32]struct{}{}
+	}
+	return nil
+}

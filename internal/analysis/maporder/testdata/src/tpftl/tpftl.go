@@ -1,0 +1,66 @@
+// Package tpftl reconstructs the first historical map-order bug this
+// repository shipped: TPFTL's OnGCDataMoves grouped the GC map updates per
+// translation page in a map and then ranged over it calling env.WriteTP —
+// so the translation-page write order, and with it physical page
+// allocation, die assignment and the whole downstream schedule, permuted
+// from run to run. Fixed in the parallel-backend PR by flushing in sorted
+// vtpn order.
+package tpftl
+
+type VTPN int32
+
+type PPN int64
+
+type EntryUpdate struct {
+	Off int
+	PPN PPN
+}
+
+type GCMove struct {
+	LPN    int64
+	NewPPN PPN
+}
+
+type Env interface {
+	WriteTP(v VTPN, ups []EntryUpdate) error
+	NoteGCMapUpdate(hit bool)
+}
+
+// OnGCDataMoves is the buggy pre-fix shape, byte for byte in spirit.
+func OnGCDataMoves(env Env, moves []GCMove, entriesPerTP int64) error {
+	pending := make(map[VTPN][]EntryUpdate)
+	for _, mv := range moves {
+		v := VTPN(mv.LPN / entriesPerTP)
+		pending[v] = append(pending[v], EntryUpdate{Off: int(mv.LPN % entriesPerTP), PPN: mv.NewPPN})
+		env.NoteGCMapUpdate(false)
+	}
+	for v, ups := range pending {
+		if err := env.WriteTP(v, ups); err != nil { // want `passes an iteration-derived value to env\.WriteTP`
+			return err
+		}
+	}
+	return nil
+}
+
+// SortedVTPNs is the fix's helper shape: collecting the keys and sorting
+// them before use is recognized as order-insensitive.
+func SortedVTPNs(m map[VTPN][]EntryUpdate) []VTPN {
+	keys := make([]VTPN, 0, len(m))
+	for v := range m {
+		keys = append(keys, v)
+	}
+	SortVTPNs(keys)
+	return keys
+}
+
+func SortVTPNs(keys []VTPN) {}
+
+// OnGCDataMovesFixed is the post-fix shape: no findings.
+func OnGCDataMovesFixed(env Env, pending map[VTPN][]EntryUpdate) error {
+	for _, v := range SortedVTPNs(pending) {
+		if err := env.WriteTP(v, pending[v]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -4,9 +4,15 @@ import (
 	"testing"
 
 	"repro/internal/analysis/analysistest"
-	"repro/internal/analysis/obscheck"
+	"repro/internal/analysis/registry"
 )
 
+// TestObscheck resolves the analyzer through the registry: being registered —
+// and therefore run by cmd/ftlint — is part of what the test proves.
 func TestObscheck(t *testing.T) {
-	analysistest.Run(t, "testdata", obscheck.Analyzer, "hot")
+	a := registry.Get("obscheck")
+	if a == nil {
+		t.Fatal("obscheck is not registered in internal/analysis/registry")
+	}
+	analysistest.Run(t, "testdata", a, "hot")
 }

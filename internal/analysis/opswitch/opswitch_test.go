@@ -4,9 +4,15 @@ import (
 	"testing"
 
 	"repro/internal/analysis/analysistest"
-	"repro/internal/analysis/opswitch"
+	"repro/internal/analysis/registry"
 )
 
+// TestOpSwitch resolves the analyzer through the registry: being registered —
+// and therefore run by cmd/ftlint — is part of what the test proves.
 func TestOpSwitch(t *testing.T) {
-	analysistest.Run(t, "testdata", opswitch.Analyzer, "a")
+	a := registry.Get("opswitch")
+	if a == nil {
+		t.Fatal("opswitch is not registered in internal/analysis/registry")
+	}
+	analysistest.Run(t, "testdata", a, "a")
 }

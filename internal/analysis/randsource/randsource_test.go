@@ -4,9 +4,15 @@ import (
 	"testing"
 
 	"repro/internal/analysis/analysistest"
-	"repro/internal/analysis/randsource"
+	"repro/internal/analysis/registry"
 )
 
+// TestRandSource resolves the analyzer through the registry: being registered —
+// and therefore run by cmd/ftlint — is part of what the test proves.
 func TestRandSource(t *testing.T) {
-	analysistest.Run(t, "testdata", randsource.Analyzer, "a")
+	a := registry.Get("randsource")
+	if a == nil {
+		t.Fatal("randsource is not registered in internal/analysis/registry")
+	}
+	analysistest.Run(t, "testdata", a, "a")
 }

@@ -1,0 +1,199 @@
+// Machine-readable report formats for cmd/ftlint: a flat JSON finding list
+// for scripts and the CI artifact, and SARIF 2.1.0 so code hosts and
+// editors that speak the standard can render the same findings inline.
+// Both render the post-suppression, post-baseline view: what the run would
+// fail on, plus (JSON only) the count it tolerated via the baseline.
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"sort"
+)
+
+// JSONFinding is one finding in the -json report.
+type JSONFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+	// Baselined marks a finding tolerated by the baseline (reported for
+	// audit visibility; it does not fail the run).
+	Baselined bool `json:"baselined,omitempty"`
+}
+
+// JSONReport is the -json document.
+type JSONReport struct {
+	Tool      string        `json:"tool"`
+	Analyzers []string      `json:"analyzers"`
+	New       int           `json:"new"`
+	Baselined int           `json:"baselined"`
+	Findings  []JSONFinding `json:"findings"`
+}
+
+// relTo renders file relative to root when possible, slash-separated.
+func relTo(root, file string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, file); err == nil && !hasDotDotPrefix(rel) && rel != ".." {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(file)
+}
+
+// WriteJSON emits the JSON report. fresh are findings that fail the run;
+// baselined are the tolerated ones. root relativizes paths ("" keeps them
+// as-is).
+func WriteJSON(w io.Writer, analyzers []*Analyzer, fresh, baselined []Finding, root string) error {
+	rep := JSONReport{
+		Tool:      "ftlint",
+		New:       len(fresh),
+		Baselined: len(baselined),
+		Findings:  []JSONFinding{},
+	}
+	for _, a := range analyzers {
+		rep.Analyzers = append(rep.Analyzers, a.Name)
+	}
+	sort.Strings(rep.Analyzers)
+	add := func(fs []Finding, baselined bool) {
+		for _, f := range fs {
+			rep.Findings = append(rep.Findings, JSONFinding{
+				Analyzer:  f.Analyzer,
+				File:      relTo(root, f.Position.Filename),
+				Line:      f.Position.Line,
+				Column:    f.Position.Column,
+				Message:   f.Message,
+				Baselined: baselined,
+			})
+		}
+	}
+	add(fresh, false)
+	add(baselined, true)
+	sort.Slice(rep.Findings, func(i, j int) bool {
+		a, b := rep.Findings[i], rep.Findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// sarif* types model the subset of SARIF 2.1.0 the report uses.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF emits the findings as SARIF 2.1.0. Fresh findings carry level
+// "error", baselined ones "note".
+func WriteSARIF(w io.Writer, analyzers []*Analyzer, fresh, baselined []Finding, root string) error {
+	driver := sarifDriver{Name: "ftlint"}
+	sorted := append([]*Analyzer(nil), analyzers...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	for _, a := range sorted {
+		driver.Rules = append(driver.Rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifText{Text: a.Doc},
+		})
+	}
+	run := sarifRun{Tool: sarifTool{Driver: driver}, Results: []sarifResult{}}
+	add := func(fs []Finding, level string) {
+		for _, f := range fs {
+			run.Results = append(run.Results, sarifResult{
+				RuleID:  f.Analyzer,
+				Level:   level,
+				Message: sarifText{Text: f.Message},
+				Locations: []sarifLocation{{
+					PhysicalLocation: sarifPhysical{
+						ArtifactLocation: sarifArtifact{URI: relTo(root, f.Position.Filename)},
+						Region: sarifRegion{
+							StartLine:   f.Position.Line,
+							StartColumn: f.Position.Column,
+						},
+					},
+				}},
+			})
+		}
+	}
+	add(fresh, "error")
+	add(baselined, "note")
+	sort.Slice(run.Results, func(i, j int) bool {
+		a, b := run.Results[i], run.Results[j]
+		la, lb := a.Locations[0].PhysicalLocation, b.Locations[0].PhysicalLocation
+		if la.ArtifactLocation.URI != lb.ArtifactLocation.URI {
+			return la.ArtifactLocation.URI < lb.ArtifactLocation.URI
+		}
+		if la.Region.StartLine != lb.Region.StartLine {
+			return la.Region.StartLine < lb.Region.StartLine
+		}
+		return a.RuleID < b.RuleID
+	})
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{run},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

@@ -1,0 +1,125 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// boomAnalyzer flags every call to a function named boom — a minimal
+// analyzer for exercising the driver's suppression layer.
+var boomAnalyzer = &analysis.Analyzer{
+	Name: "boomcheck",
+	Doc:  "flags calls to boom",
+	Run: func(pass *analysis.Pass) (any, error) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "boom" {
+						pass.Reportf(call.Pos(), "call to boom")
+					}
+				}
+				return true
+			})
+		}
+		return nil, nil
+	},
+}
+
+func runBoom(t *testing.T, src string) []analysis.Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{}
+	pkg, err := conf.Check("x", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := analysis.RunAnalyzers(fset, []*ast.File{f}, pkg, info, []*analysis.Analyzer{boomAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return findings
+}
+
+func TestSuppressedFindingStaysSilent(t *testing.T) {
+	findings := runBoom(t, `package x
+func boom() {}
+func f() {
+	boom() //lint:ignore boomcheck this one is intentional
+	//lint:ignore boomcheck the directive may also sit on the line above
+	boom()
+	boom()
+}
+`)
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want exactly the unsuppressed call", findings)
+	}
+	if findings[0].Position.Line != 7 {
+		t.Fatalf("surviving finding at line %d, want the unsuppressed call on line 7", findings[0].Position.Line)
+	}
+}
+
+func TestSuppressionIsPerAnalyzer(t *testing.T) {
+	// A directive naming a different analyzer must not mute this one.
+	findings := runBoom(t, `package x
+func boom() {}
+func f() {
+	boom() //lint:ignore othercheck not ours
+}
+`)
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want the boomcheck finding to survive", findings)
+	}
+}
+
+func TestFileIgnoreSuppressesWholeFile(t *testing.T) {
+	findings := runBoom(t, `package x
+
+//lint:file-ignore boomcheck generated shim, reviewed once
+func boom() {}
+func f() {
+	boom()
+	boom()
+}
+`)
+	if len(findings) != 0 {
+		t.Fatalf("findings = %v, want none under file-ignore", findings)
+	}
+}
+
+func TestMalformedDirectiveIsItselfAFinding(t *testing.T) {
+	// No reason given: nothing is suppressed, and the bare directive is
+	// reported under the lintdirective pseudo-analyzer.
+	findings := runBoom(t, `package x
+func boom() {}
+func f() {
+	boom() //lint:ignore boomcheck
+}
+`)
+	var sawBoom, sawDirective bool
+	for _, f := range findings {
+		switch f.Analyzer {
+		case "boomcheck":
+			sawBoom = true
+		case analysis.DirectiveAnalyzer:
+			sawDirective = true
+			if !strings.Contains(f.Message, "reason") {
+				t.Errorf("directive finding should demand a reason, got %q", f.Message)
+			}
+		}
+	}
+	if !sawBoom || !sawDirective {
+		t.Fatalf("findings = %v, want both the unsuppressed boomcheck finding and a %s finding",
+			findings, analysis.DirectiveAnalyzer)
+	}
+}

@@ -196,6 +196,7 @@ func (f *FTL) evictCTP(env ftl.Env) error {
 		}
 		updates = append(updates, ftl.EntryUpdate{Off: int(off), PPN: p.vals[off]})
 	}
+	ftl.SortUpdates(updates)
 	env.NoteBatchWriteback(len(updates) - 1)
 	return env.WriteTP(p.vtpn, updates, true)
 }
@@ -374,8 +375,8 @@ func (f *FTL) OnGCDataMoves(env ftl.Env, moves []ftl.GCMove) error {
 		env.NoteGCMapUpdate(false)
 		pending[v] = append(pending[v], ftl.EntryUpdate{Off: int(off), PPN: mv.NewPPN})
 	}
-	for v, ups := range pending {
-		if err := env.WriteTP(v, ups, false); err != nil {
+	for _, v := range ftl.SortedVTPNs(pending) {
+		if err := env.WriteTP(v, pending[v], false); err != nil {
 			return err
 		}
 	}

@@ -258,8 +258,8 @@ func (f *FTL) OnGCDataMoves(env ftl.Env, moves []ftl.GCMove) error {
 		v := ftl.VTPNOf(mv.LPN, e)
 		pending[v] = append(pending[v], ftl.EntryUpdate{Off: ftl.OffOf(mv.LPN, e), PPN: mv.NewPPN})
 	}
-	for v, ups := range pending {
-		if err := env.WriteTP(v, ups, false); err != nil {
+	for _, v := range ftl.SortedVTPNs(pending) {
+		if err := env.WriteTP(v, pending[v], false); err != nil {
 			return err
 		}
 	}

@@ -15,6 +15,7 @@ package fast
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/flash"
@@ -325,7 +326,14 @@ func (d *Device) mergeOldestLog() (time.Duration, error) {
 			lbs[int(lpn/int64(d.ppb))] = true
 		}
 	}
+	// Merge in ascending logical-block order: each merge allocates pages
+	// and issues flash ops, so map order here would permute the schedule.
+	order := make([]int, 0, len(lbs))
 	for lb := range lbs {
+		order = append(order, lb)
+	}
+	sort.Ints(order)
+	for _, lb := range order {
 		lat, err := d.mergeLogicalBlock(lb)
 		acc += lat
 		if err != nil {
@@ -439,6 +447,7 @@ func (d *Device) CheckConsistency() error {
 			return fmt.Errorf("fast: locate(%d) = %d,%v, truth %d", lpn, got, ok, ppn)
 		}
 	}
+	//ftl:orderinsensitive read-only invariant check; any violating entry is a valid witness
 	for lpn, loc := range d.logMap {
 		p := d.chip.PageAt(loc.blk, loc.off)
 		if d.chip.State(p) != flash.PageValid {

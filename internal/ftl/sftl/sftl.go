@@ -271,6 +271,7 @@ func (f *FTL) bufferEntries(env ftl.Env, p *cachedPage) error {
 func (f *FTL) flushLargestGroup(env ftl.Env) error {
 	bestV := ftl.VTPN(-1)
 	best := -1
+	//ftl:orderinsensitive argmax with deterministic tie-break toward the smallest vtpn
 	for v, ents := range f.buffer {
 		if len(ents) > best || (len(ents) == best && v < bestV) {
 			best = len(ents)

@@ -136,16 +136,24 @@ func (f *FTL) switchZone(env ftl.Env, zone int) error {
 		pending[v] = append(pending[v], ftl.EntryUpdate{Off: ftl.OffOf(lpn, f.ePerTP), PPN: ppn})
 	}
 	for v, p := range f.tier2 {
+		// Collect per page and sort by offset so the tier-2 portion of a
+		// page's updates does not carry map iteration order. Tier-1
+		// entries stay ahead of tier-2 ones: on an offset collision the
+		// cached page is the fresher copy and must apply last.
+		ups := make([]ftl.EntryUpdate, 0, len(p.dirty))
 		for off := range p.dirty {
-			pending[v] = append(pending[v], ftl.EntryUpdate{Off: int(off), PPN: p.vals[off]})
+			ups = append(ups, ftl.EntryUpdate{Off: int(off), PPN: p.vals[off]})
 		}
+		ftl.SortUpdates(ups)
+		pending[v] = append(pending[v], ups...)
 	}
 	f.tier1 = make(map[ftl.LPN]flash.PPN)
 	f.tier2 = make(map[ftl.VTPN]*tier2Page)
 	f.order = f.order[:0]
 	f.zone = zone
 	f.switches++
-	for v, ups := range pending {
+	for _, v := range ftl.SortedVTPNs(pending) {
+		ups := pending[v]
 		env.NoteBatchWriteback(len(ups) - 1)
 		if err := env.WriteTP(v, ups, false); err != nil {
 			return err
@@ -173,6 +181,7 @@ func (f *FTL) loadTier2(env ftl.Env, v ftl.VTPN) (*tier2Page, error) {
 			for off := range p.dirty {
 				ups = append(ups, ftl.EntryUpdate{Off: int(off), PPN: p.vals[off]})
 			}
+			ftl.SortUpdates(ups)
 			env.NoteBatchWriteback(len(ups) - 1)
 			if err := env.WriteTP(victim, ups, true); err != nil {
 				return nil, err
@@ -232,8 +241,12 @@ func (f *FTL) evictTier1Batch(env ftl.Env) error {
 	}
 	var bestV ftl.VTPN
 	best := -1
+	// Size ties break toward the smallest vtpn: left to map iteration
+	// order, which page evicts on a tie would differ between identical
+	// runs.
+	//ftl:orderinsensitive argmax with deterministic tie-break toward the smallest vtpn
 	for v, lpns := range groups {
-		if len(lpns) > best {
+		if len(lpns) > best || (len(lpns) == best && v < bestV) {
 			best, bestV = len(lpns), v
 		}
 	}
@@ -246,6 +259,7 @@ func (f *FTL) evictTier1Batch(env ftl.Env) error {
 		delete(f.tier1, lpn)
 		env.NoteReplacement(true)
 	}
+	ftl.SortUpdates(ups)
 	env.NoteBatchWriteback(len(ups) - 1)
 	return env.WriteTP(bestV, ups, false)
 }
@@ -329,8 +343,8 @@ func (f *FTL) OnGCDataMoves(env ftl.Env, moves []ftl.GCMove) error {
 		env.NoteGCMapUpdate(false)
 		pending[v] = append(pending[v], ftl.EntryUpdate{Off: int(off), PPN: mv.NewPPN})
 	}
-	for v, ups := range pending {
-		if err := env.WriteTP(v, ups, false); err != nil {
+	for _, v := range ftl.SortedVTPNs(pending) {
+		if err := env.WriteTP(v, pending[v], false); err != nil {
 			return err
 		}
 	}
