@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint lint-report lint-fix-audit sanitize fuzz bench bench-ci bench-smoke obs-smoke trim-smoke ci
+.PHONY: build test race vet lint lint-report lint-fix-audit sanitize fuzz bench bench-ci bench-smoke shard-smoke obs-smoke trim-smoke ci
 
 build:
 	$(GO) build ./...
@@ -64,7 +64,7 @@ fuzz:
 # ftlbench is the reproducible macro-benchmark harness (cmd/ftlbench): a
 # fixed case matrix of full device simulations, reported as sim-ops per
 # wall-second, ns/op, allocs/op and bytes/op. `make bench` regenerates the
-# committed BENCH_5.json (preserving its embedded baseline section);
+# committed BENCH_6.json (preserving its embedded baseline section);
 # `make bench-ci` is the CI smoke: the quick subset of the matrix with a
 # throughput floor, so a change that wrecks the zero-allocation hot path
 # fails the build instead of landing silently.
@@ -72,7 +72,7 @@ bin/ftlbench: FORCE
 	$(GO) build -o bin/ftlbench ./cmd/ftlbench
 
 bench: bin/ftlbench
-	./bin/ftlbench -out BENCH_5.json -keep-baseline -runs 3
+	./bin/ftlbench -out BENCH_6.json -keep-baseline -runs 3
 
 bench-ci: bin/ftlbench
 	./bin/ftlbench -smoke -runs 1 -minops 500000
@@ -112,4 +112,12 @@ trim-smoke: bin/ftlsim
 bench-smoke:
 	$(GO) test -race ./internal/sim -run 'TestSerialGoldenCompatibility|TestSchedulerDeterminism|TestParallelSpeedup|TestQueueDepthSweepSmoke' -v
 
-ci: vet lint lint-report race sanitize bench-smoke bench-ci obs-smoke trim-smoke
+# Sharded-host smoke under the race detector: a 4-shard closed-loop
+# saturation run (8 client goroutines, queue depth 8, back-to-back arrivals)
+# must produce the identical merged digest — the per-shard order-sensitive
+# event hashes folded across shards — on two consecutive runs. Catches any
+# cross-shard state sharing or scheduling nondeterminism in internal/host.
+shard-smoke:
+	$(GO) test -race ./internal/host -run 'TestShardSaturationDigestStable|TestReplayClientCountInvariance' -count=1 -v
+
+ci: vet lint lint-report race sanitize bench-smoke shard-smoke bench-ci obs-smoke trim-smoke

@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"repro/internal/ftl"
+	"repro/internal/host"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/ssd"
@@ -70,7 +71,13 @@ type benchCase struct {
 	Channels int
 	Dies     int
 	QD       int // 0 = open loop
-	Smoke    bool
+	// Shards > 0 routes the case through the sharded multi-queue host
+	// frontend (internal/host): the LPN space striped across Shards
+	// independent devices served by Clients concurrent goroutines. These
+	// are the only cases whose wall time can use more than one CPU.
+	Shards  int
+	Clients int
+	Smoke   bool
 }
 
 // matrix is the fixed benchmark matrix. Keep the names stable: downstream
@@ -99,6 +106,21 @@ func matrix() []benchCase {
 		// Sequential reads drive TPFTL's prefetch paths.
 		{Name: "seq-read-serial", Scheme: sim.SchemeTPFTL, Workload: "seqread",
 			Space: space, Requests: 40_000, Seed: 3, Channels: serialChannels, Dies: serialDies, QD: 1},
+		// The closed-loop saturation ladder: the identical device-bound
+		// random-read trace pushed through the sharded host at 1, 2 and 4
+		// shards (2 clients per shard, queue depth 8 per shard). The three
+		// cases share a seed, so sim_ops_per_wall_sec across them is the
+		// host frontend's wall-clock scaling curve; on a multi-core machine
+		// the 4-shard cell should approach 4x the 1-shard cell.
+		{Name: "saturate-shard1", Scheme: sim.SchemeTPFTL, Workload: "randread",
+			Space: 4 * space, Requests: 48_000, Seed: 11, Channels: wideChannels, Dies: wideDies,
+			QD: 8, Shards: 1, Clients: 2},
+		{Name: "saturate-shard2", Scheme: sim.SchemeTPFTL, Workload: "randread",
+			Space: 4 * space, Requests: 48_000, Seed: 11, Channels: wideChannels, Dies: wideDies,
+			QD: 8, Shards: 2, Clients: 4},
+		{Name: "saturate-shard4", Scheme: sim.SchemeTPFTL, Workload: "randread",
+			Space: 4 * space, Requests: 48_000, Seed: 11, Channels: wideChannels, Dies: wideDies,
+			QD: 8, Shards: 4, Clients: 8},
 	}
 }
 
@@ -110,6 +132,8 @@ type caseResult struct {
 	Channels int    `json:"channels"`
 	Dies     int    `json:"dies"`
 	QD       int    `json:"qd"`
+	Shards   int    `json:"shards,omitempty"`
+	Clients  int    `json:"clients,omitempty"`
 	Requests int    `json:"requests"`
 	Seed     int64  `json:"seed"`
 
@@ -121,6 +145,8 @@ type caseResult struct {
 	SimOpsPerWallSec float64 `json:"sim_ops_per_wall_sec"`
 
 	// Simulated-metric tripwires: engine optimizations must not move these.
+	// For sharded cases EventHash carries the host's merged digest (the
+	// per-shard event hashes folded order-insensitively across shards).
 	HitRatio     float64 `json:"hit_ratio"`
 	SimElapsedNS int64   `json:"sim_elapsed_ns"`
 	EventHash    string  `json:"event_hash"`
@@ -138,7 +164,11 @@ type caseResult struct {
 type report struct {
 	Schema    string `json:"schema"`
 	GoVersion string `json:"go_version"`
-	Note      string `json:"note,omitempty"`
+	// GOMAXPROCS records the CPU budget wall times were measured under —
+	// essential context for the saturate-shard* scaling cells, which can
+	// only show wall-clock speedup when more than one CPU is available.
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Note       string `json:"note,omitempty"`
 	// Runs is the best-of count wall times were taken over.
 	Runs    int          `json:"runs"`
 	Results []caseResult `json:"results"`
@@ -208,10 +238,11 @@ func run(out, note, baseline, baselineNote string, keepBaseline bool, runs int, 
 	}
 
 	rep := report{
-		Schema:    "repro/ftlbench/v2",
-		GoVersion: runtime.Version(),
-		Note:      note,
-		Runs:      runs,
+		Schema:     "repro/ftlbench/v3",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Note:       note,
+		Runs:       runs,
 	}
 	for _, c := range selected {
 		r, err := runCase(c, runs)
@@ -362,6 +393,64 @@ func buildCase(c benchCase) (*ftl.Device, []trace.Request, error) {
 	return dev, reqs, nil
 }
 
+// buildShardCase constructs the sharded host for one saturate-shard* cell:
+// the base config split across c.Shards devices, each formatted and
+// preconditioned over its own image of the workload footprint. Everything
+// here is excluded from the measured window.
+func buildShardCase(c benchCase) (*host.Host, []trace.Request, error) {
+	cfg := ftl.DefaultConfig(c.Space)
+	cfg.CacheBytes = ftl.DefaultCacheBytes(c.Space)
+	cfg.Channels = c.Channels
+	cfg.Dies = c.Dies
+	cfg.Seed = c.Seed
+	lay, cfgs, err := host.ShardConfigs(cfg, c.Shards)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	devs := make([]*ftl.Device, c.Shards)
+	for s := range devs {
+		tr, err := sim.NewTranslator(c.Scheme, cfgs[s].CacheBytes, cfgs[s].LogicalPages(), nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		dev, err := ftl.NewDevice(cfgs[s], tr)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := dev.Format(); err != nil {
+			return nil, nil, err
+		}
+		devs[s] = dev
+	}
+
+	if c.Workload != "randread" {
+		return nil, nil, fmt.Errorf("shard cases use the randread synthetic, got %q", c.Workload)
+	}
+	pageBytes := int64(devs[0].Config().PageSize)
+	footprint := c.Space * 3 / 4
+	pages := footprint / pageBytes
+	rng := rand.New(rand.NewSource(c.Seed))
+	reqs := make([]trace.Request, c.Requests)
+	for i := range reqs {
+		reqs[i] = trace.Request{Offset: rng.Int63n(pages) * pageBytes, Length: pageBytes}
+	}
+
+	footPages := footprint / pageBytes
+	for s, dev := range devs {
+		image := lay.ImagePages(s, footPages)
+		if err := dev.PreconditionRange(int(image), image, cfgs[s].Seed+1); err != nil {
+			return nil, nil, err
+		}
+		dev.ResetMetrics()
+	}
+	h, err := host.New(lay, devs, host.Options{QueueDepth: c.QD})
+	if err != nil {
+		return nil, nil, err
+	}
+	return h, reqs, nil
+}
+
 // runCase measures one cell: allocations on the first run, wall time as the
 // best of `runs` repetitions (each on a fresh device so cache state is
 // identical).
@@ -373,17 +462,39 @@ func runCase(c benchCase, runs int) (caseResult, error) {
 		Channels: c.Channels,
 		Dies:     c.Dies,
 		QD:       c.QD,
+		Shards:   c.Shards,
+		Clients:  c.Clients,
 		Requests: c.Requests,
 		Seed:     c.Seed,
 	}
 	var bestWall time.Duration
 	var merged ftl.Metrics
 	for r := 0; r < runs; r++ {
-		dev, reqs, err := buildCase(c)
-		if err != nil {
-			return res, err
+		var measure func() (ftl.Metrics, uint64, error)
+		if c.Shards > 0 {
+			h, reqs, err := buildShardCase(c)
+			if err != nil {
+				return res, err
+			}
+			measure = func() (ftl.Metrics, uint64, error) {
+				out, err := h.Replay(reqs, host.ReplayOptions{Clients: c.Clients})
+				if err != nil {
+					return ftl.Metrics{}, 0, err
+				}
+				return out.M, out.Digest, nil
+			}
+		} else {
+			dev, reqs, err := buildCase(c)
+			if err != nil {
+				return res, err
+			}
+			measure = func() (ftl.Metrics, uint64, error) {
+				if _, err := (ssd.Frontend{QueueDepth: c.QD}).Run(dev, reqs); err != nil {
+					return ftl.Metrics{}, 0, err
+				}
+				return dev.Metrics(), dev.Scheduler().EventHash(), nil
+			}
 		}
-		fe := ssd.Frontend{QueueDepth: c.QD}
 
 		var msBefore, msAfter runtime.MemStats
 		measureAllocs := r == 0
@@ -392,7 +503,8 @@ func runCase(c benchCase, runs int) (caseResult, error) {
 			runtime.ReadMemStats(&msBefore)
 		}
 		start := time.Now()
-		if _, err := fe.Run(dev, reqs); err != nil {
+		m, hash, err := measure()
+		if err != nil {
 			return res, err
 		}
 		wall := time.Since(start)
@@ -400,7 +512,6 @@ func runCase(c benchCase, runs int) (caseResult, error) {
 			runtime.ReadMemStats(&msAfter)
 		}
 
-		m := dev.Metrics()
 		merged.Merge(&m)
 		ops := m.PageAccesses()
 		if ops <= 0 {
@@ -412,7 +523,7 @@ func runCase(c benchCase, runs int) (caseResult, error) {
 			res.BytesPerOp = float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / float64(ops)
 			res.HitRatio = m.Hr()
 			res.SimElapsedNS = int64(m.Elapsed)
-			res.EventHash = fmt.Sprintf("%016x", dev.Scheduler().EventHash())
+			res.EventHash = fmt.Sprintf("%016x", hash)
 		}
 		if bestWall == 0 || wall < bestWall {
 			bestWall = wall

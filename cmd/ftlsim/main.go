@@ -10,6 +10,7 @@
 //	ftlsim -scheme TPFTL -faults cut=12000
 //	ftlsim -scheme DFTL -cuts 50
 //	ftlsim -scheme TPFTL -qd 8 -channels 4 -cpuprofile cpu.pb.gz
+//	ftlsim -scheme TPFTL -shards 4 -clients 8 -qd 8 -channels 4
 package main
 
 import (
@@ -48,7 +49,9 @@ func main() {
 		cuts      = flag.Int("cuts", 0, "verify crash recovery at this many random power-cut points instead of measuring")
 		channels  = flag.Int("channels", ftl.DefaultChannels, "flash channels (parallel backend geometry)")
 		dies      = flag.Int("dies", ftl.DefaultDies, "dies per channel")
-		qd        = flag.Int("qd", 1, "queue depth: N requests in flight closed-loop; 0 replays arrival times open-loop")
+		qd        = flag.Int("qd", 1, "queue depth: N requests in flight closed-loop; 0 replays arrival times open-loop (per shard when -shards is set)")
+		shards    = flag.Int("shards", 0, "stripe the LPN space across N independent FTL instances behind the multi-queue host frontend (0 = legacy single-device path; 1 reproduces it bit-for-bit)")
+		clients   = flag.Int("clients", 0, "concurrent submitter goroutines feeding the sharded host (default one per shard; simulated results are independent of it)")
 		tplace    = flag.String("tplace", "striped", "translation-page placement on a multi-channel device: striped, pinned")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprof   = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
@@ -73,7 +76,7 @@ func main() {
 	}
 	if err := run(*scheme, *wl, *requests, *seed, *scale, *cache, *fraction,
 		*warmup, *precond, *traceFile, *format, *space, *variant, *gcPolicy, *wearLevel,
-		*faults, *cuts, *channels, *dies, *qd, *tplace,
+		*faults, *cuts, *channels, *dies, *qd, *shards, *clients, *tplace,
 		*metricsOut, *metricsInterval, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "ftlsim:", err)
 		os.Exit(1)
@@ -94,7 +97,7 @@ func main() {
 
 func run(scheme, wl string, requests int, seed, scale, cache int64, fraction float64,
 	warmup int, precond float64, traceFile, format string, space int64, variant, gcPolicy string, wearLevel int,
-	faults string, cuts, channels, dies, qd int, tplace string,
+	faults string, cuts, channels, dies, qd, shards, clients int, tplace string,
 	metricsOut string, metricsInterval int, traceOut string) error {
 	profile, err := workload.ProfileByName(wl)
 	if err != nil {
@@ -113,6 +116,8 @@ func run(scheme, wl string, requests int, seed, scale, cache int64, fraction flo
 		Dies:          dies,
 		QueueDepth:    qd,
 		OpenLoop:      qd == 0,
+		Shards:        shards,
+		Clients:       clients,
 	}
 	switch tplace {
 	case "", "striped":
@@ -151,6 +156,9 @@ func run(scheme, wl string, requests int, seed, scale, cache int64, fraction flo
 		// Power-cut verification replaces the measurement run.
 		if traceFile != "" {
 			return fmt.Errorf("-cuts/-faults cut= verify generated workloads only (trace replay is not supported)")
+		}
+		if shards > 0 {
+			return fmt.Errorf("-cuts/-faults cut= verify a single device (drop -shards)")
 		}
 		co := tpftl.CrashOptions{
 			Scheme:         opts.Scheme,
@@ -311,6 +319,15 @@ func printResult(r *tpftl.Result) {
 		fmt.Println()
 		fmt.Printf("injected faults           %8d\n", m.InjectedFaults)
 		fmt.Printf("fault retries             %8d\n", m.FaultRetries)
+	}
+	if len(r.Shards) > 0 {
+		fmt.Println()
+		fmt.Printf("shards                    %8d (merged digest %016x)\n", len(r.Shards), r.Digest)
+		fmt.Printf("  shard   requests     page accesses   avg response   event hash\n")
+		for _, s := range r.Shards {
+			fmt.Printf("  %5d %10d %17d %14v   %016x\n",
+				s.Shard, s.M.Requests, s.M.PageAccesses(), s.M.AvgResponse(), s.EventHash)
+		}
 	}
 }
 

@@ -18,7 +18,23 @@ func TestGlobalState(t *testing.T) {
 		t.Fatal("globalstate is not registered in internal/analysis/registry")
 	}
 	old := globalstate.PathPrefixes
-	globalstate.PathPrefixes = []string{"g"}
+	globalstate.PathPrefixes = []string{"g", "hostq"}
 	defer func() { globalstate.PathPrefixes = old }()
 	analysistest.Run(t, "testdata", a, "g")
+}
+
+// TestGlobalStateHostShapes runs the analyzer over a fixture mirroring the
+// sharded host frontend (internal/host): the package-level tallies, hash
+// folds and clocks its shard workers must NOT share are flagged, and the one
+// real //ftl:shardsafe annotation the package carries (the atomic queue-ID
+// source) is accepted with its reason.
+func TestGlobalStateHostShapes(t *testing.T) {
+	a := registry.Get("globalstate")
+	if a == nil {
+		t.Fatal("globalstate is not registered in internal/analysis/registry")
+	}
+	old := globalstate.PathPrefixes
+	globalstate.PathPrefixes = []string{"g", "hostq"}
+	defer func() { globalstate.PathPrefixes = old }()
+	analysistest.Run(t, "testdata", a, "hostq")
 }

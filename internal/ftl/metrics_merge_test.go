@@ -1,6 +1,7 @@
 package ftl
 
 import (
+	"math/rand"
 	"reflect"
 	"testing"
 	"time"
@@ -88,5 +89,96 @@ func TestMergeSumAndMaxSemantics(t *testing.T) {
 	}
 	if m.Channels != o.Channels || m.DiesPerChannel != o.DiesPerChannel {
 		t.Fatalf("geometry echoes must take the max, not the sum: Channels %d vs %d", m.Channels, o.Channels)
+	}
+}
+
+// populateMetricsRand fills every field with seeded-random nonzero values,
+// reusing populateMetrics's shape knowledge so new field kinds still fail
+// loudly. The rng drives int fields and histogram samples.
+func populateMetricsRand(t *testing.T, m *Metrics, rng *rand.Rand) {
+	t.Helper()
+	v := reflect.ValueOf(m).Elem()
+	typ := v.Type()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		name := typ.Field(i).Name
+		if name == "Phases" {
+			for p := range m.Phases {
+				for k := 0; k < 1+rng.Intn(4); k++ {
+					m.Phases[p].Record(time.Duration(rng.Int63n(int64(5 * time.Millisecond))))
+				}
+			}
+			continue
+		}
+		switch f.Kind() {
+		case reflect.Int64, reflect.Int:
+			f.SetInt(1 + rng.Int63n(1000))
+		case reflect.Array:
+			for j := 0; j < f.Len(); j++ {
+				e := f.Index(j)
+				if e.Kind() != reflect.Int64 {
+					t.Fatalf("Metrics.%s[%d] has kind %v; teach populateMetricsRand about it", name, j, e.Kind())
+				}
+				e.SetInt(1 + rng.Int63n(1000))
+			}
+		default:
+			t.Fatalf("Metrics.%s has kind %v this property test does not know", name, f.Kind())
+		}
+	}
+	// Geometry echoes must stay within the fixed per-channel array bound or
+	// the merged value stops being a legal Metrics.
+	m.Channels = 1 + rng.Intn(MaxChannels)
+	m.DiesPerChannel = 1 + rng.Intn(8)
+}
+
+// merged returns a copy of a with b merged in, leaving both inputs intact.
+func merged(a, b Metrics) Metrics {
+	m := a
+	m.Merge(&b)
+	return m
+}
+
+// TestMergeCommutative is the property the sharded host relies on: merging
+// per-shard metrics must not care which shard finishes first.
+func TestMergeCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 50; iter++ {
+		var a, b Metrics
+		populateMetricsRand(t, &a, rng)
+		populateMetricsRand(t, &b, rng)
+		ab, ba := merged(a, b), merged(b, a)
+		if !reflect.DeepEqual(ab, ba) {
+			t.Fatalf("iter %d: merge(a,b) != merge(b,a):\n %+v\nvs\n %+v", iter, ab, ba)
+		}
+	}
+}
+
+// TestMergeAssociative pins that folding any number of shards pairwise in
+// any grouping yields one well-defined total.
+func TestMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 50; iter++ {
+		var a, b, c Metrics
+		populateMetricsRand(t, &a, rng)
+		populateMetricsRand(t, &b, rng)
+		populateMetricsRand(t, &c, rng)
+		left, right := merged(merged(a, b), c), merged(a, merged(b, c))
+		if !reflect.DeepEqual(left, right) {
+			t.Fatalf("iter %d: (a+b)+c != a+(b+c):\n %+v\nvs\n %+v", iter, left, right)
+		}
+	}
+}
+
+// TestMergeZeroIdentity pins that the zero Metrics is the fold's identity
+// element, so an idle shard contributes nothing.
+func TestMergeZeroIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var a, zero Metrics
+	populateMetricsRand(t, &a, rng)
+	if got := merged(a, zero); !reflect.DeepEqual(got, a) {
+		t.Fatalf("a+0 != a:\n %+v\nvs\n %+v", got, a)
+	}
+	if got := merged(zero, a); !reflect.DeepEqual(got, a) {
+		t.Fatalf("0+a != a:\n %+v\nvs\n %+v", got, a)
 	}
 }

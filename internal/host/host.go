@@ -1,0 +1,317 @@
+package host
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/ftl"
+	"repro/internal/ssd"
+	"repro/internal/trace"
+)
+
+// Options configures how every shard admits requests against its simulated
+// backend. The zero value is the serial-compatible closed loop at depth 1.
+type Options struct {
+	// QueueDepth bounds the simulated in-flight requests per shard
+	// (closed loop). 0 selects 1, the serial-compatibility default, unless
+	// OpenLoop is set.
+	QueueDepth int
+	// OpenLoop admits every request at its arrival time instead of waiting
+	// for a queue slot; QueueDepth is ignored.
+	OpenLoop bool
+}
+
+func (o Options) depth() int {
+	if o.OpenLoop {
+		return 0
+	}
+	if o.QueueDepth <= 0 {
+		return 1
+	}
+	return o.QueueDepth
+}
+
+// Host owns the per-shard devices and routes block requests to them.
+// Construct with New, then either Replay a trace deterministically or Start
+// the queue-pair service and feed it from concurrent client goroutines.
+type Host struct {
+	lay    Layout
+	opt    Options
+	shards []*shard
+	// serving is non-nil while the free-form queue-pair service is running
+	// (between Start and Stop); Replay refuses to run concurrently with it.
+	serving *sync.WaitGroup
+}
+
+// shard is one slice of the LPN space: a private device plus the admission
+// state of its serial request loop. Everything here is touched only by the
+// shard's worker goroutine (or, between runs, by the host's caller), never
+// concurrently.
+type shard struct {
+	id  int
+	dev *ftl.Device
+
+	qd       int // 0 = open loop
+	inflight ssd.EventQueue
+	seq      int64
+
+	admitted int64
+	maxDepth int64
+	depthSum int64
+	err      error
+
+	inbox chan freeFrag // queue-pair mode submissions (nil outside Start/Stop)
+}
+
+// New builds a host over per-shard devices. devs[s] must advertise exactly
+// the capacity layout assigns shard s (ShardConfigs produces matching
+// configurations).
+func New(lay Layout, devs []*ftl.Device, opt Options) (*Host, error) {
+	if len(devs) != lay.Shards {
+		return nil, fmt.Errorf("host: %d devices for %d shards", len(devs), lay.Shards)
+	}
+	h := &Host{lay: lay, opt: opt, shards: make([]*shard, lay.Shards)}
+	for s, dev := range devs {
+		if dev == nil {
+			return nil, fmt.Errorf("host: shard %d device is nil", s)
+		}
+		if got, want := dev.Config().LogicalBytes, lay.ShardBytes(s); got != want {
+			return nil, fmt.Errorf("host: shard %d advertises %d B, layout assigns %d B", s, got, want)
+		}
+		h.shards[s] = &shard{id: s, dev: dev}
+	}
+	return h, nil
+}
+
+// Layout returns the host's LPN→shard map.
+func (h *Host) Layout() Layout { return h.lay }
+
+// Device returns shard s's device, for per-shard setup (formatting,
+// preconditioning, warming, fault arming) before a run. It must not be
+// touched while a Replay or the queue-pair service is running.
+func (h *Host) Device(s int) *ftl.Device { return h.shards[s].dev }
+
+// reset clears one run's admission state. A closed loop at depth 1 starts
+// with the device's current clock occupying the single slot, reproducing the
+// serial path's admit-at-now semantics (Device.Serve) after preconditioning
+// or a warm-up phase; deeper queues and open loop start empty, exactly like
+// a fresh ssd.Frontend — mirroring which path the non-sharded simulator
+// would have taken.
+func (s *shard) reset(qd int) {
+	s.qd = qd
+	s.inflight = ssd.EventQueue{}
+	s.seq = 0
+	s.admitted = 0
+	s.maxDepth = 0
+	s.depthSum = 0
+	s.err = nil
+	if qd == 1 {
+		s.inflight.Push(ssd.Event{Time: s.dev.Now(), Seq: 0})
+	}
+}
+
+// serveOne admits one local request against the shard's queue-depth policy
+// and serves it on the device. Logical effects apply in call order; only
+// simulated timing overlaps.
+func (s *shard) serveOne(r trace.Request) (time.Duration, error) {
+	arrival := time.Duration(r.Arrival)
+	admit := arrival
+	if s.qd > 0 {
+		for s.inflight.Len() >= s.qd {
+			e := s.inflight.Pop()
+			if e.Time > admit {
+				admit = e.Time
+			}
+		}
+	}
+	s.inflight.DrainThrough(admit)
+	complete, err := s.dev.ServeAt(r, admit)
+	if err != nil {
+		return 0, err
+	}
+	s.admitted++
+	s.seq++
+	s.inflight.Push(ssd.Event{Time: complete, Seq: s.seq})
+	depth := int64(s.inflight.Len())
+	s.depthSum += depth
+	if depth > s.maxDepth {
+		s.maxDepth = depth
+	}
+	return complete, nil
+}
+
+// ShardResult is one shard's outcome of a run.
+type ShardResult struct {
+	Shard int
+	// M is the shard device's metrics over the run's measured window, with
+	// the shard frontend's queue-depth stats folded in (only when the
+	// admission policy actually queues — depth 1 mirrors the serial path,
+	// which reports none).
+	M ftl.Metrics
+	// EventHash is the shard scheduler's order-sensitive hash of every
+	// flash operation since device creation.
+	EventHash uint64
+	// Admitted counts the fragments this shard served during the run.
+	Admitted int64
+}
+
+// Outcome aggregates a run across shards.
+type Outcome struct {
+	// M merges every shard's metrics (counters and histograms add,
+	// watermarks take the max — see ftl.Metrics.Merge).
+	M ftl.Metrics
+	// Shards holds the per-shard results in shard order.
+	Shards []ShardResult
+	// Digest is the order-insensitive-across-shards fold of the per-shard
+	// event hashes (see Digest).
+	Digest uint64
+	// Requests is the number of host-level requests routed; Fragments the
+	// per-shard fragments they produced (flush barriers count one fragment
+	// per shard).
+	Requests  int64
+	Fragments int64
+}
+
+// ReplayOptions tunes the deterministic replay driver.
+type ReplayOptions struct {
+	// Clients is the total number of concurrent submitter goroutines,
+	// spread round-robin over shards (minimum one per shard, which is the
+	// default).
+	Clients int
+	// Batch is the number of requests per submission (doorbell coalescing;
+	// default 64). Purely a wall-clock knob: the per-shard service order —
+	// and so every simulated metric — is independent of it.
+	Batch int
+}
+
+// DefaultBatch is the submission batch size when ReplayOptions.Batch is 0.
+const DefaultBatch = 64
+
+// Replay routes a request stream across the shards and serves every shard
+// concurrently, deterministically: the stream is partitioned per shard
+// (flushes broadcast, payload ops split by LPN), each shard's sub-stream is
+// dealt in batches round-robin to its client goroutines, and the shard
+// worker takes one batch per lane per turn in the same round-robin — so the
+// per-shard service order equals the partition order no matter how many
+// clients feed it or how the scheduler interleaves them. Every simulated
+// metric, per-shard EventHash and the merged Digest are therefore
+// bit-for-bit reproducible, while the wall-clock work genuinely fans out
+// across goroutines.
+func (h *Host) Replay(reqs []trace.Request, o ReplayOptions) (*Outcome, error) {
+	if h.serving != nil {
+		return nil, fmt.Errorf("host: Replay while the queue-pair service is running")
+	}
+	streams, err := h.lay.Partition(reqs)
+	if err != nil {
+		return nil, err
+	}
+	batch := o.Batch
+	if batch <= 0 {
+		batch = DefaultBatch
+	}
+	clients := o.Clients
+	if clients < h.lay.Shards {
+		clients = h.lay.Shards
+	}
+	qd := h.opt.depth()
+
+	var wg sync.WaitGroup
+	for s, sh := range h.shards {
+		sh.reset(qd)
+		k := clientsOfShard(clients, h.lay.Shards, s)
+		lanes := make([]chan []trace.Request, k)
+		for i := range lanes {
+			lanes[i] = make(chan []trace.Request, 1)
+		}
+		// Deal consecutive batches round-robin across the shard's lanes;
+		// the worker's matching round-robin receive restores stream order.
+		for i := 0; i < k; i++ {
+			wg.Add(1)
+			go func(lane chan<- []trace.Request, stream []trace.Request, i int) {
+				defer wg.Done()
+				for j := i * batch; j < len(stream); j += k * batch {
+					end := j + batch
+					if end > len(stream) {
+						end = len(stream)
+					}
+					lane <- stream[j:end]
+				}
+				close(lane)
+			}(lanes[i], streams[s], i)
+		}
+		wg.Add(1)
+		go func(sh *shard, lanes []chan []trace.Request) {
+			defer wg.Done()
+			open := len(lanes)
+			for turn := 0; open > 0; turn = (turn + 1) % len(lanes) {
+				if lanes[turn] == nil {
+					continue
+				}
+				b, ok := <-lanes[turn]
+				if !ok {
+					lanes[turn] = nil
+					open--
+					continue
+				}
+				if sh.err != nil {
+					continue // drain so submitters never block after a failure
+				}
+				for i := range b {
+					if _, err := sh.serveOne(b[i]); err != nil {
+						sh.err = fmt.Errorf("shard %d: %w", sh.id, err)
+						break
+					}
+				}
+			}
+		}(sh, lanes)
+	}
+	wg.Wait()
+
+	out := h.collect()
+	out.Requests = int64(len(reqs))
+	for s := range streams {
+		out.Fragments += int64(len(streams[s]))
+	}
+	for _, sh := range h.shards {
+		if sh.err != nil {
+			return out, sh.err
+		}
+	}
+	return out, nil
+}
+
+// clientsOfShard spreads total clients round-robin over shards; every shard
+// gets at least one.
+func clientsOfShard(clients, shards, s int) int {
+	k := clients / shards
+	if s < clients%shards {
+		k++
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// collect snapshots every shard's metrics and folds the per-shard hashes
+// into the merged digest.
+func (h *Host) collect() *Outcome {
+	out := &Outcome{Shards: make([]ShardResult, len(h.shards))}
+	hashes := make([]uint64, len(h.shards))
+	for s, sh := range h.shards {
+		m := sh.dev.Metrics()
+		if sh.qd != 1 {
+			// Queue-depth stats exist only when the admission policy
+			// actually queues; the depth-1 closed loop mirrors the serial
+			// Device.Serve path, which reports none.
+			m.MaxQueueDepth = sh.maxDepth
+			m.QueueDepthSum = sh.depthSum
+		}
+		hashes[s] = sh.dev.Scheduler().EventHash()
+		out.Shards[s] = ShardResult{Shard: s, M: m, EventHash: hashes[s], Admitted: sh.admitted}
+		out.M.Merge(&m)
+	}
+	out.Digest = Digest(hashes)
+	return out
+}

@@ -1,0 +1,193 @@
+package host
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// nextQueueID numbers queue pairs across the process for error reporting.
+//
+//ftl:shardsafe monotonic ID source, atomic, never read by simulation state
+var nextQueueID atomic.Int64
+
+// freeFrag is one shard's slice of a queue-pair submission, carrying the join
+// that fires the completion once every fragment has been served.
+type freeFrag struct {
+	req  trace.Request
+	join *join
+}
+
+// join gathers a submission's per-shard fragments back into one completion.
+type join struct {
+	remaining atomic.Int32
+	q         *Queue
+	req       trace.Request
+
+	mu       sync.Mutex
+	complete time.Duration // max completion time across fragments
+	err      error         // first fragment error
+}
+
+// done records one fragment's outcome; the last fragment posts the
+// completion on the owning queue's completion channel.
+func (j *join) done(complete time.Duration, err error) {
+	j.mu.Lock()
+	if complete > j.complete {
+		j.complete = complete
+	}
+	if err != nil && j.err == nil {
+		j.err = err
+	}
+	j.mu.Unlock()
+	if j.remaining.Add(-1) == 0 {
+		j.mu.Lock()
+		c := Completion{Req: j.req, Complete: j.complete, Err: j.err}
+		j.mu.Unlock()
+		j.q.cq <- c
+	}
+}
+
+// Completion is the completion-queue entry for one submitted request.
+type Completion struct {
+	// Req is the request as submitted (host addresses, pre-fragmentation).
+	Req trace.Request
+	// Complete is the simulated completion time: the latest completion
+	// across the request's per-shard fragments.
+	Complete time.Duration
+	// Err is the first error any fragment hit, if any.
+	Err error
+}
+
+// Queue is one NVMe-style submission/completion queue pair. A queue belongs
+// to one client goroutine: Submit, Complete and Close must not be called
+// concurrently on the same queue. Different queues submit concurrently;
+// requests from different queues that land on the same shard serve in
+// arrival order at that shard's inbox, so per-shard event hashes — and the
+// merged digest — vary run to run in this mode. Use Host.Replay when
+// reproducibility matters.
+type Queue struct {
+	id          int64
+	h           *Host
+	depth       int
+	outstanding int
+	cq          chan Completion
+}
+
+// Start launches the queue-pair service: one worker goroutine per shard,
+// serving submissions in inbox arrival order. Pair with Stop. Shard
+// admission state is reset, so a Start/Stop window is a measured run just
+// like a Replay.
+func (h *Host) Start() error {
+	if h.serving != nil {
+		return fmt.Errorf("host: Start while already serving")
+	}
+	qd := h.opt.depth()
+	h.serving = &sync.WaitGroup{}
+	for _, sh := range h.shards {
+		sh.reset(qd)
+		sh.inbox = make(chan freeFrag, 4*DefaultBatch)
+		h.serving.Add(1)
+		go func(sh *shard) {
+			defer h.serving.Done()
+			for f := range sh.inbox {
+				if sh.err != nil {
+					f.join.done(0, sh.err)
+					continue
+				}
+				complete, err := sh.serveOne(f.req)
+				if err != nil {
+					sh.err = fmt.Errorf("shard %d: %w", sh.id, err)
+					f.join.done(0, sh.err)
+					continue
+				}
+				f.join.done(complete, nil)
+			}
+		}(sh)
+	}
+	return nil
+}
+
+// Stop shuts the queue-pair service down and returns the run's merged
+// outcome. Every queue must be closed (all completions reaped) first.
+func (h *Host) Stop() (*Outcome, error) {
+	if h.serving == nil {
+		return nil, fmt.Errorf("host: Stop without Start")
+	}
+	for _, sh := range h.shards {
+		close(sh.inbox)
+	}
+	h.serving.Wait()
+	h.serving = nil
+	out := h.collect()
+	for _, sh := range h.shards {
+		sh.inbox = nil
+		out.Fragments += sh.admitted
+		if sh.err != nil {
+			return out, sh.err
+		}
+	}
+	return out, nil
+}
+
+// OpenQueue creates a submission/completion queue pair of the given depth
+// (the bound on submissions outstanding on this queue; minimum 1). The
+// completion channel is buffered to depth, so shard workers never block
+// posting completions and a client that respects the depth bound never
+// deadlocks.
+func (h *Host) OpenQueue(depth int) (*Queue, error) {
+	if h.serving == nil {
+		return nil, fmt.Errorf("host: OpenQueue before Start")
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	return &Queue{
+		id:    nextQueueID.Add(1),
+		h:     h,
+		depth: depth,
+		cq:    make(chan Completion, depth),
+	}, nil
+}
+
+// Submit routes one request to its shard(s). It returns an error without
+// submitting when the queue already has depth submissions outstanding —
+// reap with Complete first — or when the request is malformed.
+func (q *Queue) Submit(r trace.Request) error {
+	if q.outstanding >= q.depth {
+		return fmt.Errorf("host: queue %d full at depth %d", q.id, q.depth)
+	}
+	frags, err := q.h.lay.Fragments(r, nil)
+	if err != nil {
+		return fmt.Errorf("host: queue %d: %w", q.id, err)
+	}
+	j := &join{q: q, req: r}
+	j.remaining.Store(int32(len(frags)))
+	q.outstanding++
+	for _, f := range frags {
+		q.h.shards[f.Shard].inbox <- freeFrag{req: f.Req, join: j}
+	}
+	return nil
+}
+
+// Complete blocks until the next completion on this queue and returns it.
+func (q *Queue) Complete() Completion {
+	c := <-q.cq
+	q.outstanding--
+	return c
+}
+
+// Close reaps every outstanding completion and returns the first error any
+// of them carried. The queue must not be used afterwards.
+func (q *Queue) Close() error {
+	var first error
+	for q.outstanding > 0 {
+		if c := q.Complete(); c.Err != nil && first == nil {
+			first = c.Err
+		}
+	}
+	return first
+}

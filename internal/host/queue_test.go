@@ -1,0 +1,238 @@
+package host
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/ftl"
+	"repro/internal/trace"
+)
+
+// TestQueuePairConcurrentClients exercises the free-form queue-pair service
+// under the race detector: concurrent closed-loop clients, cross-shard
+// spans, trims and flush barriers. Simulated results in this mode are
+// conserved but not digest-stable (arrival order at each shard's inbox is a
+// race by design), so the assertions are conservation laws, not hashes.
+func TestQueuePairConcurrentClients(t *testing.T) {
+	const (
+		space      = 32 << 20
+		shards     = 4
+		numClients = 8
+		perClient  = 400
+		depth      = 8
+	)
+	base := ftl.DefaultConfig(space)
+	base.Seed = 77
+	h := newTestHost(t, base, shards, Options{QueueDepth: depth})
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		wg          sync.WaitGroup
+		mu          sync.Mutex
+		completions int64
+		flushes     int64
+		failures    []error
+	)
+	for c := 0; c < numClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			q, err := h.OpenQueue(depth)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			var done int64
+			var sentFlushes int64
+			reqs := mixedTrace(int64(100+c), perClient, space, int64(base.PageSize), 0)
+			for _, r := range reqs {
+				for {
+					err := q.Submit(r)
+					if err == nil {
+						break
+					}
+					// Queue full: reap one completion and retry.
+					if c := q.Complete(); c.Err != nil {
+						mu.Lock()
+						failures = append(failures, c.Err)
+						mu.Unlock()
+					}
+					done++
+				}
+				if r.Op == trace.OpFlush {
+					sentFlushes++
+				}
+			}
+			for q.outstanding > 0 {
+				if c := q.Complete(); c.Err != nil {
+					mu.Lock()
+					failures = append(failures, c.Err)
+					mu.Unlock()
+				}
+				done++
+			}
+			mu.Lock()
+			completions += done
+			flushes += sentFlushes
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+
+	out, err := h.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) > 0 {
+		t.Fatalf("completions carried errors: %v", failures[0])
+	}
+	if want := int64(numClients * perClient); completions != want {
+		t.Fatalf("reaped %d completions, submitted %d", completions, want)
+	}
+	// Every flush broadcasts to every shard and each shard counts it once.
+	if got, want := out.M.FlushRequests, flushes*int64(shards); got != want {
+		t.Fatalf("merged FlushRequests = %d, want %d (%d flushes × %d shards)", got, want, flushes, shards)
+	}
+	var admitted int64
+	for _, sr := range out.Shards {
+		if sr.Admitted == 0 {
+			t.Fatalf("shard %d served nothing", sr.Shard)
+		}
+		admitted += sr.Admitted
+	}
+	if admitted != out.Fragments || out.M.Requests != out.Fragments {
+		t.Fatalf("fragment conservation broken: admitted %d, fragments %d, metric requests %d",
+			admitted, out.Fragments, out.M.Requests)
+	}
+}
+
+// TestQueuePairCompletionJoin pins the fan-out/fan-in contract: one
+// cross-shard request completes exactly once, at the max of its fragments.
+func TestQueuePairCompletionJoin(t *testing.T) {
+	const space = 32 << 20
+	base := ftl.DefaultConfig(space)
+	h := newTestHost(t, base, 4, Options{})
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	q, err := h.OpenQueue(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A write spanning the whole space touches every shard; the flush after
+	// it broadcasts too.
+	span := trace.Request{Offset: 0, Length: space, Op: trace.OpWrite}
+	if err := q.Submit(span); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Submit(trace.Request{Op: trace.OpFlush}); err != nil {
+		t.Fatal(err)
+	}
+	first := q.Complete()
+	second := q.Complete()
+	if first.Err != nil || second.Err != nil {
+		t.Fatalf("completions errored: %v %v", first.Err, second.Err)
+	}
+	got := map[trace.Op]bool{first.Req.Op: true, second.Req.Op: true}
+	if !got[trace.OpWrite] || !got[trace.OpFlush] {
+		t.Fatalf("expected one write and one flush completion, got %v and %v", first.Req.Op, second.Req.Op)
+	}
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := h.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Fragments != 8 { // 4 write fragments + 4 flush broadcasts
+		t.Fatalf("routed %d fragments, want 8", out.Fragments)
+	}
+	for _, sr := range out.Shards {
+		if sr.M.FlushRequests != 1 {
+			t.Fatalf("shard %d saw %d flushes, want 1", sr.Shard, sr.M.FlushRequests)
+		}
+	}
+}
+
+func TestQueuePairLifecycleErrors(t *testing.T) {
+	base := ftl.DefaultConfig(16 << 20)
+	h := newTestHost(t, base, 2, Options{})
+	if _, err := h.OpenQueue(1); err == nil {
+		t.Fatal("OpenQueue before Start accepted")
+	}
+	if _, err := h.Stop(); err == nil {
+		t.Fatal("Stop without Start accepted")
+	}
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Start(); err == nil {
+		t.Fatal("double Start accepted")
+	}
+	if _, err := h.Replay(nil, ReplayOptions{}); err == nil {
+		t.Fatal("Replay while serving accepted")
+	}
+	q, err := h.OpenQueue(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Submit(trace.Request{Op: trace.OpRead}); err == nil {
+		t.Fatal("malformed submit accepted")
+	}
+	r := trace.Request{Offset: 0, Length: int64(base.PageSize), Op: trace.OpRead}
+	if err := q.Submit(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Submit(r); err == nil {
+		t.Fatal("Submit over depth accepted")
+	}
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueuePairRandomizedSmoke drives random per-client traffic shapes
+// through the service to shake out join/ordering bugs under -race.
+func TestQueuePairRandomizedSmoke(t *testing.T) {
+	const space = 16 << 20
+	base := ftl.DefaultConfig(space)
+	base.Seed = 5
+	h := newTestHost(t, base, 2, Options{QueueDepth: 4})
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)))
+			q, err := h.OpenQueue(1 + rng.Intn(6))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for _, r := range mixedTrace(int64(c)*31, 200, space, int64(base.PageSize), 10) {
+				for q.Submit(r) != nil {
+					if cpl := q.Complete(); cpl.Err != nil {
+						t.Errorf("completion error: %v", cpl.Err)
+						return
+					}
+				}
+			}
+			if err := q.Close(); err != nil {
+				t.Error(err)
+			}
+		}(c)
+	}
+	wg.Wait()
+	if _, err := h.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -2,11 +2,13 @@ package sim
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 	"time"
 
 	"repro/internal/flash"
 	"repro/internal/ftl"
+	"repro/internal/host"
 	"repro/internal/ssd"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -72,8 +74,42 @@ func TestSerialGoldenCompatibility(t *testing.T) {
 			if m.Channels != ftl.DefaultChannels || m.DiesPerChannel != ftl.DefaultDies {
 				t.Fatalf("default geometry = %d×%d", m.Channels, m.DiesPerChannel)
 			}
+
+			// The 1-shard host path must reproduce the same goldens
+			// bit-for-bit — full metrics, not just the 13-tuple — no
+			// matter how many client goroutines feed it.
+			for _, clients := range []int{1, 4} {
+				opt := goldenOptions(s)
+				opt.Shards = 1
+				opt.Clients = clients
+				sr, err := Run(opt)
+				if err != nil {
+					t.Fatalf("shards=1 clients=%d: %v", clients, err)
+				}
+				if !reflect.DeepEqual(sr.M, m) {
+					t.Fatalf("shards=1 clients=%d metrics diverge from the serial path:\n got  %+v\n want %+v",
+						clients, sr.M, m)
+				}
+				if len(sr.Shards) != 1 || sr.Digest == 0 {
+					t.Fatalf("shards=1 clients=%d: missing per-shard results (%d shards, digest %#x)",
+						clients, len(sr.Shards), sr.Digest)
+				}
+				if sr.Digest != hostDigest(sr) {
+					t.Fatalf("shards=1 clients=%d: digest does not fold the shard hashes", clients)
+				}
+			}
 		})
 	}
+}
+
+// hostDigest recomputes a result's merged digest from its per-shard event
+// hashes.
+func hostDigest(r *Result) uint64 {
+	hashes := make([]uint64, len(r.Shards))
+	for i, s := range r.Shards {
+		hashes[i] = s.EventHash
+	}
+	return host.Digest(hashes)
 }
 
 // parallelRun executes one deterministic parallel run against a directly

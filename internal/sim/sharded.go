@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ftl"
+	"repro/internal/host"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// ShardRun is one shard's slice of a sharded run's outcome.
+type ShardRun struct {
+	Shard int
+	// M is the shard device's measured-phase metrics.
+	M ftl.Metrics
+	// EventHash is the shard scheduler's order-sensitive event hash.
+	EventHash uint64
+}
+
+// runSharded executes one simulation through the sharded multi-queue host
+// frontend: the LPN space striped across Options.Shards independent devices
+// (per-shard translator, mapping cache, GC and scheduler clock) served by
+// concurrent client goroutines. One shard routes through the host too but
+// reproduces the legacy serial path bit-for-bit (same device config, same
+// admission policy, same event hashes).
+func runSharded(o Options, devCfg ftl.Config, profile workload.Profile, cacheBytes int64) (*Result, error) {
+	switch {
+	case o.SampleEvery > 0:
+		return nil, fmt.Errorf("sim: cache sampling is per-device; not supported with Shards")
+	case o.MetricsOut != nil || o.TraceOut != nil:
+		return nil, fmt.Errorf("sim: observability export is per-device; not supported with Shards")
+	case o.Faults != nil:
+		return nil, fmt.Errorf("sim: fault plans are per-device; not supported with Shards")
+	}
+
+	lay, cfgs, err := host.ShardConfigs(devCfg, o.Shards)
+	if err != nil {
+		return nil, err
+	}
+	// The TPFTL override's explicit cache budget is a whole-device number;
+	// split it like the implicit budget so ablation variants shard fairly.
+	tpftlOf := func(s int) *core.Config {
+		if o.TPFTL == nil {
+			return nil
+		}
+		cfg := *o.TPFTL
+		if cfg.CacheBytes > 0 && o.Shards > 1 {
+			cfg.CacheBytes /= int64(o.Shards)
+			if cfg.CacheBytes < ftl.EntryBytesRAM {
+				cfg.CacheBytes = ftl.EntryBytesRAM
+			}
+		}
+		return &cfg
+	}
+
+	devs := make([]*ftl.Device, o.Shards)
+	trs := make([]ftl.Translator, o.Shards)
+	for s := range devs {
+		tr, err := NewTranslator(o.Scheme, cfgs[s].CacheBytes, cfgs[s].LogicalPages(), tpftlOf(s))
+		if err != nil {
+			return nil, err
+		}
+		dev, err := ftl.NewDevice(cfgs[s], tr)
+		if err != nil {
+			return nil, err
+		}
+		if err := dev.Format(); err != nil {
+			return nil, err
+		}
+		devs[s], trs[s] = dev, tr
+	}
+
+	reqs := o.Trace
+	if reqs == nil {
+		reqs, err = workload.Generate(profile, o.Requests, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	stats := trace.Summarize(reqs)
+
+	if o.Precondition > 0 {
+		// Age each shard over its own image of the workload footprint: the
+		// striping is chunk-interleaved, so a footprint prefix of the
+		// global space maps to a prefix of every shard's local space.
+		footBytes := profile.FootprintBytes()
+		if o.Trace != nil && stats.MaxEnd > 0 && stats.MaxEnd < footBytes {
+			footBytes = stats.MaxEnd
+		}
+		footPages := footBytes / int64(devCfg.PageSize)
+		for s, dev := range devs {
+			image := lay.ImagePages(s, footPages)
+			writes := int(o.Precondition * float64(image))
+			if err := dev.PreconditionRange(writes, image, o.Seed+1+int64(s)); err != nil {
+				return nil, err
+			}
+			dev.ResetMetrics()
+		}
+	}
+	for s, tr := range trs {
+		if w, ok := tr.(ftl.Warmer); ok {
+			w.Warm(devs[s].Truth)
+		}
+	}
+
+	h, err := host.New(lay, devs, host.Options{QueueDepth: o.QueueDepth, OpenLoop: o.OpenLoop})
+	if err != nil {
+		return nil, err
+	}
+	replay := host.ReplayOptions{Clients: o.Clients}
+
+	warm := o.ResetAfterWarmup
+	if warm > len(reqs) {
+		warm = len(reqs)
+	}
+	if warm > 0 {
+		if _, err := h.Replay(reqs[:warm], replay); err != nil {
+			return nil, fmt.Errorf("sim: %s/%s warm-up: %w", o.Scheme, profile.Name, err)
+		}
+		for _, dev := range devs {
+			dev.ResetMetrics()
+		}
+		reqs = reqs[warm:]
+	}
+
+	out, err := h.Replay(reqs, replay)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %s/%s: %w", o.Scheme, profile.Name, err)
+	}
+
+	res := &Result{
+		Scheme:     o.Scheme,
+		Workload:   profile.Name,
+		CacheBytes: cacheBytes,
+		M:          out.M,
+		TraceStats: stats,
+		Digest:     out.Digest,
+		Shards:     make([]ShardRun, len(out.Shards)),
+	}
+	for i, sr := range out.Shards {
+		res.Shards[i] = ShardRun{Shard: sr.Shard, M: sr.M, EventHash: sr.EventHash}
+	}
+	if t, ok := trs[0].(*core.FTL); ok {
+		res.Variant = t.Variant()
+	}
+
+	for s, dev := range devs {
+		if err := dev.CheckConsistency(dirtySetOf(trs[s])); err != nil {
+			return nil, fmt.Errorf("sim: %s/%s shard %d post-run consistency: %w", o.Scheme, profile.Name, s, err)
+		}
+	}
+	return res, nil
+}

@@ -75,8 +75,21 @@ type Options struct {
 	// TransPlacement places translation blocks on a multi-channel device:
 	// striped across all dies (default) or pinned to channel 0.
 	TransPlacement ftl.TPPlacement
-	// QueueDepth bounds in-flight requests (closed loop). 0 selects 1,
-	// the scalar-clock compatibility default, unless OpenLoop is set.
+	// Shards, when >= 1, routes the run through the sharded multi-queue
+	// host frontend (internal/host): the LPN space is striped across this
+	// many independent FTL instances — per-shard translator, mapping
+	// cache, GC and scheduler clock — served by concurrent client
+	// goroutines. 0 keeps the legacy single-device path; 1 routes through
+	// the host but reproduces the serial results bit-for-bit.
+	Shards int
+	// Clients is the number of concurrent submitter goroutines feeding
+	// the sharded host (minimum, and default, one per shard). The client
+	// topology is a wall-clock knob only: simulated results are
+	// bit-for-bit independent of it. Ignored without Shards.
+	Clients int
+	// QueueDepth bounds in-flight requests (closed loop; per shard when
+	// sharded). 0 selects 1, the scalar-clock compatibility default,
+	// unless OpenLoop is set.
 	QueueDepth int
 	// OpenLoop admits every request at its trace arrival time instead of
 	// waiting for a queue slot; QueueDepth is ignored.
@@ -136,6 +149,13 @@ type Result struct {
 	M          ftl.Metrics
 	Samples    []Sample
 	TraceStats trace.Stats
+	// Shards holds the per-shard results of a sharded run
+	// (Options.Shards >= 1) in shard order; nil on the legacy path.
+	Shards []ShardRun
+	// Digest folds the per-shard event hashes into one value that is
+	// insensitive to how shard executions interleaved in wall time (see
+	// host.Digest); 0 on the legacy path.
+	Digest uint64
 }
 
 // FullTableBytes returns the size of the entire page-level mapping table for
@@ -200,6 +220,10 @@ func Run(o Options) (*Result, error) {
 	devCfg.Channels = o.Channels
 	devCfg.Dies = o.Dies
 	devCfg.TransPlacement = o.TransPlacement
+
+	if o.Shards > 0 {
+		return runSharded(o, devCfg, profile, cacheBytes)
+	}
 
 	tr, err := NewTranslator(o.Scheme, cacheBytes, devCfg.LogicalPages(), o.TPFTL)
 	if err != nil {

@@ -28,18 +28,33 @@ type Server interface {
 // Closed loop at depth 1 is the scalar-clock behavior of Device.Serve, and
 // the default everywhere for compatibility with the pre-scheduler baselines.
 type Frontend struct {
-	// QueueDepth bounds the in-flight requests; 0 selects open loop.
+	// QueueDepth bounds the in-flight requests; zero or negative selects
+	// open loop.
 	QueueDepth int
 }
 
-// FrontendStats summarizes one replay's queueing behavior.
+// FrontendStats summarizes one replay's queueing behavior. The zero value
+// is the well-defined result of an empty replay: no admissions, zero
+// depths, MeanDepth 0. Open-loop runs report real observations too — the
+// in-flight count at each admission, however deep the burst — not
+// sentinels.
 type FrontendStats struct {
 	Admitted int64
 	// MaxDepth is the largest in-flight count observed at any admission.
 	MaxDepth int64
 	// DepthSum accumulates the in-flight count (the just-admitted request
-	// included) at every admission; DepthSum/Admitted is the mean depth.
+	// included) at every admission; MeanDepth is the ratio.
 	DepthSum int64
+}
+
+// MeanDepth returns the mean in-flight depth at admission. An empty replay
+// reports 0, never NaN — divide-by-zero is guarded here so every caller
+// inherits the guard.
+func (s FrontendStats) MeanDepth() float64 {
+	if s.Admitted == 0 {
+		return 0
+	}
+	return float64(s.DepthSum) / float64(s.Admitted)
 }
 
 // Run replays reqs against s under the frontend's admission policy and

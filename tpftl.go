@@ -48,6 +48,9 @@ type (
 	Options = sim.Options
 	// Result is a run's outcome: metrics plus cache samples.
 	Result = sim.Result
+	// ShardRun is one shard's slice of a sharded run's outcome
+	// (Options.Shards >= 1).
+	ShardRun = sim.ShardRun
 	// Metrics are the paper's counters and derived measures.
 	Metrics = ftl.Metrics
 	// Device is a simulated SSD.
