@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint lint-report lint-fix-audit sanitize fuzz bench bench-ci bench-smoke shard-smoke obs-smoke trim-smoke ci
+.PHONY: build test race vet lint lint-report lint-fix-audit sanitize fuzz bench bench-ci bench-smoke shard-smoke obs-smoke trim-smoke stream-smoke ci
 
 build:
 	$(GO) build ./...
@@ -63,19 +63,22 @@ fuzz:
 
 # ftlbench is the reproducible macro-benchmark harness (cmd/ftlbench): a
 # fixed case matrix of full device simulations, reported as sim-ops per
-# wall-second, ns/op, allocs/op and bytes/op. `make bench` regenerates the
-# committed BENCH_6.json (preserving its embedded baseline section);
+# wall-second, ns/op, allocs/op, bytes/op and peak RSS. `make bench`
+# regenerates the committed BENCH_7.json, embedding the previous report
+# (BENCH_6.json, the pre-streaming build) as its baseline section;
 # `make bench-ci` is the CI smoke: the quick subset of the matrix with a
-# throughput floor, so a change that wrecks the zero-allocation hot path
-# fails the build instead of landing silently.
+# throughput floor, plus a shortened run of the streamed-replay case with its
+# own ingest-inclusive floor, so a change that wrecks the zero-allocation hot
+# path or the streaming decode fails the build instead of landing silently.
 bin/ftlbench: FORCE
 	$(GO) build -o bin/ftlbench ./cmd/ftlbench
 
 bench: bin/ftlbench
-	./bin/ftlbench -out BENCH_6.json -keep-baseline -runs 3
+	./bin/ftlbench -out BENCH_7.json -baseline BENCH_6.json -runs 3
 
 bench-ci: bin/ftlbench
-	./bin/ftlbench -smoke -runs 1 -minops 500000
+	./bin/ftlbench -smoke -runs 1 -minops 600000
+	./bin/ftlbench -case stream-replay -stream-requests 2000000 -runs 1 -minops 4000000
 
 # Observability smoke: a short traced multi-channel run must produce a
 # schema-valid metrics JSONL stream and a balanced Chrome trace_event file
@@ -120,4 +123,28 @@ bench-smoke:
 shard-smoke:
 	$(GO) test -race ./internal/host -run 'TestShardSaturationDigestStable|TestReplayClientCountInvariance' -count=1 -v
 
-ci: vet lint lint-report race sanitize bench-smoke shard-smoke bench-ci obs-smoke trim-smoke
+# Streaming-replay smoke: the binary trace engine must replay bit-for-bit
+# identically to the eager slice path — the same stdout report on the serial
+# device and the same merged digest through the 2-shard host — and the
+# bounded-memory and equivalence property tests must pass. Catches a batching
+# or routing change that breaks stream/eager equivalence before the goldens.
+bin/tracegen: FORCE
+	$(GO) build -o bin/tracegen ./cmd/tracegen
+
+stream-smoke: bin/ftlsim bin/tracegen
+	./bin/tracegen -workload Financial1 -requests 20000 -scale 67108864 -o /tmp/stream-smoke.csv
+	./bin/tracegen convert -format native -i /tmp/stream-smoke.csv -o /tmp/stream-smoke.ftr 2> /dev/null
+	./bin/ftlsim -trace /tmp/stream-smoke.csv -format native -space 67108864 -warmup 2000 \
+		> /tmp/stream-smoke.eager.txt 2> /dev/null
+	./bin/ftlsim -trace /tmp/stream-smoke.ftr -format binary -space 67108864 -warmup 2000 \
+		> /tmp/stream-smoke.streamed.txt 2> /dev/null
+	cmp /tmp/stream-smoke.eager.txt /tmp/stream-smoke.streamed.txt
+	./bin/ftlsim -trace /tmp/stream-smoke.csv -format native -space 67108864 -warmup 2000 \
+		-shards 2 -clients 4 -qd 8 > /tmp/stream-smoke.eager2.txt 2> /dev/null
+	./bin/ftlsim -trace /tmp/stream-smoke.ftr -format binary -space 67108864 -warmup 2000 \
+		-shards 2 -clients 4 -qd 8 > /tmp/stream-smoke.streamed2.txt 2> /dev/null
+	cmp /tmp/stream-smoke.eager2.txt /tmp/stream-smoke.streamed2.txt
+	$(GO) test ./internal/sim -run 'TestStreamedReplayMatchesEager|TestStreamBoundedMemory' -count=1
+	rm -f /tmp/stream-smoke.csv /tmp/stream-smoke.ftr /tmp/stream-smoke.*.txt
+
+ci: vet lint lint-report race sanitize bench-smoke shard-smoke stream-smoke bench-ci obs-smoke trim-smoke

@@ -16,6 +16,8 @@
 //	                       recorded for the same reason
 //	p50_ns/p99_ns/p999_ns  simulated response-time percentiles per case,
 //	max_ns                 pooled over all -runs repetitions (deterministic)
+//	requests_per_wall_sec  trace requests retired per wall-clock second
+//	peak_rss_bytes         high-water resident footprint of the measured run
 //
 // Wall time is the best of -runs repetitions (allocation counts come from the
 // first run; they are deterministic). Formatting, preconditioning and
@@ -28,19 +30,23 @@
 //	ftlbench -case random-read-qd8-4ch -cpuprofile cpu.pb.gz
 //	ftlbench -out BENCH_5.json -baseline old.json -baseline-note "pre-slab"
 //	ftlbench -out BENCH_5.json -keep-baseline    # refresh, keep old baseline
+//	ftlbench -case stream-replay -stream-requests 2000000 -minops 4000000
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 	"time"
 
+	"repro/cmd/internal/memwatch"
 	"repro/internal/ftl"
 	"repro/internal/host"
 	"repro/internal/obs"
@@ -77,7 +83,13 @@ type benchCase struct {
 	// are the only cases whose wall time can use more than one CPU.
 	Shards  int
 	Clients int
-	Smoke   bool
+	// Stream replays the workload from a binary trace file through the
+	// streaming iterator instead of a materialized slice. The measured window
+	// includes trace ingest (decode + admission), and the trace is sized by
+	// -stream-requests, so the case demonstrates trace-size-independent
+	// memory at full engine throughput.
+	Stream bool
+	Smoke  bool
 }
 
 // matrix is the fixed benchmark matrix. Keep the names stable: downstream
@@ -121,6 +133,14 @@ func matrix() []benchCase {
 		{Name: "saturate-shard4", Scheme: sim.SchemeTPFTL, Workload: "randread",
 			Space: 4 * space, Requests: 48_000, Seed: 11, Channels: wideChannels, Dies: wideDies,
 			QD: 8, Shards: 4, Clients: 8},
+		// Streamed replay of a synthetic binary trace far larger than memory
+		// would allow as a slice. Requests is set from -stream-requests
+		// (default 100M); the trace file is generated once into the system
+		// temp directory and reused. The wall-clock window includes reading
+		// and decoding the trace, so sim_ops_per_wall_sec here is the
+		// end-to-end ingest throughput the streaming engine sustains.
+		{Name: "stream-replay", Scheme: sim.SchemeTPFTL, Workload: "seqread",
+			Space: space, Seed: 3, Channels: serialChannels, Dies: serialDies, QD: 1, Stream: true},
 	}
 }
 
@@ -158,6 +178,15 @@ type caseResult struct {
 	P99NS  int64 `json:"p99_ns"`
 	P999NS int64 `json:"p999_ns"`
 	MaxNS  int64 `json:"max_ns"`
+
+	// ReqsPerWallSec is trace requests retired per wall second (SimOps counts
+	// page accesses; multi-page requests make the two differ).
+	ReqsPerWallSec float64 `json:"requests_per_wall_sec"`
+	// PeakRSSBytes is the high-water resident footprint (runtime MemStats
+	// Sys - HeapReleased) sampled during the first measured run. For the
+	// stream-replay case it is the bounded-memory tripwire: it must not grow
+	// with -stream-requests.
+	PeakRSSBytes int64 `json:"peak_rss_bytes"`
 }
 
 // report is the on-disk JSON shape.
@@ -193,23 +222,27 @@ func main() {
 		smoke        = flag.Bool("smoke", false, "run only the smoke subset of the matrix, at reduced request counts")
 		only         = flag.String("case", "", "run only the named case")
 		minOps       = flag.Float64("minops", 0, "fail (exit 1) if any smoke case's sim_ops_per_wall_sec falls below this floor")
+		streamReqs   = flag.Int("stream-requests", 100_000_000, "trace length of the stream-replay case")
 		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile of the measured runs to this file")
 		memprofile   = flag.String("memprofile", "", "write a heap profile taken after the measured runs to this file")
 	)
 	flag.Parse()
-	if err := run(*out, *note, *baseline, *baselineNote, *keepBaseline, *runs, *smoke, *only, *minOps, *cpuprofile, *memprofile); err != nil {
+	if err := run(*out, *note, *baseline, *baselineNote, *keepBaseline, *runs, *smoke, *only, *minOps, *streamReqs, *cpuprofile, *memprofile); err != nil {
 		fmt.Fprintln(os.Stderr, "ftlbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out, note, baseline, baselineNote string, keepBaseline bool, runs int, smoke bool, only string, minOps float64, cpuprofile, memprofile string) error {
+func run(out, note, baseline, baselineNote string, keepBaseline bool, runs int, smoke bool, only string, minOps float64, streamReqs int, cpuprofile, memprofile string) error {
 	if runs < 1 {
 		runs = 1
 	}
 	cases := matrix()
 	selected := cases[:0]
 	for _, c := range cases {
+		if c.Stream {
+			c.Requests = streamReqs
+		}
 		if smoke {
 			if !c.Smoke {
 				continue
@@ -238,7 +271,7 @@ func run(out, note, baseline, baselineNote string, keepBaseline bool, runs int, 
 	}
 
 	rep := report{
-		Schema:     "repro/ftlbench/v3",
+		Schema:     "repro/ftlbench/v4",
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Note:       note,
@@ -249,8 +282,9 @@ func run(out, note, baseline, baselineNote string, keepBaseline bool, runs int, 
 		if err != nil {
 			return fmt.Errorf("%s: %w", c.Name, err)
 		}
-		fmt.Fprintf(os.Stderr, "%-28s %12.0f ops/s  %7.1f ns/op  %6.2f allocs/op  %8.1f B/op  Hr %.4f\n",
-			r.Name, r.SimOpsPerWallSec, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp, r.HitRatio)
+		fmt.Fprintf(os.Stderr, "%-28s %12.0f ops/s  %7.1f ns/op  %6.2f allocs/op  %8.1f B/op  Hr %.4f  rss %4.0f MB\n",
+			r.Name, r.SimOpsPerWallSec, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp, r.HitRatio,
+			float64(r.PeakRSSBytes)/(1<<20))
 		rep.Results = append(rep.Results, r)
 	}
 
@@ -451,6 +485,102 @@ func buildShardCase(c benchCase) (*host.Host, []trace.Request, error) {
 	return h, reqs, nil
 }
 
+// streamBatch is the admission batch size the stream-replay case reads its
+// trace in: replay memory is O(streamBatch), independent of trace length.
+const streamBatch = 4096
+
+// streamTracePath is the cached synthetic binary trace for one stream cell,
+// keyed by everything that determines its contents.
+func streamTracePath(c benchCase) string {
+	return filepath.Join(os.TempDir(),
+		fmt.Sprintf("ftlbench-stream-%s-%d-%d-%d.ftr", c.Workload, c.Space, c.Requests, c.Seed))
+}
+
+// ensureStreamTrace generates the binary trace for c unless a cached file of
+// the right length already exists, and returns its path. The workload is the
+// same span-8 sequential-read synthetic buildCase materializes for "seqread",
+// but written record-by-record: the trace never exists in memory, which is
+// how a 100M-request file is produced on a small machine.
+func ensureStreamTrace(c benchCase) (string, error) {
+	if c.Workload != "seqread" {
+		return "", fmt.Errorf("stream cases use the seqread synthetic, got %q", c.Workload)
+	}
+	path := streamTracePath(c)
+	if st, err := trace.OpenBinary(path); err == nil {
+		n := st.Records()
+		st.Close()
+		if n == int64(c.Requests) {
+			return path, nil
+		}
+	}
+	cfg := ftl.DefaultConfig(c.Space)
+	pageBytes := int64(cfg.PageSize)
+	pages := c.Space * 3 / 4 / pageBytes
+	tmp, err := os.CreateTemp(os.TempDir(), "ftlbench-stream-*.tmp")
+	if err != nil {
+		return "", err
+	}
+	defer os.Remove(tmp.Name())
+	defer tmp.Close()
+	bw, err := trace.NewBinaryWriter(tmp, trace.BinaryHeader{
+		Records:   int64(c.Requests),
+		PageBytes: int(pageBytes),
+	})
+	if err != nil {
+		return "", err
+	}
+	const span = 8 // pages per request, as in buildCase's seqread
+	for i := 0; i < c.Requests; i++ {
+		start := (int64(i) * span) % (pages - span)
+		r := trace.Request{Offset: start * pageBytes, Length: span * pageBytes}
+		if err := bw.WriteRequest(r); err != nil {
+			return "", err
+		}
+	}
+	if err := bw.Finish(); err != nil {
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// buildStreamCase constructs the device for a stream cell (identical to
+// buildCase's device setup) and opens the cached binary trace. Everything
+// here is excluded from the measured window; trace ingest is not.
+func buildStreamCase(c benchCase, tracePath string) (*ftl.Device, *trace.Stream, error) {
+	cfg := ftl.DefaultConfig(c.Space)
+	cfg.CacheBytes = ftl.DefaultCacheBytes(c.Space)
+	cfg.Channels = c.Channels
+	cfg.Dies = c.Dies
+	tr, err := sim.NewTranslator(c.Scheme, cfg.CacheBytes, cfg.LogicalPages(), nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	dev, err := ftl.NewDevice(cfg, tr)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := dev.Format(); err != nil {
+		return nil, nil, err
+	}
+	pageBytes := int64(dev.Config().PageSize)
+	footPages := c.Space * 3 / 4 / pageBytes
+	if err := dev.PreconditionRange(int(footPages), footPages, c.Seed+1); err != nil {
+		return nil, nil, err
+	}
+	dev.ResetMetrics()
+	st, err := trace.OpenBinary(tracePath)
+	if err != nil {
+		return nil, nil, err
+	}
+	return dev, st, nil
+}
+
 // runCase measures one cell: allocations on the first run, wall time as the
 // best of `runs` repetitions (each on a fresh device so cache state is
 // identical).
@@ -467,11 +597,44 @@ func runCase(c benchCase, runs int) (caseResult, error) {
 		Requests: c.Requests,
 		Seed:     c.Seed,
 	}
+	var tracePath string
+	if c.Stream {
+		var err error
+		if tracePath, err = ensureStreamTrace(c); err != nil {
+			return res, err
+		}
+	}
 	var bestWall time.Duration
 	var merged ftl.Metrics
 	for r := 0; r < runs; r++ {
 		var measure func() (ftl.Metrics, uint64, error)
-		if c.Shards > 0 {
+		var cleanup func()
+		if c.Stream {
+			dev, st, err := buildStreamCase(c, tracePath)
+			if err != nil {
+				return res, err
+			}
+			cleanup = func() { st.Close() }
+			measure = func() (ftl.Metrics, uint64, error) {
+				a := ssd.NewAdmitter(c.QD)
+				buf := make([]trace.Request, streamBatch)
+				for {
+					n, err := st.Next(buf)
+					for i := 0; i < n; i++ {
+						if _, aerr := a.Admit(dev, buf[i]); aerr != nil {
+							return ftl.Metrics{}, 0, aerr
+						}
+					}
+					if err == io.EOF {
+						break
+					}
+					if err != nil {
+						return ftl.Metrics{}, 0, err
+					}
+				}
+				return dev.Metrics(), dev.Scheduler().EventHash(), nil
+			}
+		} else if c.Shards > 0 {
 			h, reqs, err := buildShardCase(c)
 			if err != nil {
 				return res, err
@@ -497,19 +660,26 @@ func runCase(c benchCase, runs int) (caseResult, error) {
 		}
 
 		var msBefore, msAfter runtime.MemStats
+		var mw *memwatch.Watcher
 		measureAllocs := r == 0
 		if measureAllocs {
+			mw = memwatch.Start(0)
 			runtime.GC()
 			runtime.ReadMemStats(&msBefore)
 		}
 		start := time.Now()
 		m, hash, err := measure()
+		wall := time.Since(start)
+		if cleanup != nil {
+			cleanup()
+		}
 		if err != nil {
 			return res, err
 		}
-		wall := time.Since(start)
+		var peakRSS uint64
 		if measureAllocs {
 			runtime.ReadMemStats(&msAfter)
+			peakRSS = mw.Stop()
 		}
 
 		merged.Merge(&m)
@@ -524,6 +694,7 @@ func runCase(c benchCase, runs int) (caseResult, error) {
 			res.HitRatio = m.Hr()
 			res.SimElapsedNS = int64(m.Elapsed)
 			res.EventHash = fmt.Sprintf("%016x", hash)
+			res.PeakRSSBytes = int64(peakRSS)
 		}
 		if bestWall == 0 || wall < bestWall {
 			bestWall = wall
@@ -532,6 +703,7 @@ func runCase(c benchCase, runs int) (caseResult, error) {
 	res.WallNS = bestWall.Nanoseconds()
 	res.NsPerOp = float64(res.WallNS) / float64(res.SimOps)
 	res.SimOpsPerWallSec = float64(res.SimOps) / bestWall.Seconds()
+	res.ReqsPerWallSec = float64(c.Requests) / bestWall.Seconds()
 	resp := merged.Phase(obs.PhaseResponse)
 	res.P50NS = int64(resp.Quantile(0.50))
 	res.P99NS = int64(resp.Quantile(0.99))

@@ -5,6 +5,7 @@
 //	ftlsim -scheme TPFTL -workload Financial1 -requests 300000
 //	ftlsim -scheme DFTL -workload MSR-ts -scale 2147483648
 //	ftlsim -scheme TPFTL -trace fin1.spc -format spc -space 536870912
+//	ftlsim -scheme TPFTL -trace fin1.ftr -format binary -space 536870912
 //	ftlsim -scheme TPFTL -variant bc -workload Financial1
 //	ftlsim -scheme TPFTL -faults read=1e-4,program=1e-5
 //	ftlsim -scheme TPFTL -faults cut=12000
@@ -21,10 +22,12 @@ import (
 	"strings"
 
 	tpftl "repro"
+	"repro/cmd/internal/memwatch"
 	"repro/internal/core"
 	"repro/internal/ftl"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -40,7 +43,8 @@ func main() {
 		warmup    = flag.Int("warmup", 0, "requests served before metrics reset (default requests/10)")
 		precond   = flag.Float64("precondition", 1.5, "preconditioning passes over the workload footprint")
 		traceFile = flag.String("trace", "", "replay a trace file instead of generating a workload")
-		format    = flag.String("format", "spc", "trace file format: spc, msr, native")
+		format    = flag.String("format", "spc", "trace file format: spc, msr, native, binary (binary streams in bounded memory)")
+		batch     = flag.Int("stream-batch", 0, "requests per admission batch when streaming a binary trace (0 = default)")
 		space     = flag.Int64("space", 0, "device capacity in bytes when replaying a trace")
 		variant   = flag.String("variant", "", "TPFTL technique subset, e.g. \"rsbc\", \"bc\", \"-\" (default full)")
 		gcPolicy  = flag.String("gc", "greedy", "GC victim policy: greedy, cost-benefit")
@@ -75,7 +79,7 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 	if err := run(*scheme, *wl, *requests, *seed, *scale, *cache, *fraction,
-		*warmup, *precond, *traceFile, *format, *space, *variant, *gcPolicy, *wearLevel,
+		*warmup, *precond, *traceFile, *format, *batch, *space, *variant, *gcPolicy, *wearLevel,
 		*faults, *cuts, *channels, *dies, *qd, *shards, *clients, *tplace,
 		*metricsOut, *metricsInterval, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "ftlsim:", err)
@@ -96,7 +100,7 @@ func main() {
 }
 
 func run(scheme, wl string, requests int, seed, scale, cache int64, fraction float64,
-	warmup int, precond float64, traceFile, format string, space int64, variant, gcPolicy string, wearLevel int,
+	warmup int, precond float64, traceFile, format string, batch int, space int64, variant, gcPolicy string, wearLevel int,
 	faults string, cuts, channels, dies, qd, shards, clients int, tplace string,
 	metricsOut string, metricsInterval int, traceOut string) error {
 	profile, err := workload.ProfileByName(wl)
@@ -187,20 +191,32 @@ func run(scheme, wl string, requests int, seed, scale, cache int64, fraction flo
 	opts.Faults = plan
 
 	if traceFile != "" {
-		f, err := os.Open(traceFile)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		reqs, err := tpftl.ParseTrace(f, format)
-		if err != nil {
-			return err
-		}
-		opts.Trace = reqs
 		if space == 0 {
 			return fmt.Errorf("-space is required with -trace (the paper sizes the SSD to the trace's address space)")
 		}
 		opts.AddressSpace = space
+		if format == "binary" {
+			// Binary traces are streamed from the file through the simulator
+			// in fixed-size batches: memory stays O(batch), not O(trace).
+			st, err := trace.OpenBinary(traceFile)
+			if err != nil {
+				return err
+			}
+			defer st.Close()
+			opts.TraceStream = st
+			opts.StreamBatch = batch
+		} else {
+			f, err := os.Open(traceFile)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			reqs, err := tpftl.ParseTrace(f, format)
+			if err != nil {
+				return err
+			}
+			opts.Trace = reqs
+		}
 	}
 
 	if metricsOut != "" {
@@ -221,11 +237,14 @@ func run(scheme, wl string, requests int, seed, scale, cache int64, fraction flo
 		opts.TraceOut = f
 	}
 
+	mw := memwatch.Start(0)
 	res, err := tpftl.Run(opts)
+	peak := mw.Stop()
 	if err != nil {
 		return err
 	}
 	printResult(res)
+	fmt.Fprintf(os.Stderr, "peak rss          %.1f MB\n", float64(peak)/(1<<20))
 	return nil
 }
 

@@ -1,9 +1,18 @@
-// Command tracegen writes a synthetic workload trace in the repository's
-// native CSV format (arrival_ns,offset,length,op).
+// Command tracegen writes a synthetic workload trace, by default in the
+// repository's native CSV format (arrival_ns,offset,length,op). With
+// -format binary it streams straight into the fixed-record binary trace
+// format, so traces of hundreds of millions of requests are generated
+// without ever materializing them in memory.
 //
-// Example:
+// The convert subcommand transcodes an existing text trace (native, SPC or
+// MSR) into the binary format once, after which replay streams it in bounded
+// memory.
+//
+// Examples:
 //
 //	tracegen -workload Financial1 -requests 1000000 -o fin1.csv
+//	tracegen -workload Financial1 -requests 100000000 -format binary -o fin1.ftr
+//	tracegen convert -format spc -i fin1.spc -o fin1.ftr
 package main
 
 import (
@@ -12,17 +21,25 @@ import (
 	"os"
 
 	tpftl "repro"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "convert" {
+		if err := runConvert(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen convert:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var (
 		wl       = flag.String("workload", "Financial1", "profile: Financial1, Financial2, MSR-ts, MSR-src, fstrim-heavy, database-fsync")
 		requests = flag.Int("requests", 100_000, "number of requests")
 		seed     = flag.Int64("seed", 42, "generator seed")
 		scale    = flag.Int64("scale", 0, "override address space in bytes")
 		out      = flag.String("o", "", "output file (default stdout)")
-		format   = flag.String("format", "native", "output format: native, spc, msr")
+		format   = flag.String("format", "native", "output format: native, spc, msr, binary")
 		stats    = flag.Bool("stats", false, "print Table 4-style statistics to stderr")
 	)
 	flag.Parse()
@@ -40,30 +57,136 @@ func run(wl string, requests int, seed, scale int64, out, format string, stats b
 	if scale != 0 {
 		p = p.Scale(scale)
 	}
-	reqs, err := tpftl.GenerateWorkload(p, requests, seed)
+	f, err := trace.FormatByName(format)
 	if err != nil {
 		return err
 	}
 	w := os.Stdout
 	if out != "" {
-		f, err := os.Create(out)
+		file, err := os.Create(out)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		w = f
+		defer file.Close()
+		w = file
+	}
+	if f == trace.FormatBinary {
+		// Binary output streams request-by-request: the generator is driven
+		// directly into the writer, so the trace never exists as a slice and
+		// -requests can exceed memory by orders of magnitude.
+		return generateBinary(p, requests, seed, w, stats)
+	}
+	reqs, err := tpftl.GenerateWorkload(p, requests, seed)
+	if err != nil {
+		return err
 	}
 	if err := tpftl.WriteTraceFormat(w, reqs, format); err != nil {
 		return err
 	}
 	if stats {
-		printStats(reqs)
+		printStats(tpftl.SummarizeTrace(reqs))
 	}
 	return nil
 }
 
-func printStats(reqs []tpftl.Request) {
-	s := tpftl.SummarizeTrace(reqs)
+// generateBinary streams requests from the workload generator straight into
+// a binary trace writer. When the sink is seekable (a file) the header is
+// backfilled with the record count and address high-water on Finish.
+func generateBinary(p workload.Profile, requests int, seed int64, w *os.File, stats bool) error {
+	g, err := workload.NewGenerator(p, seed)
+	if err != nil {
+		return err
+	}
+	bw, err := trace.NewBinaryWriter(w, trace.BinaryHeader{
+		Records:   int64(requests),
+		PageBytes: trace.SummaryPageBytes,
+	})
+	if err != nil {
+		return err
+	}
+	var acc trace.StatsAccum
+	for i := 0; i < requests; i++ {
+		r := g.Next()
+		if err := bw.WriteRequest(r); err != nil {
+			return err
+		}
+		acc.Add(r)
+	}
+	if err := bw.Finish(); err != nil {
+		return err
+	}
+	if stats {
+		printStats(acc.Stats())
+	}
+	return nil
+}
+
+// runConvert transcodes a text trace into the binary format. The input is
+// parsed eagerly (text traces are converted once, then replayed streaming);
+// the output header carries the record count, the address high-water and the
+// source format.
+func runConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	var (
+		in     = fs.String("i", "", "input trace file (default stdin)")
+		format = fs.String("format", "native", "input format: native, spc, msr")
+		out    = fs.String("o", "", "output binary trace file (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, err := trace.FormatByName(*format)
+	if err != nil {
+		return err
+	}
+	if f == trace.FormatBinary {
+		return fmt.Errorf("input is already binary; convert reads text formats (native, spc, msr)")
+	}
+	r := os.Stdin
+	if *in != "" {
+		file, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		r = file
+	}
+	reqs, err := trace.Parse(r, f)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		file, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		w = file
+	}
+	s := trace.Summarize(reqs)
+	bw, err := trace.NewBinaryWriter(w, trace.BinaryHeader{
+		Records:   int64(len(reqs)),
+		MaxEnd:    s.MaxEnd,
+		PageBytes: trace.SummaryPageBytes,
+		Source:    f,
+	})
+	if err != nil {
+		return err
+	}
+	for _, req := range reqs {
+		if err := bw.WriteRequest(req); err != nil {
+			return err
+		}
+	}
+	if err := bw.Finish(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "converted %d requests (%s -> binary)\n", len(reqs), *format)
+	return nil
+}
+
+func printStats(s tpftl.TraceStats) {
 	fmt.Fprintf(os.Stderr, "requests        %d\n", s.Requests)
 	fmt.Fprintf(os.Stderr, "write ratio     %.1f%%\n", s.WriteRatio()*100)
 	fmt.Fprintf(os.Stderr, "avg req size    %.1f KB\n", s.AvgRequestSize()/1024)

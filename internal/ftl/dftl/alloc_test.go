@@ -1,0 +1,73 @@
+package dftl
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMissEvictCycleAllocBound pins DFTL's steady-state allocation behavior
+// on the shape the random-read macro-bench measures: a random read over a
+// cache far smaller than the footprint misses, evicts and installs from a
+// recycled slab entry. Before the slab, every miss allocated a fresh entry —
+// the ~0.99 allocs/op the bench reported; after it the cycle runs out of the
+// free list, leaving only a small budget for map-internal incidentals.
+func TestMissEvictCycleAllocBound(t *testing.T) {
+	if !allocGuardsEnabled {
+		t.Skip("allocation guards disabled under -race / -tags ftlsan")
+	}
+	// 64-entry budget over a 4096-page device: nearly every read misses.
+	d, tr := newDevice(t, 512)
+	rng := rand.New(rand.NewSource(11))
+	arrival := int64(0)
+	serveRandom := func(n int) {
+		for i := 0; i < n; i++ {
+			if _, err := d.Serve(rd(arrival, rng.Int63n(4096))); err != nil {
+				t.Fatal(err)
+			}
+			arrival++
+		}
+	}
+	serveRandom(2_000) // warm the slab past its high-water mark
+	const reads = 500
+	allocs := testing.AllocsPerRun(1, func() { serveRandom(reads) })
+	perOp := allocs / reads
+	const bound = 0.25
+	if perOp > bound {
+		t.Fatalf("miss+evict cycle allocates %.3f times per op, want <= %v", perOp, bound)
+	}
+	m := d.Metrics()
+	if m.Hits*2 > m.Lookups {
+		t.Fatalf("hit ratio %.2f too high; the guard did not exercise the miss path", float64(m.Hits)/float64(m.Lookups))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSlabRecycleStress churns the cache through many full turnovers and
+// audits the slab afterwards: every free entry reset, every mapped entry
+// linked.
+func TestSlabRecycleStress(t *testing.T) {
+	d, tr := newDevice(t, 512)
+	rng := rand.New(rand.NewSource(7))
+	arrival := int64(0)
+	for i := 0; i < 20_000; i++ {
+		page := rng.Int63n(4096)
+		var err error
+		if rng.Intn(3) == 0 {
+			_, err = d.Serve(wr(arrival, page))
+		} else {
+			_, err = d.Serve(rd(arrival, page))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		arrival++
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CheckConsistency(tr.DirtyCached()); err != nil {
+		t.Fatal(err)
+	}
+}

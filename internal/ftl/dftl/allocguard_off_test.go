@@ -1,0 +1,6 @@
+//go:build race || ftlsan
+
+package dftl
+
+// See allocguard_on_test.go.
+const allocGuardsEnabled = false

@@ -13,6 +13,8 @@
 package dftl
 
 import (
+	"fmt"
+
 	"repro/internal/flash"
 	"repro/internal/ftl"
 	"repro/internal/lru"
@@ -47,6 +49,11 @@ type FTL struct {
 	prob    lru.List[*entry] // probationary segment, MRU..LRU
 	prot    lru.List[*entry] // protected segment, MRU..LRU
 	protCap int
+
+	// slab recycles entries and evictUp is the single-update writeback
+	// scratch, so the steady-state miss/evict cycle allocates nothing.
+	slab    entrySlab
+	evictUp [1]ftl.EntryUpdate
 
 	ePerTP int // learned from the Env; snapshot grouping granularity
 }
@@ -161,8 +168,8 @@ func (f *FTL) reserve(env ftl.Env, n int) error {
 
 // add inserts a new entry; the caller must have reserved space.
 func (f *FTL) add(lpn ftl.LPN, ppn flash.PPN, dirty bool) {
-	e := &entry{lpn: lpn, ppn: ppn, dirty: dirty}
-	e.node.Value = e
+	e := f.slab.get()
+	e.lpn, e.ppn, e.dirty = lpn, ppn, dirty
 	f.entries[lpn] = e
 	f.prob.PushFront(&e.node)
 }
@@ -186,10 +193,15 @@ func (f *FTL) evictOne(env ftl.Env) error {
 	}
 	delete(f.entries, e.lpn)
 	env.NoteReplacement(e.dirty)
-	if e.dirty {
-		v := ftl.VTPNOf(e.lpn, env.EntriesPerTP())
-		up := []ftl.EntryUpdate{{Off: ftl.OffOf(e.lpn, env.EntriesPerTP()), PPN: e.ppn}}
-		if err := env.WriteTP(v, up, false); err != nil {
+	// Capture the victim and release it before the writeback: WriteTP can
+	// trigger GC, whose map updates only touch entries still in the cache
+	// and never insert new ones, so the recycled slot cannot be aliased.
+	lpn, ppn, dirty := e.lpn, e.ppn, e.dirty
+	f.slab.put(e)
+	if dirty {
+		v := ftl.VTPNOf(lpn, env.EntriesPerTP())
+		f.evictUp[0] = ftl.EntryUpdate{Off: ftl.OffOf(lpn, env.EntriesPerTP()), PPN: ppn}
+		if err := env.WriteTP(v, f.evictUp[:], false); err != nil {
 			return err
 		}
 	}
@@ -210,6 +222,26 @@ func (f *FTL) Discard(lpn ftl.LPN) {
 		f.prob.Remove(&e.node)
 	}
 	delete(f.entries, lpn)
+	f.slab.put(e)
+}
+
+// CheckInvariants audits the cache structure: the map, the two LRU segments
+// and the slab free list must agree. The ftlsan device build calls it after
+// every host operation.
+func (f *FTL) CheckInvariants() error {
+	if f.prob.Len()+f.prot.Len() != len(f.entries) {
+		return fmt.Errorf("dftl: %d listed entries for %d mapped", f.prob.Len()+f.prot.Len(), len(f.entries))
+	}
+	//ftl:orderinsensitive read-only invariant check; any violating entry is a valid witness
+	for lpn, e := range f.entries {
+		if e.lpn != lpn {
+			return fmt.Errorf("dftl: entry keyed %d carries lpn %d", lpn, e.lpn)
+		}
+		if !e.node.InList() {
+			return fmt.Errorf("dftl: mapped entry %d not on any LRU segment", lpn)
+		}
+	}
+	return f.slab.check()
 }
 
 // FlushDirty implements ftl.Translator: a host flush barrier forces every

@@ -2,6 +2,7 @@ package host
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -189,22 +190,38 @@ type ReplayOptions struct {
 const DefaultBatch = 64
 
 // Replay routes a request stream across the shards and serves every shard
-// concurrently, deterministically: the stream is partitioned per shard
-// (flushes broadcast, payload ops split by LPN), each shard's sub-stream is
-// dealt in batches round-robin to its client goroutines, and the shard
-// worker takes one batch per lane per turn in the same round-robin — so the
-// per-shard service order equals the partition order no matter how many
-// clients feed it or how the scheduler interleaves them. Every simulated
-// metric, per-shard EventHash and the merged Digest are therefore
-// bit-for-bit reproducible, while the wall-clock work genuinely fans out
-// across goroutines.
+// concurrently, deterministically. It is the eager form of ReplayStream —
+// the slice is wrapped in an iterator, so both paths share one router and
+// every simulated metric, per-shard EventHash and the merged Digest are
+// bit-for-bit identical between them.
 func (h *Host) Replay(reqs []trace.Request, o ReplayOptions) (*Outcome, error) {
+	return h.ReplayStream(trace.NewSliceIterator(reqs), o)
+}
+
+// replayLane is one client goroutine's channel pair: full batches flow
+// shard-ward on data, served batches return on free for refilling. Two
+// buffers circulate per lane, so a replay's resident request memory is
+// O(batch × clients) — independent of trace length.
+type replayLane struct {
+	data chan []trace.Request
+	free chan []trace.Request
+}
+
+// ReplayStream routes a streamed request source across the shards and serves
+// every shard concurrently, deterministically: the router (the calling
+// goroutine) pulls batches from the iterator, fragments each request per
+// shard (flushes broadcast, payload ops split by LPN), and deals each
+// shard's full batches round-robin across its client lanes; the shard worker
+// takes one batch per lane per turn in the same round-robin — so the
+// per-shard service order equals the partition order no matter how many
+// clients feed it, what the batch size is, or how the Go scheduler
+// interleaves the goroutines. Every simulated metric, per-shard EventHash
+// and the merged Digest are therefore bit-for-bit reproducible — and equal
+// to an eager Replay of the same requests — while resident memory stays
+// bounded by the lane buffers, never the trace.
+func (h *Host) ReplayStream(it trace.Iterator, o ReplayOptions) (*Outcome, error) {
 	if h.serving != nil {
 		return nil, fmt.Errorf("host: Replay while the queue-pair service is running")
-	}
-	streams, err := h.lay.Partition(reqs)
-	if err != nil {
-		return nil, err
 	}
 	batch := o.Batch
 	if batch <= 0 {
@@ -217,62 +234,108 @@ func (h *Host) Replay(reqs []trace.Request, o ReplayOptions) (*Outcome, error) {
 	qd := h.opt.depth()
 
 	var wg sync.WaitGroup
+	lanes := make([][]replayLane, h.lay.Shards)
 	for s, sh := range h.shards {
 		sh.reset(qd)
 		k := clientsOfShard(clients, h.lay.Shards, s)
-		lanes := make([]chan []trace.Request, k)
-		for i := range lanes {
-			lanes[i] = make(chan []trace.Request, 1)
+		ls := make([]replayLane, k)
+		for i := range ls {
+			// Two buffers circulate per lane: one filling at the router, one
+			// in flight or being served. The worker returns every buffer, so
+			// free (cap 2) can never block it.
+			ls[i] = replayLane{
+				data: make(chan []trace.Request, 1),
+				free: make(chan []trace.Request, 2),
+			}
+			ls[i].free <- make([]trace.Request, 0, batch)
+			ls[i].free <- make([]trace.Request, 0, batch)
 		}
-		// Deal consecutive batches round-robin across the shard's lanes;
-		// the worker's matching round-robin receive restores stream order.
-		for i := 0; i < k; i++ {
-			wg.Add(1)
-			go func(lane chan<- []trace.Request, stream []trace.Request, i int) {
-				defer wg.Done()
-				for j := i * batch; j < len(stream); j += k * batch {
-					end := j + batch
-					if end > len(stream) {
-						end = len(stream)
-					}
-					lane <- stream[j:end]
-				}
-				close(lane)
-			}(lanes[i], streams[s], i)
-		}
+		lanes[s] = ls
 		wg.Add(1)
-		go func(sh *shard, lanes []chan []trace.Request) {
+		go func(sh *shard, ls []replayLane) {
 			defer wg.Done()
-			open := len(lanes)
-			for turn := 0; open > 0; turn = (turn + 1) % len(lanes) {
-				if lanes[turn] == nil {
+			open := len(ls)
+			for turn := 0; open > 0; turn = (turn + 1) % len(ls) {
+				if ls[turn].data == nil {
 					continue
 				}
-				b, ok := <-lanes[turn]
+				b, ok := <-ls[turn].data
 				if !ok {
-					lanes[turn] = nil
+					ls[turn].data = nil
 					open--
 					continue
 				}
-				if sh.err != nil {
-					continue // drain so submitters never block after a failure
-				}
-				for i := range b {
-					if _, err := sh.serveOne(b[i]); err != nil {
-						sh.err = fmt.Errorf("shard %d: %w", sh.id, err)
-						break
+				// After a failure keep draining (without serving) so the
+				// router never blocks on a dead shard.
+				if sh.err == nil {
+					for i := range b {
+						if _, err := sh.serveOne(b[i]); err != nil {
+							sh.err = fmt.Errorf("shard %d: %w", sh.id, err)
+							break
+						}
 					}
 				}
+				ls[turn].free <- b[:0]
 			}
-		}(sh, lanes)
+		}(sh, ls)
+	}
+
+	// The router: fill per-shard batch buffers in request order, rotating to
+	// the next lane whenever one fills. The buffer a shard is filling always
+	// comes from the pool of the lane it will be sent to.
+	cur := make([][]trace.Request, h.lay.Shards)
+	turn := make([]int, h.lay.Shards)
+	for s := range cur {
+		cur[s] = (<-lanes[s][0].free)[:0]
+	}
+	reqBuf := make([]trace.Request, batch)
+	var frags []Fragment
+	var requests, fragments int64
+	var routeErr error
+router:
+	for {
+		n, err := it.Next(reqBuf)
+		for i := 0; i < n; i++ {
+			frags, routeErr = h.lay.Fragments(reqBuf[i], frags[:0])
+			if routeErr != nil {
+				routeErr = fmt.Errorf("host: request %d: %w", requests, routeErr)
+				break router
+			}
+			requests++
+			for _, f := range frags {
+				fragments++
+				s := f.Shard
+				cur[s] = append(cur[s], f.Req)
+				if len(cur[s]) == batch {
+					lanes[s][turn[s]].data <- cur[s]
+					turn[s] = (turn[s] + 1) % len(lanes[s])
+					cur[s] = (<-lanes[s][turn[s]].free)[:0]
+				}
+			}
+		}
+		if err != nil {
+			if err != io.EOF {
+				routeErr = fmt.Errorf("host: reading trace after request %d: %w", requests, err)
+			}
+			break
+		}
+	}
+	for s := range h.shards {
+		if routeErr == nil && len(cur[s]) > 0 {
+			lanes[s][turn[s]].data <- cur[s]
+		}
+		for i := range lanes[s] {
+			close(lanes[s][i].data)
+		}
 	}
 	wg.Wait()
 
-	out := h.collect()
-	out.Requests = int64(len(reqs))
-	for s := range streams {
-		out.Fragments += int64(len(streams[s]))
+	if routeErr != nil {
+		return nil, routeErr
 	}
+	out := h.collect()
+	out.Requests = requests
+	out.Fragments = fragments
 	for _, sh := range h.shards {
 		if sh.err != nil {
 			return out, sh.err

@@ -73,7 +73,7 @@ func runSharded(o Options, devCfg ftl.Config, profile workload.Profile, cacheByt
 	}
 
 	reqs := o.Trace
-	if reqs == nil {
+	if reqs == nil && o.TraceStream == nil {
 		reqs, err = workload.Generate(profile, o.Requests, o.Seed)
 		if err != nil {
 			return nil, err
@@ -88,6 +88,11 @@ func runSharded(o Options, devCfg ftl.Config, profile workload.Profile, cacheByt
 		footBytes := profile.FootprintBytes()
 		if o.Trace != nil && stats.MaxEnd > 0 && stats.MaxEnd < footBytes {
 			footBytes = stats.MaxEnd
+		}
+		if o.TraceStream != nil {
+			if me := streamMaxEnd(o.TraceStream); me > 0 && me < footBytes {
+				footBytes = me
+			}
 		}
 		footPages := footBytes / int64(devCfg.PageSize)
 		for s, dev := range devs {
@@ -109,25 +114,49 @@ func runSharded(o Options, devCfg ftl.Config, profile workload.Profile, cacheByt
 	if err != nil {
 		return nil, err
 	}
-	replay := host.ReplayOptions{Clients: o.Clients}
+	replay := host.ReplayOptions{Clients: o.Clients, Batch: o.StreamBatch}
+
+	// A streamed source is wrapped so trace statistics accumulate as the
+	// router (a single goroutine) pulls batches through it; the per-shard
+	// service order — and so every simulated metric and the digest — is
+	// identical to an eager Replay of the same requests.
+	var acc trace.StatsAccum
+	var sit trace.Iterator
+	if o.TraceStream != nil {
+		sit = &statsIter{it: o.TraceStream, acc: &acc}
+	}
 
 	warm := o.ResetAfterWarmup
-	if warm > len(reqs) {
-		warm = len(reqs)
-	}
 	if warm > 0 {
-		if _, err := h.Replay(reqs[:warm], replay); err != nil {
+		var err error
+		if sit != nil {
+			_, err = h.ReplayStream(trace.Limit(sit, int64(warm)), replay)
+		} else {
+			if warm > len(reqs) {
+				warm = len(reqs)
+			}
+			_, err = h.Replay(reqs[:warm], replay)
+			reqs = reqs[warm:]
+		}
+		if err != nil {
 			return nil, fmt.Errorf("sim: %s/%s warm-up: %w", o.Scheme, profile.Name, err)
 		}
 		for _, dev := range devs {
 			dev.ResetMetrics()
 		}
-		reqs = reqs[warm:]
 	}
 
-	out, err := h.Replay(reqs, replay)
+	var out *host.Outcome
+	if sit != nil {
+		out, err = h.ReplayStream(sit, replay)
+	} else {
+		out, err = h.Replay(reqs, replay)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("sim: %s/%s: %w", o.Scheme, profile.Name, err)
+	}
+	if o.TraceStream != nil {
+		stats = acc.Stats()
 	}
 
 	res := &Result{
@@ -152,4 +181,20 @@ func runSharded(o Options, devCfg ftl.Config, profile workload.Profile, cacheByt
 		}
 	}
 	return res, nil
+}
+
+// statsIter passes batches through from a streamed source while folding each
+// request into a StatsAccum. Only the replay router (one goroutine) calls
+// Next, so the accumulator needs no synchronization.
+type statsIter struct {
+	it  trace.Iterator
+	acc *trace.StatsAccum
+}
+
+func (s *statsIter) Next(batch []trace.Request) (int, error) {
+	n, err := s.it.Next(batch)
+	for i := 0; i < n; i++ {
+		s.acc.Add(batch[i])
+	}
+	return n, err
 }

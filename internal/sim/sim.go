@@ -57,6 +57,18 @@ type Options struct {
 	Seed int64
 	// Trace, if non-nil, is replayed instead of generating from Profile.
 	Trace []trace.Request
+	// TraceStream, if non-nil, is a streamed request source replayed
+	// instead of Trace or a generated workload: requests are pulled in
+	// StreamBatch-sized batches, so resident memory is independent of the
+	// trace's length. The simulated results are bit-for-bit what an eager
+	// replay of the same requests through Trace would produce. The iterator
+	// is consumed once (warm-up prefix first when ResetAfterWarmup is set);
+	// mutually exclusive with Trace.
+	TraceStream trace.Iterator
+	// StreamBatch is the number of requests pulled from TraceStream per
+	// batch (default DefaultStreamBatch). A wall-clock/memory knob only:
+	// simulated results are independent of it.
+	StreamBatch int
 
 	// CacheBytes is the mapping-cache budget. Zero selects the paper's
 	// convention (block-level table size) unless CacheFraction is set.
@@ -164,6 +176,22 @@ func FullTableBytes(addressSpace int64) int64 {
 	return addressSpace / ftl.DefaultPageBytes * ftl.EntryBytesRAM
 }
 
+// DefaultStreamBatch is the per-pull batch size of a TraceStream replay when
+// Options.StreamBatch is zero.
+const DefaultStreamBatch = 4096
+
+// streamMaxEnd returns the address-space high-water hint a streamed source
+// carries (trace.Stream exposes its binary header's MaxEnd), 0 if unknown.
+// It lets a streamed run size its preconditioning footprint without a
+// pre-pass over the trace.
+func streamMaxEnd(it trace.Iterator) int64 {
+	type maxEnder interface{ MaxEnd() int64 }
+	if m, ok := it.(maxEnder); ok {
+		return m.MaxEnd()
+	}
+	return 0
+}
+
 // NewTranslator constructs the translator for a scheme.
 func NewTranslator(s Scheme, cacheBytes int64, logicalPages int64, tpftlCfg *core.Config) (ftl.Translator, error) {
 	switch s {
@@ -221,6 +249,10 @@ func Run(o Options) (*Result, error) {
 	devCfg.Dies = o.Dies
 	devCfg.TransPlacement = o.TransPlacement
 
+	if o.Trace != nil && o.TraceStream != nil {
+		return nil, fmt.Errorf("sim: Trace and TraceStream are mutually exclusive")
+	}
+
 	if o.Shards > 0 {
 		return runSharded(o, devCfg, profile, cacheBytes)
 	}
@@ -238,7 +270,7 @@ func Run(o Options) (*Result, error) {
 	}
 
 	reqs := o.Trace
-	if reqs == nil {
+	if reqs == nil && o.TraceStream == nil {
 		reqs, err = workload.Generate(profile, o.Requests, o.Seed)
 		if err != nil {
 			return nil, err
@@ -250,10 +282,16 @@ func Run(o Options) (*Result, error) {
 		// Age only the workload's footprint: the cold remainder stays in
 		// its pristine fully-valid blocks, exactly where a long-running
 		// device's GC would have consolidated it. For replayed traces the
-		// footprint is taken from the trace's own address high-water mark.
+		// footprint is taken from the trace's own address high-water mark
+		// (a streamed source's header hint, when it carries one).
 		footBytes := profile.FootprintBytes()
 		if o.Trace != nil && stats.MaxEnd > 0 && stats.MaxEnd < footBytes {
 			footBytes = stats.MaxEnd
+		}
+		if o.TraceStream != nil {
+			if me := streamMaxEnd(o.TraceStream); me > 0 && me < footBytes {
+				footBytes = me
+			}
 		}
 		footPages := footBytes / int64(devCfg.PageSize)
 		writes := int(o.Precondition * float64(footPages))
@@ -309,28 +347,85 @@ func Run(o Options) (*Result, error) {
 		qd = 1
 	}
 	useFrontend := o.OpenLoop || qd > 1
+	feDepth := qd
+	if o.OpenLoop {
+		feDepth = 0
+	}
 	runReqs := func(rs []trace.Request) (ssd.FrontendStats, error) {
 		if !useFrontend {
 			_, err := dev.Run(rs)
 			return ssd.FrontendStats{}, err
 		}
-		fe := ssd.Frontend{QueueDepth: qd}
-		if o.OpenLoop {
-			fe.QueueDepth = 0
-		}
+		fe := ssd.Frontend{QueueDepth: feDepth}
 		return fe.Run(dev, rs)
+	}
+	// serveStream drains one phase (warm-up prefix or measured remainder) of
+	// the streamed source in StreamBatch pulls. The serial path calls
+	// Device.Serve per request — exactly what Device.Run does over a slice —
+	// and a queued phase gets a fresh ssd.Admitter, mirroring runReqs' fresh
+	// Frontend per call, so streamed results are bit-for-bit the eager ones.
+	var acc trace.StatsAccum
+	var streamBuf []trace.Request
+	serveStream := func(it trace.Iterator) (ssd.FrontendStats, error) {
+		if streamBuf == nil {
+			b := o.StreamBatch
+			if b <= 0 {
+				b = DefaultStreamBatch
+			}
+			streamBuf = make([]trace.Request, b)
+		}
+		var adm *ssd.Admitter
+		if useFrontend {
+			adm = ssd.NewAdmitter(feDepth)
+		}
+		idx := 0
+		for {
+			n, err := it.Next(streamBuf)
+			for i := 0; i < n; i++ {
+				r := streamBuf[i]
+				acc.Add(r)
+				if useFrontend {
+					if _, aerr := adm.Admit(dev, r); aerr != nil {
+						return adm.Stats(), fmt.Errorf("ssd: request %d: %w", idx, aerr)
+					}
+				} else if _, serr := dev.Serve(r); serr != nil {
+					return ssd.FrontendStats{}, fmt.Errorf("request %d: %w", idx, serr)
+				}
+				idx++
+			}
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				var st ssd.FrontendStats
+				if adm != nil {
+					st = adm.Stats()
+				}
+				return st, err
+			}
+		}
+		if adm != nil {
+			return adm.Stats(), nil
+		}
+		return ssd.FrontendStats{}, nil
 	}
 
 	warm := o.ResetAfterWarmup
-	if warm > len(reqs) {
-		warm = len(reqs)
-	}
 	if warm > 0 {
-		if _, err := runReqs(reqs[:warm]); err != nil {
-			return nil, fmt.Errorf("sim: %s/%s warm-up: %w", o.Scheme, profile.Name, err)
+		if o.TraceStream != nil {
+			if _, err := serveStream(trace.Limit(o.TraceStream, int64(warm))); err != nil {
+				return nil, fmt.Errorf("sim: %s/%s warm-up: %w", o.Scheme, profile.Name, err)
+			}
+		} else {
+			if warm > len(reqs) {
+				warm = len(reqs)
+			}
+			if _, err := runReqs(reqs[:warm]); err != nil {
+				return nil, fmt.Errorf("sim: %s/%s warm-up: %w", o.Scheme, profile.Name, err)
+			}
+			reqs = reqs[warm:]
 		}
 		dev.ResetMetrics()
-		reqs = reqs[warm:]
 	}
 	if o.Faults != nil {
 		dev.Chip().SetFaultPlan(o.Faults)
@@ -347,9 +442,17 @@ func Run(o Options) (*Result, error) {
 		}
 		dev.SetMetricsExport(o.MetricsOut, int64(interval))
 	}
-	fst, err := runReqs(reqs)
+	var fst ssd.FrontendStats
+	if o.TraceStream != nil {
+		fst, err = serveStream(o.TraceStream)
+	} else {
+		fst, err = runReqs(reqs)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("sim: %s/%s: %w", o.Scheme, profile.Name, err)
+	}
+	if o.TraceStream != nil {
+		res.TraceStats = acc.Stats()
 	}
 	res.M = dev.Metrics()
 	if err := dev.FinishObservability(); err != nil {

@@ -57,37 +57,66 @@ func (s FrontendStats) MeanDepth() float64 {
 	return float64(s.DepthSum) / float64(s.Admitted)
 }
 
-// Run replays reqs against s under the frontend's admission policy and
-// returns the queueing stats. Requests must be in non-decreasing arrival
-// order (trace order).
-func (f Frontend) Run(s Server, reqs []trace.Request) (FrontendStats, error) {
-	var st FrontendStats
-	var q EventQueue
-	for i := range reqs {
-		arrival := time.Duration(reqs[i].Arrival)
-		admit := arrival
-		if f.QueueDepth > 0 {
-			// Closed loop: wait for a slot. Completions already in the
-			// past free their slots without delaying admission.
-			for q.Len() >= f.QueueDepth {
-				e := q.Pop()
-				if e.Time > admit {
-					admit = e.Time
-				}
+// Admitter is the stateful form of a frontend replay: the admission queue
+// survives between calls, so a caller can feed requests one batch at a time
+// — a streamed trace — and still get exactly the schedule one Frontend.Run
+// over the concatenated stream would produce. Construct with NewAdmitter;
+// the zero value is a valid open-loop admitter.
+type Admitter struct {
+	qd int
+	q  EventQueue
+	st FrontendStats
+}
+
+// NewAdmitter returns an admitter with the given queue depth (zero or
+// negative selects open loop, mirroring Frontend).
+func NewAdmitter(queueDepth int) *Admitter {
+	return &Admitter{qd: queueDepth}
+}
+
+// Admit admits one request under the queue-depth policy and serves it on s.
+// Requests must arrive in non-decreasing trace order across all calls.
+func (a *Admitter) Admit(s Server, r trace.Request) (time.Duration, error) {
+	arrival := time.Duration(r.Arrival)
+	admit := arrival
+	if a.qd > 0 {
+		// Closed loop: wait for a slot. Completions already in the
+		// past free their slots without delaying admission.
+		for a.q.Len() >= a.qd {
+			e := a.q.Pop()
+			if e.Time > admit {
+				admit = e.Time
 			}
 		}
-		q.DrainThrough(admit)
-		complete, err := s.ServeAt(reqs[i], admit)
-		if err != nil {
-			return st, fmt.Errorf("ssd: request %d: %w", i, err)
-		}
-		st.Admitted++
-		q.Push(Event{Time: complete, Seq: st.Admitted})
-		depth := int64(q.Len())
-		st.DepthSum += depth
-		if depth > st.MaxDepth {
-			st.MaxDepth = depth
+	}
+	a.q.DrainThrough(admit)
+	complete, err := s.ServeAt(r, admit)
+	if err != nil {
+		return 0, err
+	}
+	a.st.Admitted++
+	a.q.Push(Event{Time: complete, Seq: a.st.Admitted})
+	depth := int64(a.q.Len())
+	a.st.DepthSum += depth
+	if depth > a.st.MaxDepth {
+		a.st.MaxDepth = depth
+	}
+	return complete, nil
+}
+
+// Stats returns the queueing statistics accumulated so far.
+func (a *Admitter) Stats() FrontendStats { return a.st }
+
+// Run replays reqs against s under the frontend's admission policy and
+// returns the queueing stats. Requests must be in non-decreasing arrival
+// order (trace order). It is the eager form of an Admitter fed the same
+// stream.
+func (f Frontend) Run(s Server, reqs []trace.Request) (FrontendStats, error) {
+	a := NewAdmitter(f.QueueDepth)
+	for i := range reqs {
+		if _, err := a.Admit(s, reqs[i]); err != nil {
+			return a.Stats(), fmt.Errorf("ssd: request %d: %w", i, err)
 		}
 	}
-	return st, nil
+	return a.Stats(), nil
 }

@@ -1,0 +1,435 @@
+// The repository's binary trace format: a fixed-size versioned header
+// followed by fixed 32-byte little-endian records, one per request. The
+// format exists so multi-hundred-million-request traces (MSR-Cambridge scale)
+// can be replayed in bounded memory: records are fixed-width and
+// self-contained, so a reader seeks to any record by index, an mmap'd file is
+// directly iterable (bytes.NewReader over the mapping satisfies io.ReaderAt),
+// and the streaming iterator decodes into a caller-owned batch without
+// allocating per request. cmd/tracegen transcodes the CSV formats (native,
+// SPC, MSR) into it once; synthetic traces are generated straight into it
+// without ever materializing the request slice.
+//
+// Layout (all integers little-endian):
+//
+//	header, 64 bytes
+//	  [ 0: 8)  magic "FTLTRACE"
+//	  [ 8:12)  format version (1)
+//	  [12:16)  record size in bytes (32)
+//	  [16:24)  record count; 0 = derive from file size
+//	  [24:32)  MaxEnd: address-space high-water in bytes; 0 = unknown
+//	  [32:36)  page-size convention in bytes (informational)
+//	  [36:40)  source format the trace was transcoded from (Format)
+//	  [40:64)  reserved, must be zero
+//	record, 32 bytes
+//	  [ 0: 8)  arrival, ns since trace start (rebased at conversion time)
+//	  [ 8:16)  offset, bytes
+//	  [16:24)  length, bytes
+//	  [24:25)  op (trace.Op)
+//	  [25:32)  reserved, must be zero
+//
+// Readers are strict: a wrong magic, version or record size, a truncated
+// record region, a nonzero reserved byte, or a record that fails
+// Request.Validate is an error, never a panic or an over-read — corrupt and
+// truncated inputs must be diagnosable at MSR scale, where a silent skip
+// would vanish into a hundred million good records.
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+const (
+	// binaryMagic opens every binary trace file.
+	binaryMagic = "FTLTRACE"
+	// BinaryVersion is the format version this package reads and writes.
+	BinaryVersion = 1
+	// BinaryHeaderSize is the size of the file header in bytes.
+	BinaryHeaderSize = 64
+	// BinaryRecordSize is the size of one request record in bytes.
+	BinaryRecordSize = 32
+)
+
+// BinaryHeader is the decoded file header. The zero value is a valid header
+// for a trace of unknown length and provenance.
+type BinaryHeader struct {
+	// Records is the number of records the writer claims; 0 means "derive
+	// from the file size", which is what a streaming writer over a
+	// non-seekable sink leaves behind.
+	Records int64
+	// MaxEnd is the trace's address-space high-water mark in bytes (the
+	// largest Request.End), 0 if unknown. Replay sizes preconditioning
+	// footprints from it without a pre-pass over the records.
+	MaxEnd int64
+	// PageBytes records the page-size convention the trace was produced
+	// under (informational; 0 if unknown).
+	PageBytes int
+	// Source is the format the trace was transcoded from (FormatNative for
+	// synthetic traces).
+	Source Format
+}
+
+// encodeBinaryHeader serializes h into a 64-byte header block.
+func encodeBinaryHeader(h BinaryHeader) [BinaryHeaderSize]byte {
+	var b [BinaryHeaderSize]byte
+	copy(b[0:8], binaryMagic)
+	binary.LittleEndian.PutUint32(b[8:12], BinaryVersion)
+	binary.LittleEndian.PutUint32(b[12:16], BinaryRecordSize)
+	binary.LittleEndian.PutUint64(b[16:24], uint64(h.Records))
+	binary.LittleEndian.PutUint64(b[24:32], uint64(h.MaxEnd))
+	binary.LittleEndian.PutUint32(b[32:36], uint32(h.PageBytes))
+	binary.LittleEndian.PutUint32(b[36:40], uint32(h.Source))
+	return b
+}
+
+// decodeBinaryHeader validates and decodes a 64-byte header block.
+func decodeBinaryHeader(b []byte) (BinaryHeader, error) {
+	var h BinaryHeader
+	if len(b) < BinaryHeaderSize {
+		return h, fmt.Errorf("trace: binary header truncated: %d of %d bytes", len(b), BinaryHeaderSize)
+	}
+	if string(b[0:8]) != binaryMagic {
+		return h, fmt.Errorf("trace: bad magic %q (want %q)", b[0:8], binaryMagic)
+	}
+	if v := binary.LittleEndian.Uint32(b[8:12]); v != BinaryVersion {
+		return h, fmt.Errorf("trace: unsupported binary trace version %d (want %d)", v, BinaryVersion)
+	}
+	if rs := binary.LittleEndian.Uint32(b[12:16]); rs != BinaryRecordSize {
+		return h, fmt.Errorf("trace: unsupported record size %d (want %d)", rs, BinaryRecordSize)
+	}
+	h.Records = int64(binary.LittleEndian.Uint64(b[16:24]))
+	h.MaxEnd = int64(binary.LittleEndian.Uint64(b[24:32]))
+	h.PageBytes = int(binary.LittleEndian.Uint32(b[32:36]))
+	h.Source = Format(binary.LittleEndian.Uint32(b[36:40]))
+	switch {
+	case h.Records < 0:
+		return h, fmt.Errorf("trace: negative record count %d", h.Records)
+	case h.MaxEnd < 0:
+		return h, fmt.Errorf("trace: negative address high-water %d", h.MaxEnd)
+	case h.Source != FormatNative && h.Source != FormatSPC && h.Source != FormatMSR:
+		return h, fmt.Errorf("trace: unknown source format %d", h.Source)
+	}
+	for i := 40; i < BinaryHeaderSize; i++ {
+		if b[i] != 0 {
+			return h, fmt.Errorf("trace: nonzero reserved header byte at offset %d", i)
+		}
+	}
+	return h, nil
+}
+
+// encodeRecord serializes r into its 32-byte record at b (len(b) must be at
+// least BinaryRecordSize). The caller has validated r.
+func encodeRecord(b []byte, r Request) {
+	binary.LittleEndian.PutUint64(b[0:8], uint64(r.Arrival))
+	binary.LittleEndian.PutUint64(b[8:16], uint64(r.Offset))
+	binary.LittleEndian.PutUint64(b[16:24], uint64(r.Length))
+	b[24] = byte(r.Op)
+	for i := 25; i < BinaryRecordSize; i++ {
+		b[i] = 0
+	}
+}
+
+// decodeRecord deserializes and validates one 32-byte record.
+func decodeRecord(b []byte) (Request, error) {
+	tail := binary.LittleEndian.Uint64(b[24:32])
+	r := Request{
+		Arrival: int64(binary.LittleEndian.Uint64(b[0:8])),
+		Offset:  int64(binary.LittleEndian.Uint64(b[8:16])),
+		Length:  int64(binary.LittleEndian.Uint64(b[16:24])),
+		Op:      Op(tail), // low byte of the tail word
+	}
+	if tail>>8 != 0 { // bytes [25:32) must be zero; one word load checks all seven
+		for i := 25; i < BinaryRecordSize; i++ {
+			if b[i] != 0 {
+				return r, fmt.Errorf("nonzero reserved record byte at offset %d", i)
+			}
+		}
+	}
+	if err := r.Validate(); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// BinaryWriter streams requests into the binary format without buffering the
+// trace: each WriteRequest encodes one record, so a hundred-million-request
+// synthetic trace is produced in constant memory. The writer tracks the
+// record count and address high-water and, when the sink is seekable (an
+// *os.File), backfills them into the header at Finish; over a pipe the header
+// keeps Records/MaxEnd 0 and readers derive the count from the file size.
+type BinaryWriter struct {
+	bw      *bufio.Writer
+	seek    io.WriteSeeker // non-nil when the header can be backfilled
+	hdr     BinaryHeader
+	records int64
+	maxEnd  int64
+	rec     [BinaryRecordSize]byte
+	err     error
+}
+
+// NewBinaryWriter writes the header for hdr (Records and MaxEnd may be zero;
+// Finish backfills them on seekable sinks) and returns a streaming writer.
+func NewBinaryWriter(w io.Writer, hdr BinaryHeader) (*BinaryWriter, error) {
+	b := &BinaryWriter{bw: bufio.NewWriterSize(w, 1<<20), hdr: hdr}
+	if ws, ok := w.(io.WriteSeeker); ok {
+		b.seek = ws
+	}
+	h := encodeBinaryHeader(hdr)
+	if _, err := b.bw.Write(h[:]); err != nil {
+		return nil, fmt.Errorf("trace: writing binary header: %w", err)
+	}
+	return b, nil
+}
+
+// WriteRequest validates and appends one record.
+func (b *BinaryWriter) WriteRequest(r Request) error {
+	if b.err != nil {
+		return b.err
+	}
+	if err := r.Validate(); err != nil {
+		b.err = err
+		return err
+	}
+	encodeRecord(b.rec[:], r)
+	if _, err := b.bw.Write(b.rec[:]); err != nil {
+		b.err = fmt.Errorf("trace: writing record %d: %w", b.records, err)
+		return b.err
+	}
+	b.records++
+	if end := r.End(); end > b.maxEnd {
+		b.maxEnd = end
+	}
+	return nil
+}
+
+// Records returns how many records have been written.
+func (b *BinaryWriter) Records() int64 { return b.records }
+
+// Finish flushes buffered records and, when the underlying sink is seekable,
+// rewrites the header with the final record count and address high-water.
+func (b *BinaryWriter) Finish() error {
+	if b.err != nil {
+		return b.err
+	}
+	if err := b.bw.Flush(); err != nil {
+		b.err = err
+		return err
+	}
+	if b.seek == nil {
+		return nil
+	}
+	hdr := b.hdr
+	hdr.Records = b.records
+	if hdr.MaxEnd == 0 {
+		hdr.MaxEnd = b.maxEnd
+	}
+	h := encodeBinaryHeader(hdr)
+	if _, err := b.seek.Seek(0, io.SeekStart); err != nil {
+		b.err = fmt.Errorf("trace: backfilling binary header: %w", err)
+		return b.err
+	}
+	if _, err := b.seek.Write(h[:]); err != nil {
+		b.err = fmt.Errorf("trace: backfilling binary header: %w", err)
+		return b.err
+	}
+	if _, err := b.seek.Seek(BinaryHeaderSize+b.records*BinaryRecordSize, io.SeekStart); err != nil {
+		b.err = fmt.Errorf("trace: restoring write position: %w", err)
+		return b.err
+	}
+	return nil
+}
+
+// WriteBinary serializes reqs in the binary format (eager convenience; the
+// streaming path is NewBinaryWriter).
+func WriteBinary(w io.Writer, reqs []Request) error {
+	bw, err := NewBinaryWriter(w, BinaryHeader{Records: int64(len(reqs)), PageBytes: SummaryPageBytes})
+	if err != nil {
+		return err
+	}
+	for _, r := range reqs {
+		if err := bw.WriteRequest(r); err != nil {
+			return err
+		}
+	}
+	return bw.Finish()
+}
+
+// Stream is the zero-allocation iterator over a binary trace. It reads
+// fixed-size record runs through an io.ReaderAt (a file, or bytes.NewReader
+// over an mmap'd region) into an internal chunk buffer and decodes them into
+// the caller's batch, so steady-state iteration allocates nothing and
+// resident memory is O(batch), independent of trace length.
+type Stream struct {
+	r       io.ReaderAt
+	f       *os.File // set by OpenBinary; Close target
+	mapped  []byte   // whole-file mmap when available; munmapped by Close
+	data    []byte   // record region of mapped; Next decodes it zero-copy
+	hdr     BinaryHeader
+	records int64 // authoritative count (header, cross-checked with size)
+	next    int64 // index of the next record to yield
+	buf     []byte
+}
+
+// NewStream validates the header of a binary trace held in r (size is the
+// total byte length, header included) and returns an iterator positioned at
+// the first record.
+func NewStream(r io.ReaderAt, size int64) (*Stream, error) {
+	var hb [BinaryHeaderSize]byte
+	if size < BinaryHeaderSize {
+		return nil, fmt.Errorf("trace: binary trace of %d bytes is shorter than its %d-byte header", size, BinaryHeaderSize)
+	}
+	if _, err := r.ReadAt(hb[:], 0); err != nil {
+		return nil, fmt.Errorf("trace: reading binary header: %w", err)
+	}
+	hdr, err := decodeBinaryHeader(hb[:])
+	if err != nil {
+		return nil, err
+	}
+	body := size - BinaryHeaderSize
+	if body%BinaryRecordSize != 0 {
+		return nil, fmt.Errorf("trace: record region of %d bytes is not a multiple of the %d-byte record size (truncated?)", body, BinaryRecordSize)
+	}
+	records := body / BinaryRecordSize
+	if hdr.Records != 0 && hdr.Records != records {
+		return nil, fmt.Errorf("trace: header claims %d records, file holds %d (truncated?)", hdr.Records, records)
+	}
+	return &Stream{r: r, hdr: hdr, records: records}, nil
+}
+
+// OpenBinary opens a binary trace file for streaming. The file is mmap'd
+// where the platform allows it, so Next decodes records straight out of the
+// page cache with no read syscalls or copies; otherwise Next falls back to
+// positioned reads. The caller must Close the stream.
+func OpenBinary(path string) (*Stream, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	s, err := NewStream(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("trace: %s: %w", path, err)
+	}
+	s.f = f
+	if m := mmapFile(f, st.Size()); m != nil {
+		s.mapped = m
+		s.data = m[BinaryHeaderSize:]
+	}
+	return s, nil
+}
+
+// Close releases the mapping and underlying file when the stream owns them
+// (OpenBinary).
+func (s *Stream) Close() error {
+	if s.mapped != nil {
+		munmapFile(s.mapped)
+		s.mapped, s.data = nil, nil
+	}
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}
+
+// Header returns the decoded file header.
+func (s *Stream) Header() BinaryHeader { return s.hdr }
+
+// Records returns the trace's record count (derived from the file size when
+// the header leaves it 0).
+func (s *Stream) Records() int64 { return s.records }
+
+// MaxEnd returns the trace's address-space high-water mark in bytes, 0 if
+// the header does not carry one. Replay uses it to size preconditioning
+// footprints without a pre-pass.
+func (s *Stream) MaxEnd() int64 { return s.hdr.MaxEnd }
+
+// Reset rewinds the stream to the first record.
+func (s *Stream) Reset() { s.next = 0 }
+
+// Next implements Iterator: it fills batch with up to len(batch) requests
+// decoded from the next records and reports how many were produced. The end
+// of the trace is (0, io.EOF). The batch's backing array is caller-owned and
+// reused across calls; steady-state calls allocate nothing.
+func (s *Stream) Next(batch []Request) (int, error) {
+	if len(batch) == 0 {
+		return 0, fmt.Errorf("trace: Stream.Next with an empty batch")
+	}
+	left := s.records - s.next
+	if left <= 0 {
+		return 0, io.EOF
+	}
+	n := len(batch)
+	if int64(n) > left {
+		n = int(left)
+	}
+	var src []byte
+	if s.data != nil {
+		// Zero-copy fast path: decode straight from the mapping.
+		src = s.data[s.next*BinaryRecordSize:]
+	} else {
+		want := n * BinaryRecordSize
+		if cap(s.buf) < want {
+			s.buf = make([]byte, want)
+		}
+		s.buf = s.buf[:want]
+		off := BinaryHeaderSize + s.next*BinaryRecordSize
+		if _, err := io.ReadFull(io.NewSectionReader(s.r, off, int64(want)), s.buf); err != nil {
+			return 0, fmt.Errorf("trace: reading records %d..%d: %w", s.next, s.next+int64(n), err)
+		}
+		src = s.buf
+	}
+	for i := 0; i < n; i++ {
+		r, err := decodeRecord(src[i*BinaryRecordSize:])
+		if err != nil {
+			return 0, fmt.Errorf("trace: record %d: %w", s.next+int64(i), err)
+		}
+		batch[i] = r
+	}
+	s.next += int64(n)
+	return n, nil
+}
+
+// ReadBinary eagerly decodes a whole binary trace (tests and small fixtures;
+// replay at scale should iterate a Stream instead).
+func ReadBinary(r io.ReaderAt, size int64) ([]Request, error) {
+	s, err := NewStream(r, size)
+	if err != nil {
+		return nil, err
+	}
+	// readBatch is a decode batch length, not page geometry.
+	const readBatch = 4096
+	out := make([]Request, 0, s.Records())
+	buf := make([]Request, readBatch)
+	for {
+		n, err := s.Next(buf)
+		out = append(out, buf[:n]...)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+// parseBinary adapts the eager Parse dispatch to the binary format: the
+// reader is drained into memory and decoded. Large traces should stream via
+// OpenBinary/NewStream instead.
+func parseBinary(r io.Reader) ([]Request, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return ReadBinary(bytes.NewReader(data), int64(len(data)))
+}

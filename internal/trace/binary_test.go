@@ -1,0 +1,581 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// genRequests builds a deterministic request mix covering all five ops with
+// varied sizes, gaps and arrival patterns.
+func genRequests(n int, seed int64) []Request {
+	rng := rand.New(rand.NewSource(seed))
+	reqs := make([]Request, 0, n)
+	arrival := int64(0)
+	for i := 0; i < n; i++ {
+		arrival += rng.Int63n(50_000)
+		op := Op(rng.Intn(int(NumOps)))
+		r := Request{Arrival: arrival, Op: op}
+		if op != OpFlush {
+			r.Offset = rng.Int63n(1 << 30)
+			r.Length = (rng.Int63n(64) + 1) * 512
+		}
+		reqs = append(reqs, r)
+	}
+	return reqs
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	reqs := genRequests(5000, 1)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, reqs); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	wantSize := int64(BinaryHeaderSize + len(reqs)*BinaryRecordSize)
+	if int64(buf.Len()) != wantSize {
+		t.Fatalf("encoded size = %d, want %d", buf.Len(), wantSize)
+	}
+	got, err := ReadBinary(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	if len(got) != len(reqs) {
+		t.Fatalf("decoded %d requests, want %d", len(got), len(reqs))
+	}
+	for i := range reqs {
+		if got[i] != reqs[i] {
+			t.Fatalf("request %d = %+v, want %+v", i, got[i], reqs[i])
+		}
+	}
+}
+
+// TestBinaryStreamEqualsEagerParse is the round-trip property the streaming
+// engine rests on: for every text format, parse → transcode to binary →
+// iterate must reproduce the eager parse bit-for-bit, including zero-length
+// skips and arrival rebasing applied by the text parsers.
+func TestBinaryStreamEqualsEagerParse(t *testing.T) {
+	cases := []struct {
+		name   string
+		format Format
+		input  string
+	}{
+		{"native", FormatNative, strings.Join([]string{
+			"# arrival_ns,offset,length,op",
+			"5000,4096,8192,r",
+			"6000,0,4096,w",
+			"6500,8192,0,w", // zero-length marker: skipped
+			"7000,12288,4096,wf",
+			"8000,4096,8192,t",
+			"9000,0,0,f",
+		}, "\n")},
+		{"spc", FormatSPC, strings.Join([]string{
+			"0,8,4096,r,1.000000",
+			"0,16,8192,W,1.010000",
+			"0,24,0,r,1.015000", // zero-length marker: skipped
+			"0,32,4096,wf,1.020000",
+			"0,8,4096,t,1.030000",
+			"0,0,0,f,1.040000",
+		}, "\n")},
+		{"msr", FormatMSR, strings.Join([]string{
+			"128166372003061629,host,0,Read,7014609920,24576,41286",
+			"128166372016382155,host,0,Write,1317441536,8192,1963",
+			"128166372026382155,host,0,Read,1317441536,0,10", // skipped
+			"128166372036382155,host,0,WriteFUA,1317449728,4096,1963",
+			"128166372046382155,host,0,Trim,7014609920,24576,0",
+			"128166372056382155,host,0,Flush,0,0,0",
+		}, "\n")},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			eager, err := Parse(strings.NewReader(tc.input), tc.format)
+			if err != nil {
+				t.Fatalf("Parse(%v): %v", tc.format, err)
+			}
+			if eager[0].Arrival != 0 {
+				t.Fatalf("arrival not rebased: first arrival = %d", eager[0].Arrival)
+			}
+			var bin bytes.Buffer
+			bw, err := NewBinaryWriter(&bin, BinaryHeader{Source: tc.format})
+			if err != nil {
+				t.Fatalf("NewBinaryWriter: %v", err)
+			}
+			for _, r := range eager {
+				if err := bw.WriteRequest(r); err != nil {
+					t.Fatalf("WriteRequest: %v", err)
+				}
+			}
+			if err := bw.Finish(); err != nil {
+				t.Fatalf("Finish: %v", err)
+			}
+
+			s, err := NewStream(bytes.NewReader(bin.Bytes()), int64(bin.Len()))
+			if err != nil {
+				t.Fatalf("NewStream: %v", err)
+			}
+			if s.Header().Source != tc.format {
+				t.Errorf("header source = %v, want %v", s.Header().Source, tc.format)
+			}
+			// Iterate with a deliberately awkward batch size so requests
+			// straddle batch boundaries.
+			var streamed []Request
+			batch := make([]Request, 3)
+			for {
+				n, err := s.Next(batch)
+				streamed = append(streamed, batch[:n]...)
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatalf("Next: %v", err)
+				}
+			}
+			if len(streamed) != len(eager) {
+				t.Fatalf("streamed %d requests, eager parse has %d", len(streamed), len(eager))
+			}
+			for i := range eager {
+				if streamed[i] != eager[i] {
+					t.Fatalf("request %d: streamed %+v, eager %+v", i, streamed[i], eager[i])
+				}
+			}
+			// The eager dispatch path must agree too.
+			viaParse, err := Parse(bytes.NewReader(bin.Bytes()), FormatBinary)
+			if err != nil {
+				t.Fatalf("Parse(binary): %v", err)
+			}
+			if len(viaParse) != len(eager) {
+				t.Fatalf("Parse(binary) got %d requests, want %d", len(viaParse), len(eager))
+			}
+		})
+	}
+}
+
+func TestBinaryWriterBackfillsHeader(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.ftr")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw, err := NewBinaryWriter(f, BinaryHeader{Source: FormatNative, PageBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := genRequests(257, 2)
+	var wantMax int64
+	for _, r := range reqs {
+		if err := bw.WriteRequest(r); err != nil {
+			t.Fatal(err)
+		}
+		if r.End() > wantMax {
+			wantMax = r.End()
+		}
+	}
+	if err := bw.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := OpenBinary(path)
+	if err != nil {
+		t.Fatalf("OpenBinary: %v", err)
+	}
+	defer s.Close()
+	if s.Records() != int64(len(reqs)) {
+		t.Errorf("Records = %d, want %d", s.Records(), len(reqs))
+	}
+	if s.Header().Records != int64(len(reqs)) {
+		t.Errorf("header records = %d, want %d (backfill missing)", s.Header().Records, len(reqs))
+	}
+	if s.MaxEnd() != wantMax {
+		t.Errorf("MaxEnd = %d, want %d", s.MaxEnd(), wantMax)
+	}
+	if s.Header().PageBytes != 4096 {
+		t.Errorf("header page bytes = %d, want 4096", s.Header().PageBytes)
+	}
+}
+
+// TestBinaryWriterNonSeekableSink checks the pipe case: no backfill, header
+// count stays 0, and the reader derives the count from the size.
+func TestBinaryWriterNonSeekableSink(t *testing.T) {
+	var buf bytes.Buffer // not an io.WriteSeeker
+	bw, err := NewBinaryWriter(&buf, BinaryHeader{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range genRequests(10, 3) {
+		if err := bw.WriteRequest(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStream(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Header().Records != 0 {
+		t.Errorf("header records = %d, want 0 on a non-seekable sink", s.Header().Records)
+	}
+	if s.Records() != 10 {
+		t.Errorf("Records = %d, want 10 (derived from size)", s.Records())
+	}
+}
+
+func TestBinaryWriterRejectsInvalidRequest(t *testing.T) {
+	var buf bytes.Buffer
+	bw, err := NewBinaryWriter(&buf, BinaryHeader{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.WriteRequest(Request{Op: OpFlush, Length: 4096}); err == nil {
+		t.Fatal("want error writing a flush with payload")
+	}
+	if err := bw.Finish(); err == nil {
+		t.Fatal("want Finish to report the sticky error")
+	}
+}
+
+func TestStreamReset(t *testing.T) {
+	reqs := genRequests(100, 4)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, reqs); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStream(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain := func() int {
+		total := 0
+		b := make([]Request, 7)
+		for {
+			n, err := s.Next(b)
+			total += n
+			if err == io.EOF {
+				return total
+			}
+			if err != nil {
+				t.Fatalf("Next: %v", err)
+			}
+		}
+	}
+	if n := drain(); n != 100 {
+		t.Fatalf("first pass drained %d, want 100", n)
+	}
+	s.Reset()
+	if n := drain(); n != 100 {
+		t.Fatalf("post-Reset pass drained %d, want 100", n)
+	}
+}
+
+// TestStreamNextZeroAlloc pins the iterator's zero-allocation contract:
+// once the chunk buffer has grown, Next must not allocate.
+func TestStreamNextZeroAlloc(t *testing.T) {
+	reqs := genRequests(10000, 5)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, reqs); err != nil {
+		t.Fatal(err)
+	}
+	rd := bytes.NewReader(buf.Bytes())
+	s, err := NewStream(rd, int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]Request, 512)
+	if _, err := s.Next(batch); err != nil { // grow the chunk buffer once
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := s.Next(batch); err != nil {
+			s.Reset()
+		}
+	})
+	if allocs > 0.1 {
+		t.Fatalf("Stream.Next allocates %.2f/op, want 0", allocs)
+	}
+}
+
+// TestOpenBinaryMappedMatchesEager pins the mmap fast path: a stream opened
+// from a file (mapped where the platform supports it) must yield exactly what
+// the eager decoder produces, survive Reset, and stay zero-alloc.
+func TestOpenBinaryMappedMatchesEager(t *testing.T) {
+	reqs := genRequests(3000, 7)
+	path := filepath.Join(t.TempDir(), "mapped.ftr")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(f, reqs); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := OpenBinary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if runtime.GOOS == "linux" || runtime.GOOS == "darwin" {
+		if s.data == nil {
+			t.Fatalf("OpenBinary did not map the file on %s", runtime.GOOS)
+		}
+	}
+	drain := func() []Request {
+		var out []Request
+		b := make([]Request, 7) // awkward size: records straddle batches
+		for {
+			n, err := s.Next(b)
+			out = append(out, b[:n]...)
+			if err == io.EOF {
+				return out
+			}
+			if err != nil {
+				t.Fatalf("Next: %v", err)
+			}
+		}
+	}
+	for pass := 0; pass < 2; pass++ {
+		got := drain()
+		if len(got) != len(reqs) {
+			t.Fatalf("pass %d: drained %d requests, want %d", pass, len(got), len(reqs))
+		}
+		for i := range reqs {
+			if got[i] != reqs[i] {
+				t.Fatalf("pass %d: request %d = %+v, want %+v", pass, i, got[i], reqs[i])
+			}
+		}
+		s.Reset()
+	}
+	batch := make([]Request, 512)
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := s.Next(batch); err != nil {
+			s.Reset()
+		}
+	})
+	if allocs > 0.1 {
+		t.Fatalf("mapped Stream.Next allocates %.2f/op, want 0", allocs)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := s.Close(); err != nil { // idempotent
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestStreamRejectsCorruptInputs(t *testing.T) {
+	good := func() []byte {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, genRequests(8, 6)); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		openErr bool // error at NewStream (vs at Next)
+	}{
+		{"empty", func(b []byte) []byte { return nil }, true},
+		{"short-header", func(b []byte) []byte { return b[:BinaryHeaderSize-1] }, true},
+		{"bad-magic", func(b []byte) []byte { b[0] = 'X'; return b }, true},
+		{"bad-version", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[8:12], 99)
+			return b
+		}, true},
+		{"bad-record-size", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[12:16], 16)
+			return b
+		}, true},
+		{"reserved-header-byte", func(b []byte) []byte { b[63] = 1; return b }, true},
+		{"truncated-record", func(b []byte) []byte { return b[:len(b)-5] }, true},
+		{"count-mismatch", func(b []byte) []byte { return b[:len(b)-2*BinaryRecordSize] }, true},
+		{"bad-source", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[36:40], 7)
+			return b
+		}, true},
+		{"bad-op", func(b []byte) []byte { b[BinaryHeaderSize+24] = byte(NumOps); return b }, false},
+		{"reserved-record-byte", func(b []byte) []byte { b[BinaryHeaderSize+31] = 1; return b }, false},
+		{"flush-with-payload", func(b []byte) []byte {
+			// Rewrite record 0 as a flush carrying a nonzero length.
+			binary.LittleEndian.PutUint64(b[BinaryHeaderSize+8:], 0)
+			binary.LittleEndian.PutUint64(b[BinaryHeaderSize+16:], 4096)
+			b[BinaryHeaderSize+24] = byte(OpFlush)
+			return b
+		}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := tc.mutate(append([]byte(nil), good()...))
+			s, err := NewStream(bytes.NewReader(data), int64(len(data)))
+			if tc.openErr {
+				if err == nil {
+					t.Fatal("want NewStream error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("NewStream: %v", err)
+			}
+			batch := make([]Request, 16)
+			if _, err := s.Next(batch); err == nil {
+				t.Fatal("want Next error on corrupt record")
+			}
+		})
+	}
+}
+
+// FuzzBinaryDecode feeds arbitrary bytes through the streaming decoder: it
+// must never panic or over-read, and whenever it accepts an input, every
+// decoded record must be valid and re-encode to the identical file.
+func FuzzBinaryDecode(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteBinary(&seed, genRequests(20, 7)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add(seed.Bytes()[:BinaryHeaderSize])
+	f.Add(seed.Bytes()[:BinaryHeaderSize+BinaryRecordSize/2])
+	f.Add([]byte(binaryMagic))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reqs, err := ReadBinary(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		bw, err := NewBinaryWriter(&out, BinaryHeader{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range reqs {
+			if verr := r.Validate(); verr != nil {
+				t.Fatalf("decoder accepted invalid request %d: %v", i, verr)
+			}
+			if err := bw.WriteRequest(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := bw.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		// Accepted inputs re-encode byte-for-byte except the header, whose
+		// Records/MaxEnd/PageBytes/Source metadata the original may have
+		// left unset or set differently.
+		if !bytes.Equal(out.Bytes()[BinaryHeaderSize:], data[BinaryHeaderSize:]) {
+			t.Fatal("record region does not round-trip")
+		}
+	})
+}
+
+func TestLimitIterator(t *testing.T) {
+	reqs := genRequests(20, 8)
+	it := NewSliceIterator(reqs)
+	lim := Limit(it, 7)
+	batch := make([]Request, 5)
+	var got []Request
+	for {
+		n, err := lim.Next(batch)
+		got = append(got, batch[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != 7 {
+		t.Fatalf("Limit(7) yielded %d requests", len(got))
+	}
+	// The underlying iterator resumes exactly where the limit stopped.
+	n, err := it.Next(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch[0] != reqs[7] {
+		t.Fatalf("underlying iterator resumed at %+v, want %+v", batch[0], reqs[7])
+	}
+	_ = n
+}
+
+func TestSliceIteratorDrain(t *testing.T) {
+	reqs := genRequests(10, 9)
+	it := NewSliceIterator(reqs)
+	batch := make([]Request, 4)
+	var got []Request
+	for {
+		n, err := it.Next(batch)
+		got = append(got, batch[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range reqs {
+		if got[i] != reqs[i] {
+			t.Fatalf("request %d mismatch", i)
+		}
+	}
+	if n, err := it.Next(batch); n != 0 || err != io.EOF {
+		t.Fatalf("drained iterator returned (%d, %v), want (0, EOF)", n, err)
+	}
+	it.Reset()
+	if n, _ := it.Next(batch); n != 4 {
+		t.Fatalf("post-Reset Next returned %d", n)
+	}
+}
+
+// TestStatsAccumMatchesSummarize pins the streamed statistics path to the
+// eager one on a mixed op stream.
+func TestStatsAccumMatchesSummarize(t *testing.T) {
+	reqs := genRequests(5000, 10)
+	want := Summarize(reqs)
+	var a StatsAccum
+	for _, r := range reqs {
+		a.Add(r)
+	}
+	if a.Stats() != want {
+		t.Fatalf("StatsAccum = %+v, want %+v", a.Stats(), want)
+	}
+}
+
+// TestParserLongLine is the regression for the scanner token cap: a comment
+// line far beyond bufio.Scanner's former 1 MB ceiling must not abort the
+// parse.
+func TestParserLongLine(t *testing.T) {
+	long := "# " + strings.Repeat("x", 3<<20)
+	for _, tc := range []struct {
+		name   string
+		format Format
+		body   string
+	}{
+		{"native", FormatNative, "0,0,4096,r\n"},
+		{"spc", FormatSPC, "0,8,4096,r,1.0\n"},
+		{"msr", FormatMSR, "100,host,0,Read,4096,4096,0\n"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			reqs, err := Parse(strings.NewReader(long+"\n"+tc.body), tc.format)
+			if err != nil {
+				t.Fatalf("parse with 3MB line: %v", err)
+			}
+			if len(reqs) != 1 {
+				t.Fatalf("got %d requests, want 1", len(reqs))
+			}
+		})
+	}
+}

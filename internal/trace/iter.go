@@ -1,0 +1,68 @@
+package trace
+
+import "io"
+
+// Iterator is the streaming request source replay consumes: Next fills the
+// caller-owned batch with up to len(batch) requests and reports how many it
+// produced. The end of the stream is (0, io.EOF); any other error aborts the
+// stream. n == 0 implies a non-nil error, and implementations must not
+// retain the batch slice between calls — callers reuse its backing array, so
+// a well-behaved iterator drives replay of arbitrarily long traces in
+// O(batch) memory.
+type Iterator interface {
+	Next(batch []Request) (int, error)
+}
+
+// SliceIterator adapts an in-memory request slice to the Iterator interface;
+// it is how the eager replay paths are expressed in terms of the streaming
+// ones.
+type SliceIterator struct {
+	reqs []Request
+	next int
+}
+
+// NewSliceIterator returns an iterator over reqs. The slice is read, never
+// mutated.
+func NewSliceIterator(reqs []Request) *SliceIterator {
+	return &SliceIterator{reqs: reqs}
+}
+
+// Next implements Iterator by copying the next run of requests into batch.
+func (s *SliceIterator) Next(batch []Request) (int, error) {
+	if s.next >= len(s.reqs) {
+		return 0, io.EOF
+	}
+	n := copy(batch, s.reqs[s.next:])
+	s.next += n
+	return n, nil
+}
+
+// Reset rewinds the iterator to the first request.
+func (s *SliceIterator) Reset() { s.next = 0 }
+
+// limitIterator caps an iterator at n requests.
+type limitIterator struct {
+	it   Iterator
+	left int64
+}
+
+// Limit returns an iterator yielding at most n requests from it, then EOF.
+// The underlying iterator is not advanced past the limit, so a caller can
+// drain a warm-up prefix through Limit and continue the measured phase from
+// the same iterator — the mechanism sim.Run uses to split one stream into
+// warm-up and measurement without a second pass over the file.
+func Limit(it Iterator, n int64) Iterator {
+	return &limitIterator{it: it, left: n}
+}
+
+func (l *limitIterator) Next(batch []Request) (int, error) {
+	if l.left <= 0 {
+		return 0, io.EOF
+	}
+	if int64(len(batch)) > l.left {
+		batch = batch[:l.left]
+	}
+	n, err := l.it.Next(batch)
+	l.left -= int64(n)
+	return n, err
+}

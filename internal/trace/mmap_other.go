@@ -1,0 +1,10 @@
+//go:build !linux && !darwin
+
+package trace
+
+import "os"
+
+// mmapFile is unsupported here; streaming falls back to positioned reads.
+func mmapFile(f *os.File, size int64) []byte { return nil }
+
+func munmapFile(data []byte) {}

@@ -1,0 +1,26 @@
+//go:build linux || darwin
+
+package trace
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the file read-only. A nil return (empty file, oversized on a
+// 32-bit platform, or any mmap failure) sends the caller down the pread
+// path; the mapping is an optimization, never a requirement.
+func mmapFile(f *os.File, size int64) []byte {
+	if size <= 0 || int64(int(size)) != size {
+		return nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+func munmapFile(data []byte) {
+	_ = syscall.Munmap(data)
+}

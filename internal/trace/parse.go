@@ -21,10 +21,30 @@ const (
 	// FormatMSR is the MSR Cambridge CSV:
 	// Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime.
 	FormatMSR
+	// FormatBinary is this repository's fixed-record binary format (see
+	// binary.go): streamable in bounded memory, the target of
+	// `tracegen convert`.
+	FormatBinary
 )
 
 // spcSectorSize is the unit of the LBA column in UMass SPC traces.
 const spcSectorSize = 512
+
+// maxLineBytes bounds a single trace line. Captured traces occasionally
+// carry pathological lines (concatenated records, huge vendor comment
+// blobs); bufio.Scanner's default 64 KB cap — and the 1 MB cap the parsers
+// used before this was centralized — abort the whole parse on them with an
+// unhelpful "token too long". 16 MB is far beyond any legitimate record yet
+// still bounds memory on a malformed input.
+const maxLineBytes = 16 << 20
+
+// newLineScanner builds the line scanner all CSV parsers share, with the
+// explicit buffer sizing in one place.
+func newLineScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), maxLineBytes)
+	return sc
+}
 
 // ParseError reports a malformed trace line.
 type ParseError struct {
@@ -110,8 +130,7 @@ func skippableZeroLength(op Op, size int64) bool {
 // use this format.
 func ParseSPC(r io.Reader) ([]Request, error) {
 	var out []Request
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	sc := newLineScanner(r)
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -178,8 +197,7 @@ func ParseMSR(r io.Reader) ([]Request, error) {
 	var out []Request
 	var baseTicks int64
 	haveBase := false
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	sc := newLineScanner(r)
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -244,8 +262,7 @@ func ParseMSR(r io.Reader) ([]Request, error) {
 // MSR parsers.
 func ParseNative(r io.Reader) ([]Request, error) {
 	var out []Request
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	sc := newLineScanner(r)
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -298,6 +315,8 @@ func Parse(r io.Reader, f Format) ([]Request, error) {
 		return ParseSPC(r)
 	case FormatMSR:
 		return ParseMSR(r)
+	case FormatBinary:
+		return parseBinary(r)
 	default:
 		return nil, fmt.Errorf("trace: unknown format %d", f)
 	}
@@ -312,8 +331,10 @@ func FormatByName(name string) (Format, error) {
 		return FormatSPC, nil
 	case "msr", "cambridge":
 		return FormatMSR, nil
+	case "binary", "bin", "ftr":
+		return FormatBinary, nil
 	default:
-		return 0, fmt.Errorf("trace: unknown format %q (want native, spc or msr)", name)
+		return 0, fmt.Errorf("trace: unknown format %q (want native, spc, msr or binary)", name)
 	}
 }
 
@@ -386,6 +407,8 @@ func Write(w io.Writer, reqs []Request, f Format) error {
 		return WriteSPC(w, reqs)
 	case FormatMSR:
 		return WriteMSR(w, reqs)
+	case FormatBinary:
+		return WriteBinary(w, reqs)
 	default:
 		return fmt.Errorf("trace: unknown format %d", f)
 	}

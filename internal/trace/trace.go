@@ -163,55 +163,76 @@ func (s Stats) SeqWriteRatio() float64 {
 	return float64(s.SeqWrites) / float64(s.Writes)
 }
 
-// summaryPageBytes is the page size Summarize counts page accesses in. The
+// SummaryPageBytes is the page size Summarize counts page accesses in. The
 // trace package cannot see ftl.Config (ftl imports trace), so the 4 KB
 // convention is named here.
-const summaryPageBytes = 4096
+const SummaryPageBytes = 4096
+
+// StatsAccum accumulates Stats one request at a time, so a streamed trace
+// can be summarized without ever holding it in memory. The zero value is
+// ready to use; feed requests in replay order (sequentiality tracking
+// compares each request against its predecessor's end address).
+type StatsAccum struct {
+	s       Stats
+	prevEnd int64
+	started bool
+}
+
+// Add folds one request into the accumulator.
+func (a *StatsAccum) Add(r Request) {
+	if !a.started {
+		a.prevEnd = -1
+		a.started = true
+	}
+	a.s.Requests++
+	switch r.Op {
+	case OpRead, OpWrite, OpWriteFUA:
+		// Payload ops: fall through to the byte/locality accounting.
+	case OpFlush:
+		a.s.Flushes++
+		return
+	case OpTrim:
+		a.s.Trims++
+		a.s.TrimBytes += r.Length
+		a.s.TrimPages += int64(r.PageCount(SummaryPageBytes))
+		if r.End() > a.s.MaxEnd {
+			a.s.MaxEnd = r.End()
+		}
+		a.prevEnd = r.End()
+		return
+	}
+	a.s.Bytes += r.Length
+	if r.IsWrite() {
+		a.s.Writes++
+		a.s.WriteBytes += r.Length
+		if r.Op == OpWriteFUA {
+			a.s.FUAWrites++
+		}
+	}
+	if r.Offset == a.prevEnd {
+		if r.IsWrite() {
+			a.s.SeqWrites++
+		} else {
+			a.s.SeqReads++
+		}
+	}
+	a.prevEnd = r.End()
+	if r.End() > a.s.MaxEnd {
+		a.s.MaxEnd = r.End()
+	}
+	a.s.PageAccesses += int64(r.PageCount(SummaryPageBytes))
+}
+
+// Stats returns the statistics accumulated so far.
+func (a *StatsAccum) Stats() Stats { return a.s }
 
 // Summarize computes stream statistics over reqs using 4 KB pages.
 func Summarize(reqs []Request) Stats {
-	var s Stats
-	var prevEnd int64 = -1
+	var a StatsAccum
 	for _, r := range reqs {
-		s.Requests++
-		switch r.Op {
-		case OpRead, OpWrite, OpWriteFUA:
-			// Payload ops: fall through to the byte/locality accounting.
-		case OpFlush:
-			s.Flushes++
-			continue
-		case OpTrim:
-			s.Trims++
-			s.TrimBytes += r.Length
-			s.TrimPages += int64(r.PageCount(summaryPageBytes))
-			if r.End() > s.MaxEnd {
-				s.MaxEnd = r.End()
-			}
-			prevEnd = r.End()
-			continue
-		}
-		s.Bytes += r.Length
-		if r.IsWrite() {
-			s.Writes++
-			s.WriteBytes += r.Length
-			if r.Op == OpWriteFUA {
-				s.FUAWrites++
-			}
-		}
-		if r.Offset == prevEnd {
-			if r.IsWrite() {
-				s.SeqWrites++
-			} else {
-				s.SeqReads++
-			}
-		}
-		prevEnd = r.End()
-		if r.End() > s.MaxEnd {
-			s.MaxEnd = r.End()
-		}
-		s.PageAccesses += int64(r.PageCount(summaryPageBytes))
+		a.Add(r)
 	}
-	return s
+	return a.Stats()
 }
 
 // Clamp truncates requests to fit within an address space of size bytes,
