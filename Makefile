@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint lint-report lint-fix-audit sanitize fuzz bench bench-ci bench-smoke shard-smoke obs-smoke trim-smoke stream-smoke ci
+.PHONY: build test race vet lint lint-report lint-fix-audit sanitize fuzz bench bench-ci bench-smoke shard-smoke obs-smoke obs-live-smoke trim-smoke stream-smoke ci
 
 build:
 	$(GO) build ./...
@@ -147,4 +147,30 @@ stream-smoke: bin/ftlsim bin/tracegen
 	$(GO) test ./internal/sim -run 'TestStreamedReplayMatchesEager|TestStreamBoundedMemory' -count=1
 	rm -f /tmp/stream-smoke.csv /tmp/stream-smoke.ftr /tmp/stream-smoke.*.txt
 
-ci: vet lint lint-report race sanitize bench-smoke shard-smoke stream-smoke bench-ci obs-smoke trim-smoke
+# Live-telemetry smoke: a sharded streamed replay with the scrape server up
+# (-telemetry-addr) is scraped twice in flight by obsvalidate — both
+# expositions must parse as Prometheus text and the second must be monotonic
+# over the first — then POST /quit ends the linger window, the flight-recorder
+# dump must validate, and the run's stdout must be bit-for-bit identical to
+# the same replay with telemetry off. Catches a scrape-format regression, a
+# counter that moves backwards across warm-up, or any telemetry feedback into
+# the simulation.
+obs-live-smoke: bin/ftlsim bin/tracegen bin/obsvalidate
+	./bin/tracegen -workload Financial1 -requests 20000 -scale 67108864 -o /tmp/obs-live.csv
+	./bin/tracegen convert -format native -i /tmp/obs-live.csv -o /tmp/obs-live.ftr 2> /dev/null
+	./bin/ftlsim -trace /tmp/obs-live.ftr -format binary -space 67108864 -warmup 2000 \
+		-shards 2 -clients 4 -qd 8 > /tmp/obs-live.off.txt 2> /dev/null
+	./bin/ftlsim -trace /tmp/obs-live.ftr -format binary -space 67108864 -warmup 2000 \
+		-shards 2 -clients 4 -qd 8 -telemetry-addr 127.0.0.1:19610 \
+		-telemetry-interval 100ms -telemetry-every 256 -telemetry-linger 30s \
+		-recorder-out /tmp/obs-live.flight.txt > /tmp/obs-live.on.txt 2> /dev/null & \
+	./bin/obsvalidate -scrape http://127.0.0.1:19610/metrics -o /tmp/obs-live.s1.prom && \
+	./bin/obsvalidate -scrape http://127.0.0.1:19610/metrics -o /tmp/obs-live.s2.prom && \
+	./bin/obsvalidate -prom /tmp/obs-live.s2.prom -prom-prev /tmp/obs-live.s1.prom && \
+	./bin/obsvalidate -post http://127.0.0.1:19610/quit && \
+	wait
+	./bin/obsvalidate -recorder /tmp/obs-live.flight.txt
+	cmp /tmp/obs-live.off.txt /tmp/obs-live.on.txt
+	rm -f /tmp/obs-live.csv /tmp/obs-live.ftr /tmp/obs-live.*.txt /tmp/obs-live.*.prom
+
+ci: vet lint lint-report race sanitize bench-smoke shard-smoke stream-smoke bench-ci obs-smoke obs-live-smoke trim-smoke

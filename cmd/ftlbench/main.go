@@ -47,9 +47,11 @@ import (
 	"time"
 
 	"repro/cmd/internal/memwatch"
+	"repro/cmd/internal/telemetry"
 	"repro/internal/ftl"
 	"repro/internal/host"
 	"repro/internal/obs"
+	"repro/internal/obs/live"
 	"repro/internal/sim"
 	"repro/internal/ssd"
 	"repro/internal/trace"
@@ -225,17 +227,27 @@ func main() {
 		streamReqs   = flag.Int("stream-requests", 100_000_000, "trace length of the stream-replay case")
 		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile of the measured runs to this file")
 		memprofile   = flag.String("memprofile", "", "write a heap profile taken after the measured runs to this file")
+		telAddr      = flag.String("telemetry-addr", "", "serve live telemetry over HTTP on this address while cases run (Prometheus /metrics, JSON /snapshot, pprof under /debug); measured numbers are unaffected")
 	)
 	flag.Parse()
-	if err := run(*out, *note, *baseline, *baselineNote, *keepBaseline, *runs, *smoke, *only, *minOps, *streamReqs, *cpuprofile, *memprofile); err != nil {
+	if err := run(*out, *note, *baseline, *baselineNote, *keepBaseline, *runs, *smoke, *only, *minOps, *streamReqs, *cpuprofile, *memprofile, *telAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "ftlbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out, note, baseline, baselineNote string, keepBaseline bool, runs int, smoke bool, only string, minOps float64, streamReqs int, cpuprofile, memprofile string) error {
+func run(out, note, baseline, baselineNote string, keepBaseline bool, runs int, smoke bool, only string, minOps float64, streamReqs int, cpuprofile, memprofile, telAddr string) error {
 	if runs < 1 {
 		runs = 1
+	}
+	var plane *live.Plane
+	if telAddr != "" {
+		plane = live.NewPlane(0, 0)
+		tel, err := telemetry.Start(telemetry.Options{Addr: telAddr, Plane: plane})
+		if err != nil {
+			return err
+		}
+		defer tel.Finish()
 	}
 	cases := matrix()
 	selected := cases[:0]
@@ -278,7 +290,7 @@ func run(out, note, baseline, baselineNote string, keepBaseline bool, runs int, 
 		Runs:       runs,
 	}
 	for _, c := range selected {
-		r, err := runCase(c, runs)
+		r, err := runCase(c, runs, plane)
 		if err != nil {
 			return fmt.Errorf("%s: %w", c.Name, err)
 		}
@@ -583,8 +595,10 @@ func buildStreamCase(c benchCase, tracePath string) (*ftl.Device, *trace.Stream,
 
 // runCase measures one cell: allocations on the first run, wall time as the
 // best of `runs` repetitions (each on a fresh device so cache state is
-// identical).
-func runCase(c benchCase, runs int) (caseResult, error) {
+// identical). When plane is non-nil the cell's devices publish live epochs
+// into it so an HTTP scraper can watch the matrix progress; the published
+// counters never feed back into the measured simulation.
+func runCase(c benchCase, runs int, plane *live.Plane) (caseResult, error) {
 	res := caseResult{
 		Name:     c.Name,
 		Scheme:   string(c.Scheme),
@@ -609,14 +623,32 @@ func runCase(c benchCase, runs int) (caseResult, error) {
 	for r := 0; r < runs; r++ {
 		var measure func() (ftl.Metrics, uint64, error)
 		var cleanup func()
+		var liveCell *live.Cell
+		startRun := func(shards int) []*live.Cell {
+			if plane == nil {
+				return nil
+			}
+			cells := plane.StartRun(live.RunInfo{
+				Scheme:        string(c.Scheme),
+				Workload:      c.Name,
+				Shards:        shards,
+				TotalRequests: int64(c.Requests),
+			})
+			liveCell = cells[0]
+			return cells
+		}
 		if c.Stream {
 			dev, st, err := buildStreamCase(c, tracePath)
 			if err != nil {
 				return res, err
 			}
+			if cells := startRun(1); cells != nil {
+				dev.SetLive(liveCell)
+			}
 			cleanup = func() { st.Close() }
 			measure = func() (ftl.Metrics, uint64, error) {
 				a := ssd.NewAdmitter(c.QD)
+				a.SetLive(liveCell)
 				buf := make([]trace.Request, streamBatch)
 				for {
 					n, err := st.Next(buf)
@@ -632,12 +664,16 @@ func runCase(c benchCase, runs int) (caseResult, error) {
 						return ftl.Metrics{}, 0, err
 					}
 				}
+				dev.PublishLive()
 				return dev.Metrics(), dev.Scheduler().EventHash(), nil
 			}
 		} else if c.Shards > 0 {
 			h, reqs, err := buildShardCase(c)
 			if err != nil {
 				return res, err
+			}
+			if cells := startRun(c.Shards); cells != nil {
+				h.SetLive(cells)
 			}
 			measure = func() (ftl.Metrics, uint64, error) {
 				out, err := h.Replay(reqs, host.ReplayOptions{Clients: c.Clients})
@@ -651,10 +687,14 @@ func runCase(c benchCase, runs int) (caseResult, error) {
 			if err != nil {
 				return res, err
 			}
+			if cells := startRun(1); cells != nil {
+				dev.SetLive(liveCell)
+			}
 			measure = func() (ftl.Metrics, uint64, error) {
-				if _, err := (ssd.Frontend{QueueDepth: c.QD}).Run(dev, reqs); err != nil {
+				if _, err := (ssd.Frontend{QueueDepth: c.QD, Live: liveCell}).Run(dev, reqs); err != nil {
 					return ftl.Metrics{}, 0, err
 				}
+				dev.PublishLive()
 				return dev.Metrics(), dev.Scheduler().EventHash(), nil
 			}
 		}

@@ -17,19 +17,38 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	tpftl "repro"
 	"repro/cmd/internal/memwatch"
+	"repro/cmd/internal/telemetry"
 	"repro/internal/core"
 	"repro/internal/ftl"
 	"repro/internal/obs"
+	"repro/internal/obs/live"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
+
+// telemetryFlags groups the live-telemetry CLI knobs.
+type telemetryFlags struct {
+	addr        string        // HTTP scrape server address ("" = off)
+	progress    bool          // periodic stderr progress line
+	interval    time.Duration // sampler/progress period
+	linger      time.Duration // keep serving after the run (until POST /quit)
+	every       int64         // epoch cadence in served requests per shard
+	recorderOut string        // write the flight-recorder dump here after the run
+}
+
+// armed reports whether any surface of the live plane was requested.
+func (t telemetryFlags) armed() bool {
+	return t.addr != "" || t.progress || t.recorderOut != ""
+}
 
 func main() {
 	var (
@@ -63,6 +82,13 @@ func main() {
 		metricsOut      = flag.String("metrics-out", "", "stream JSONL metrics snapshots (counter deltas + per-phase latency quantiles) of the measured phase to this file")
 		metricsInterval = flag.Int("metrics-interval", 1000, "measured requests between -metrics-out snapshots")
 		traceOut        = flag.String("trace-out", "", "write the measured phase's flash-operation span trace (Chrome trace_event JSON, open in Perfetto) to this file")
+
+		telemetryAddr     = flag.String("telemetry-addr", "", "serve live telemetry over HTTP on this address while the run is in flight: Prometheus text on /metrics, JSON on /snapshot, expvar + pprof under /debug (simulated results are bit-for-bit unaffected)")
+		telemetryProgress = flag.Bool("progress", false, "print a periodic progress line (requests, req/s, ETA, peak RSS) to stderr")
+		telemetryInterval = flag.Duration("telemetry-interval", 0, "sampler/progress period (default 2s)")
+		telemetryLinger   = flag.Duration("telemetry-linger", 0, "keep the telemetry server alive this long after the run (or until POST /quit), so a scraper can read the final epochs")
+		telemetryEvery    = flag.Int64("telemetry-every", 0, "served requests per shard between telemetry epochs (default 1024)")
+		recorderOut       = flag.String("recorder-out", "", "write the per-shard flight-recorder dump (last N requests + GC events) to this file after the run")
 	)
 	flag.Parse()
 	if *cpuprof != "" {
@@ -78,10 +104,18 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
+	tf := telemetryFlags{
+		addr:        *telemetryAddr,
+		progress:    *telemetryProgress,
+		interval:    *telemetryInterval,
+		linger:      *telemetryLinger,
+		every:       *telemetryEvery,
+		recorderOut: *recorderOut,
+	}
 	if err := run(*scheme, *wl, *requests, *seed, *scale, *cache, *fraction,
 		*warmup, *precond, *traceFile, *format, *batch, *space, *variant, *gcPolicy, *wearLevel,
 		*faults, *cuts, *channels, *dies, *qd, *shards, *clients, *tplace,
-		*metricsOut, *metricsInterval, *traceOut); err != nil {
+		*metricsOut, *metricsInterval, *traceOut, tf); err != nil {
 		fmt.Fprintln(os.Stderr, "ftlsim:", err)
 		os.Exit(1)
 	}
@@ -102,7 +136,7 @@ func main() {
 func run(scheme, wl string, requests int, seed, scale, cache int64, fraction float64,
 	warmup int, precond float64, traceFile, format string, batch int, space int64, variant, gcPolicy string, wearLevel int,
 	faults string, cuts, channels, dies, qd, shards, clients int, tplace string,
-	metricsOut string, metricsInterval int, traceOut string) error {
+	metricsOut string, metricsInterval int, traceOut string, tf telemetryFlags) error {
 	profile, err := workload.ProfileByName(wl)
 	if err != nil {
 		return err
@@ -237,11 +271,58 @@ func run(scheme, wl string, requests int, seed, scale, cache int64, fraction flo
 		opts.TraceOut = f
 	}
 
+	var plane *live.Plane
+	if tf.armed() {
+		plane = live.NewPlane(tf.every, 0)
+		opts.Telemetry = plane
+	}
+
 	mw := memwatch.Start(0)
+	var tel *telemetry.T
+	if plane != nil {
+		var pw io.Writer
+		if tf.progress {
+			pw = os.Stderr
+		}
+		tel, err = telemetry.Start(telemetry.Options{
+			Addr:     tf.addr,
+			Plane:    plane,
+			Progress: pw,
+			Interval: tf.interval,
+			Linger:   tf.linger,
+			Watcher:  mw,
+		})
+		if err != nil {
+			mw.Stop()
+			return err
+		}
+	}
 	res, err := tpftl.Run(opts)
+	if tel != nil {
+		if err != nil {
+			// Post-mortem: the last admitted requests and scheduler events
+			// of every shard, straight to stderr before we bail.
+			fmt.Fprintln(os.Stderr, "ftlsim: run failed — flight recorder follows")
+			tel.DumpOnError(os.Stderr)
+		}
+		tel.Finish()
+	}
 	peak := mw.Stop()
 	if err != nil {
 		return err
+	}
+	if tf.recorderOut != "" && plane != nil {
+		f, err := os.Create(tf.recorderOut)
+		if err != nil {
+			return err
+		}
+		if err := plane.DumpRecorders(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
 	printResult(res)
 	fmt.Fprintf(os.Stderr, "peak rss          %.1f MB\n", float64(peak)/(1<<20))
@@ -342,10 +423,11 @@ func printResult(r *tpftl.Result) {
 	if len(r.Shards) > 0 {
 		fmt.Println()
 		fmt.Printf("shards                    %8d (merged digest %016x)\n", len(r.Shards), r.Digest)
-		fmt.Printf("  shard   requests     page accesses   avg response   event hash\n")
+		fmt.Printf("  shard   requests     page accesses   avg response   hit ratio   mean depth   event hash\n")
 		for _, s := range r.Shards {
-			fmt.Printf("  %5d %10d %17d %14v   %016x\n",
-				s.Shard, s.M.Requests, s.M.PageAccesses(), s.M.AvgResponse(), s.EventHash)
+			fmt.Printf("  %5d %10d %17d %14v %10.2f%% %12.2f   %016x\n",
+				s.Shard, s.M.Requests, s.M.PageAccesses(), s.M.AvgResponse(),
+				s.M.Hr()*100, s.FS.MeanDepth(), s.EventHash)
 		}
 	}
 }

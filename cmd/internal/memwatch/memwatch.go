@@ -63,6 +63,14 @@ func (w *Watcher) sample() {
 	w.mu.Unlock()
 }
 
+// Peak returns the high-water resident footprint observed so far without
+// stopping the watcher (the live-telemetry sampler reads it mid-run).
+func (w *Watcher) Peak() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.peak
+}
+
 // Stop ends sampling, takes a final sample, and returns the peak resident
 // footprint in bytes. Stop must be called exactly once.
 func (w *Watcher) Stop() uint64 {

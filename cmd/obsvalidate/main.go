@@ -1,31 +1,60 @@
 // Command obsvalidate checks observability artifacts against their schemas:
-// -metrics JSONL snapshot streams (see obs.ValidateMetricsJSONL) and -trace
-// Chrome trace_event JSON files (see obs.ValidateTrace). It exits non-zero
-// on the first violation, printing the offending line or event. make
-// obs-smoke runs it over a freshly traced simulation so a schema regression
-// fails CI instead of surfacing as an unopenable Perfetto file.
+// -metrics JSONL snapshot streams (see obs.ValidateMetricsJSONL), -trace
+// Chrome trace_event JSON files (see obs.ValidateTrace), -prom Prometheus
+// text expositions (see live.ValidatePrometheus, with -prom-prev enforcing
+// counter monotonicity across two scrapes), and -recorder flight-recorder
+// dumps (see live.ValidateRecorderDump). It exits non-zero on the first
+// violation, printing the offending line or event. make obs-smoke and make
+// obs-live-smoke run it over freshly produced artifacts so a schema
+// regression fails CI instead of surfacing as an unopenable Perfetto file or
+// an unscrapable endpoint.
+//
+// -scrape fetches a URL over HTTP (retrying until the server is up) and
+// validates the body as a Prometheus exposition; -o saves the body so a later
+// -prom/-prom-prev pair can check monotonicity. -post issues a POST (also
+// retried) — the live telemetry server's /quit endpoint ends a -telemetry-
+// linger window with it.
 //
 // Usage:
 //
 //	obsvalidate -metrics out.jsonl -trace run.json
+//	obsvalidate -scrape http://127.0.0.1:9090/metrics -o scrape1.prom
+//	obsvalidate -prom scrape2.prom -prom-prev scrape1.prom
+//	obsvalidate -recorder flight.txt
+//	obsvalidate -post http://127.0.0.1:9090/quit
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"strings"
+	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/live"
 )
+
+// scrapeWindow bounds how long -scrape/-post retry while the target server
+// comes up (the smoke target starts ftlsim in the background and races it).
+const scrapeWindow = 15 * time.Second
 
 func main() {
 	var (
-		metrics = flag.String("metrics", "", "JSONL metrics snapshot stream to validate")
-		trace   = flag.String("trace", "", "Chrome trace_event JSON file to validate")
+		metrics  = flag.String("metrics", "", "JSONL metrics snapshot stream to validate")
+		trace    = flag.String("trace", "", "Chrome trace_event JSON file to validate")
+		prom     = flag.String("prom", "", "Prometheus text exposition file to validate")
+		promPrev = flag.String("prom-prev", "", "earlier exposition of the same target; counters in -prom must not have decreased")
+		recorder = flag.String("recorder", "", "flight-recorder dump file to validate")
+		scrape   = flag.String("scrape", "", "URL to fetch (retrying until the server answers) and validate as a Prometheus exposition")
+		out      = flag.String("o", "", "save the -scrape body to this file")
+		post     = flag.String("post", "", "URL to POST to, retrying until the server answers (e.g. the live server's /quit)")
 	)
 	flag.Parse()
-	if *metrics == "" && *trace == "" {
-		fmt.Fprintln(os.Stderr, "obsvalidate: nothing to do; pass -metrics and/or -trace")
+	if *metrics == "" && *trace == "" && *prom == "" && *recorder == "" && *scrape == "" && *post == "" {
+		fmt.Fprintln(os.Stderr, "obsvalidate: nothing to do; pass -metrics, -trace, -prom, -recorder, -scrape and/or -post")
 		os.Exit(2)
 	}
 	if *metrics != "" {
@@ -51,6 +80,119 @@ func main() {
 			fatal(fmt.Errorf("%s: %w", *trace, err))
 		}
 		fmt.Printf("%s: %d trace events OK\n", *trace, n)
+	}
+	if *scrape != "" {
+		body, err := fetch(*scrape)
+		if err != nil {
+			fatal(err)
+		}
+		if *out != "" {
+			if err := os.WriteFile(*out, body, 0o644); err != nil {
+				fatal(err)
+			}
+		}
+		exp, err := live.ValidatePrometheus(strings.NewReader(string(body)))
+		if err != nil {
+			fatal(fmt.Errorf("scrape %s: %w", *scrape, err))
+		}
+		fmt.Printf("%s: %d series OK\n", *scrape, len(exp.Samples))
+	}
+	if *prom != "" {
+		cur, err := validateProm(*prom)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %d series OK\n", *prom, len(cur.Samples))
+		if *promPrev != "" {
+			prev, err := validateProm(*promPrev)
+			if err != nil {
+				fatal(err)
+			}
+			if err := live.CheckCounterMonotonic(prev, cur); err != nil {
+				fatal(fmt.Errorf("%s vs %s: %w", *prom, *promPrev, err))
+			}
+			fmt.Printf("%s: counters monotonic vs %s\n", *prom, *promPrev)
+		}
+	}
+	if *recorder != "" {
+		f, err := os.Open(*recorder)
+		if err != nil {
+			fatal(err)
+		}
+		n, err := live.ValidateRecorderDump(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", *recorder, err))
+		}
+		fmt.Printf("%s: %d flight records OK\n", *recorder, n)
+	}
+	if *post != "" {
+		if err := postURL(*post); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: POST OK\n", *post)
+	}
+}
+
+// validateProm parses and validates one exposition file.
+func validateProm(path string) (*live.Exposition, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	exp, err := live.ValidatePrometheus(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return exp, nil
+}
+
+// fetch GETs url, retrying within scrapeWindow so callers can race a server
+// that is still binding its port.
+func fetch(url string) ([]byte, error) {
+	deadline := time.Now().Add(scrapeWindow)
+	var lastErr error
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			body, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr != nil {
+				return nil, rerr
+			}
+			if resp.StatusCode != http.StatusOK {
+				return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+			}
+			return body, nil
+		}
+		lastErr = err
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("GET %s: %w", url, lastErr)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// postURL POSTs to url with the same retry policy as fetch.
+func postURL(url string) error {
+	deadline := time.Now().Add(scrapeWindow)
+	var lastErr error
+	for {
+		resp, err := http.Post(url, "text/plain", nil)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("POST %s: %s", url, resp.Status)
+			}
+			return nil
+		}
+		lastErr = err
+		if time.Now().After(deadline) {
+			return fmt.Errorf("POST %s: %w", url, lastErr)
+		}
+		time.Sleep(100 * time.Millisecond)
 	}
 }
 

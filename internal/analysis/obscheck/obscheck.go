@@ -19,7 +19,21 @@
 //     string concatenation — those run before the callee can check
 //     anything, so they cost even when recording is a no-op.
 //
-// Scoped, like hotalloc, to the packages that own the hot path.
+// The live telemetry plane (internal/obs/live) extends the same contract:
+//
+//   - every method call on a *live.Cell receiver inside an //ftl:hotpath
+//     function must be dominated by the same nil check — the cell pointer IS
+//     the enabled gate, and a run without -telemetry-addr must not touch the
+//     plane at all;
+//   - outside package live, cell state must be read through the Cell's
+//     accessor methods (Load, QueueStats, MeanDepth, ...), never by direct
+//     field selection: the methods are the atomic publication protocol, and
+//     a plain field read from a scraper goroutine is a data race the race
+//     detector only catches when a scrape happens to land mid-run.
+//
+// Scoped, like hotalloc, to the packages that own the hot path, plus the
+// host frontend and the live plane itself (which both carry telemetry
+// state).
 package obscheck
 
 import (
@@ -33,16 +47,28 @@ import (
 )
 
 // Analyzer enforces nil-gated tracers and allocation-free observability
-// arguments inside //ftl:hotpath functions.
+// arguments inside //ftl:hotpath functions, plus the live telemetry plane's
+// contract: enabled-gated cell calls in hot paths and accessor-only reads of
+// cell state everywhere.
 var Analyzer = &analysis.Analyzer{
 	Name: "obscheck",
-	Doc:  "hot-path observability must stay free when disabled: tracer calls nil-guarded, no allocating arguments to Tracer/Histogram methods",
+	Doc:  "hot-path observability must stay free when disabled: tracer and live-cell calls nil-guarded, no allocating arguments to Tracer/Histogram methods, no direct field reads of live.Cell state",
 	Run:  run,
 }
 
-// PackageNames are the packages the analyzer polices (hotalloc's set: the
-// packages that own //ftl:hotpath functions).
-var PackageNames = hotalloc.PackageNames
+// PackageNames are the packages the analyzer polices: hotalloc's set (the
+// packages that own //ftl:hotpath functions) plus the host frontend and the
+// live plane, which carry telemetry state. A fresh map — hotalloc's is not
+// mutated.
+var PackageNames = mergedPackages()
+
+func mergedPackages() map[string]bool {
+	m := map[string]bool{"host": true, "live": true}
+	for k, v := range hotalloc.PackageNames {
+		m[k] = v
+	}
+	return m
+}
 
 func run(pass *analysis.Pass) (any, error) {
 	if !PackageNames[pass.Pkg.Name()] {
@@ -52,6 +78,13 @@ func run(pass *analysis.Pass) (any, error) {
 		if pass.InTestFile(file.Pos()) {
 			continue
 		}
+		// Cell state is published through atomics behind accessor methods;
+		// a direct field read from outside the package bypasses the protocol
+		// (inside package live the implementation necessarily touches its
+		// own fields).
+		if pass.Pkg.Name() != "live" {
+			checkFieldReads(pass, file)
+		}
 		for _, decl := range file.Decls {
 			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil && isHotPath(fn) {
 				checkStmts(pass, fn, fn.Body.List, map[string]bool{})
@@ -59,6 +92,29 @@ func run(pass *analysis.Pass) (any, error) {
 		}
 	}
 	return nil, nil
+}
+
+// checkFieldReads flags direct field selections on live.Cell values anywhere
+// in the file — cold paths included, since a scraper goroutine can race a
+// field read no matter how rarely it runs.
+func checkFieldReads(pass *analysis.Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s, ok := pass.TypesInfo.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return true
+		}
+		if !isPkgType(s.Recv(), "live", "Cell") {
+			return true
+		}
+		pass.Reportf(sel.Sel.Pos(),
+			"non-atomic read of live.Cell field %s: cell state is published via atomics; use the Cell accessor methods",
+			sel.Sel.Name)
+		return true
+	})
 }
 
 // isHotPath reports whether fn's doc comment carries the hotalloc directive.
@@ -155,7 +211,8 @@ func checkExprs(pass *analysis.Pass, fn *ast.FuncDecl, exprs []ast.Expr, guarded
 			}
 			recvTracer := isObsType(pass, sel, "Tracer")
 			recvHist := isObsType(pass, sel, "Histogram")
-			if !recvTracer && !recvHist {
+			recvCell := isSelType(pass, sel, "live", "Cell")
+			if !recvTracer && !recvHist && !recvCell {
 				return true
 			}
 			if recvTracer {
@@ -164,6 +221,17 @@ func checkExprs(pass *analysis.Pass, fn *ast.FuncDecl, exprs []ast.Expr, guarded
 						"tracer call %s.%s in hot-path function %s without a nil guard: the disabled path must do no work (wrap in `if %s != nil` or bind-and-check)",
 						recv, sel.Sel.Name, fn.Name.Name, recv)
 				}
+			}
+			if recvCell {
+				// The cell pointer is the telemetry enabled-gate: a run
+				// without -telemetry-addr leaves it nil, and the hot path
+				// must then never reach the plane.
+				if recv := flatten(sel.X); !guarded[recv] {
+					pass.Reportf(call.Pos(),
+						"telemetry call %s.%s in hot-path function %s without an enabled-gate: the cell is nil when telemetry is off (wrap in `if %s != nil` or bind-and-check)",
+						recv, sel.Sel.Name, fn.Name.Name, recv)
+				}
+				return true
 			}
 			for _, arg := range call.Args {
 				if pos, what, bad := allocatingExpr(pass, arg); bad {
@@ -180,11 +248,22 @@ func checkExprs(pass *analysis.Pass, fn *ast.FuncDecl, exprs []ast.Expr, guarded
 // isObsType reports whether sel's receiver is the named type from a package
 // named "obs" (possibly behind a pointer).
 func isObsType(pass *analysis.Pass, sel *ast.SelectorExpr, name string) bool {
+	return isSelType(pass, sel, "obs", name)
+}
+
+// isSelType reports whether sel's receiver is the named type from the named
+// package (possibly behind a pointer).
+func isSelType(pass *analysis.Pass, sel *ast.SelectorExpr, pkg, name string) bool {
 	s, ok := pass.TypesInfo.Selections[sel]
 	if !ok {
 		return false
 	}
-	t := s.Recv()
+	return isPkgType(s.Recv(), pkg, name)
+}
+
+// isPkgType reports whether t is the named type from the named package
+// (possibly behind a pointer).
+func isPkgType(t types.Type, pkg, name string) bool {
 	if p, ok := t.(*types.Pointer); ok {
 		t = p.Elem()
 	}
@@ -193,7 +272,7 @@ func isObsType(pass *analysis.Pass, sel *ast.SelectorExpr, name string) bool {
 		return false
 	}
 	obj := named.Obj()
-	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Name() == "obs"
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Name() == pkg
 }
 
 // allocatingExpr reports the first sub-expression of e that allocates on

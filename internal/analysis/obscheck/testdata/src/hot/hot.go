@@ -5,6 +5,7 @@ package ssd
 
 import (
 	"fmt"
+	"live"
 	"obs"
 	"time"
 )
@@ -18,6 +19,7 @@ type sched struct {
 	tracer *obs.Tracer
 	hist   obs.Histogram
 	parent int64
+	cell   *live.Cell
 }
 
 //ftl:hotpath
@@ -73,4 +75,48 @@ func (s *sched) recordPlain(d time.Duration) {
 // coldTrace is not marked: cold paths may call the tracer however they like.
 func (s *sched) coldTrace(die int, start, end time.Duration) {
 	s.tracer.FlashOp(0, die, 0, start, end, s.parent)
+}
+
+//ftl:hotpath
+func (s *sched) telemetryUnguarded(reqs int64) {
+	if s.cell.Due(reqs) { // want `telemetry call s\.cell\.Due in hot-path function telemetryUnguarded without an enabled-gate`
+		s.cell.SetQueueStats(reqs, 0, 0) // want `telemetry call s\.cell\.SetQueueStats in hot-path function telemetryUnguarded without an enabled-gate`
+	}
+}
+
+//ftl:hotpath
+func (s *sched) telemetryGuardedBind(reqs int64) {
+	if c := s.cell; c != nil {
+		if c.Due(reqs) {
+			c.SetQueueStats(reqs, 0, 0)
+		}
+	}
+}
+
+//ftl:hotpath
+func (s *sched) telemetryGuardedEarlyReturn(reqs int64) {
+	if s.cell == nil {
+		return
+	}
+	if s.cell.Due(reqs) {
+		s.cell.SetQueueStats(reqs, 0, 0)
+	}
+}
+
+// coldCell is not hot-path-marked, but the field-read rule applies to cold
+// paths too: a scraper goroutine can race a direct field read no matter how
+// rarely it runs.
+func (s *sched) coldCell() int64 {
+	if s.cell == nil {
+		return 0
+	}
+	return s.cell.Epoch // want `non-atomic read of live\.Cell field Epoch`
+}
+
+// loadEpoch is the sanctioned read shape: accessor methods only.
+func (s *sched) loadEpoch() *live.Snapshot {
+	if s.cell == nil {
+		return nil
+	}
+	return s.cell.Load()
 }

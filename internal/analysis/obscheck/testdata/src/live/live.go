@@ -1,0 +1,21 @@
+// Fixture stub of the live telemetry plane: the analyzer matches the Cell
+// receiver by type name + package name, so the shapes here mirror
+// internal/obs/live without its implementation. Epoch is an exported plain
+// field the real Cell would never have — it exists so the non-atomic
+// field-read diagnostic has something to fire on.
+package live
+
+type Snapshot struct {
+	Seq int64
+}
+
+type Cell struct {
+	Epoch    int64
+	admitted int64
+}
+
+func (c *Cell) Due(requests int64) bool { return requests%1024 == 0 }
+
+func (c *Cell) Load() *Snapshot { return nil }
+
+func (c *Cell) SetQueueStats(admitted, depthSum, maxDepth int64) { c.admitted = admitted }

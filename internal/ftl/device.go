@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/flash"
 	"repro/internal/obs"
+	"repro/internal/obs/live"
 	"repro/internal/ssd"
 	"repro/internal/trace"
 )
@@ -70,13 +71,17 @@ type Device struct {
 	tracer       *obs.Tracer
 	metricsW     *obs.MetricsWriter
 	metricsEvery int64
-	snapSeq      int64
-	lastExport   obs.Counters
-	reqXlate     time.Duration
-	reqData      time.Duration
-	reqWB        time.Duration
-	reqMiss      bool
-	reqPrefetch  bool
+	// live is the shard's telemetry cell (nil when the live plane is off —
+	// the disabled path pays one nil check and allocates nothing). Epochs
+	// and recorder appends happen only on the serving goroutine.
+	live        *live.Cell
+	snapSeq     int64
+	lastExport  obs.Counters
+	reqXlate    time.Duration
+	reqData     time.Duration
+	reqWB       time.Duration
+	reqMiss     bool
+	reqPrefetch bool
 
 	// OnSample, if set, is invoked every SampleEvery user page accesses
 	// with the current page-access count; the Fig. 1/2 instrumentation
@@ -162,7 +167,14 @@ func (d *Device) Metrics() Metrics {
 
 // ResetMetrics zeroes the counters (e.g. after a warm-up phase) and re-bases
 // the busy-time and elapsed-time accounting at the current simulated time.
+// With a live cell attached, the pre-reset totals are first published and
+// folded into the cell's monotonic base, so counters scraped off the live
+// plane keep growing across the reset (the Prometheus counter contract).
 func (d *Device) ResetMetrics() {
+	if c := d.live; c != nil {
+		d.publishLive()
+		c.FoldBase(d.m.Counters(), d.m.GCDataCollections, d.m.GCTransCollections)
+	}
 	d.m = Metrics{}
 	for c := 0; c < d.chip.Config().NumChannels() && c < MaxChannels; c++ {
 		d.busyAtReset[c] = d.sched.ChannelBusy(c)
@@ -186,6 +198,66 @@ func (d *Device) SetTracer(t *obs.Tracer) {
 	fc := d.chip.Config()
 	for die := 0; die < fc.NumDies(); die++ {
 		t.ThreadName(die, fc.ChannelOfDie(die))
+	}
+}
+
+// SetLive attaches (or with nil, detaches) the shard's live-telemetry cell.
+// Attach before serving; the device publishes immutable epochs into the cell
+// at the cell's request-count cadence and appends every request to its
+// flight recorder — all from the serving goroutine, the cell's single
+// writer. Telemetry reads the simulated clock and never advances it.
+func (d *Device) SetLive(c *live.Cell) { d.live = c }
+
+// PublishLive immediately publishes a telemetry epoch from the current
+// metrics (end of run or phase boundary). No-op without a cell.
+func (d *Device) PublishLive() { d.publishLive() }
+
+// publishLive builds one epoch from the cumulative metrics and swaps it
+// into the cell. Cold path: only reached with the live plane enabled.
+func (d *Device) publishLive() {
+	if c := d.live; c != nil {
+		c.Publish(int64(d.sched.Now()), d.m.Counters(),
+			d.m.GCDataCollections, d.m.GCTransCollections, int64(d.m.MaxResponse))
+	}
+}
+
+// recordLive appends one served (or failed — complete stays zero) request
+// to the flight recorder and publishes an epoch when one is due. The
+// recorder ring is pre-allocated and Record is pointer-free, so this
+// allocates nothing per request.
+//
+//ftl:hotpath
+func (d *Device) recordLive(c *live.Cell, req *trace.Request, arrival, admit, complete time.Duration) {
+	if c == nil {
+		return
+	}
+	c.Recorder().Append(live.Record{
+		SimNS:      int64(d.sched.Now()),
+		Kind:       liveKind(req.Op),
+		Off:        req.Offset,
+		N:          req.Length,
+		ArrivalNS:  int64(arrival),
+		AdmitNS:    int64(admit),
+		CompleteNS: int64(complete),
+	})
+	if c.Due(d.m.Requests) {
+		d.publishLive()
+	}
+}
+
+// liveKind maps a host op onto its flight-recorder record kind.
+func liveKind(op trace.Op) live.Kind {
+	switch op {
+	case trace.OpWrite:
+		return live.KindWrite
+	case trace.OpWriteFUA:
+		return live.KindWriteFUA
+	case trace.OpTrim:
+		return live.KindTrim
+	case trace.OpFlush:
+		return live.KindFlush
+	default:
+		return live.KindRead
 	}
 }
 
@@ -377,6 +449,11 @@ func (d *Device) serveAdmitted(req trace.Request, admit time.Duration) (complete
 	d.reqXlate, d.reqData, d.reqWB = 0, 0, 0
 	d.reqMiss, d.reqPrefetch = false, false
 	gcBase := d.m.GCTime
+	if c := d.live; c != nil {
+		// Deferred so a failing request — the one a post-mortem cares
+		// about — still lands in the flight recorder (complete stays 0).
+		defer func() { d.recordLive(c, &req, arrival, admit, complete) }()
+	}
 
 	switch req.Op {
 	case trace.OpRead, trace.OpWrite, trace.OpWriteFUA:

@@ -3,6 +3,7 @@ package ftl
 import (
 	"repro/internal/flash"
 	"repro/internal/obs"
+	"repro/internal/obs/live"
 )
 
 // maybeGC runs garbage collection until the free-block count exceeds the
@@ -85,6 +86,14 @@ func (d *Device) maybeWearLevel() error {
 			return err
 		}
 		d.m.WearLevelMoves++
+		if c := d.live; c != nil {
+			c.Recorder().Append(live.Record{
+				SimNS:      int64(d.sched.Now()),
+				Kind:       live.KindWearLevel,
+				Off:        int64(minBlk),
+				CompleteNS: int64(d.sched.Now()),
+			})
+		}
 	}
 }
 
@@ -148,6 +157,7 @@ func (d *Device) collect(blk flash.BlockID) error {
 	}
 	d.issueBlock(blk, lat, obs.OpErase)
 	d.m.FlashErases++
+	recKind := live.KindGCData
 	switch kind {
 	case blockData:
 		d.m.GCDataCollections++
@@ -155,10 +165,22 @@ func (d *Device) collect(blk flash.BlockID) error {
 	case blockTrans:
 		d.m.GCTransCollections++
 		d.m.GCTransValidSum += int64(validCount)
+		recKind = live.KindGCTrans
 	default:
 		return errf("GC: victim %d has kind %v", blk, kind)
 	}
 	d.bm.release(blk)
+	if c := d.live; c != nil {
+		// One scheduler event per collection in the flight recorder: the
+		// victim block and how many valid pages it forced us to migrate.
+		c.Recorder().Append(live.Record{
+			SimNS:      int64(d.sched.Now()),
+			Kind:       recKind,
+			Off:        int64(blk),
+			N:          int64(validCount),
+			CompleteNS: int64(d.sched.Now()),
+		})
+	}
 	return nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/ftl"
+	"repro/internal/obs/live"
 	"repro/internal/ssd"
 	"repro/internal/trace"
 )
@@ -62,6 +63,10 @@ type shard struct {
 	depthSum int64
 	err      error
 
+	// cell is the shard's live-telemetry cell (nil when the plane is off).
+	// The worker publishes queue stats into it once per served batch.
+	cell *live.Cell
+
 	inbox chan freeFrag // queue-pair mode submissions (nil outside Start/Stop)
 }
 
@@ -92,6 +97,23 @@ func (h *Host) Layout() Layout { return h.lay }
 // preconditioning, warming, fault arming) before a run. It must not be
 // touched while a Replay or the queue-pair service is running.
 func (h *Host) Device(s int) *ftl.Device { return h.shards[s].dev }
+
+// SetLive attaches one live-telemetry cell per shard (cells[s] → shard s;
+// nil entries or a nil slice detach). Each shard's device publishes epochs
+// and flight-recorder entries into its cell from the shard worker goroutine,
+// and the worker publishes frontend queue stats per batch — telemetry rides
+// the existing single-writer-per-shard discipline, so replays stay
+// bit-for-bit deterministic with the plane on or off.
+func (h *Host) SetLive(cells []*live.Cell) {
+	for s, sh := range h.shards {
+		var c *live.Cell
+		if s < len(cells) {
+			c = cells[s]
+		}
+		sh.cell = c
+		sh.dev.SetLive(c)
+	}
+}
 
 // reset clears one run's admission state. A closed loop at depth 1 starts
 // with the device's current clock occupying the single slot, reproducing the
@@ -155,6 +177,10 @@ type ShardResult struct {
 	EventHash uint64
 	// Admitted counts the fragments this shard served during the run.
 	Admitted int64
+	// FS is the shard frontend's queueing statistics — the same snapshot
+	// struct the live telemetry plane publishes per shard, so the ftlsim
+	// report table and a live scrape read identical numbers.
+	FS ssd.FrontendStats
 }
 
 // Outcome aggregates a run across shards.
@@ -274,6 +300,9 @@ func (h *Host) ReplayStream(it trace.Iterator, o ReplayOptions) (*Outcome, error
 							break
 						}
 					}
+					if sh.cell != nil {
+						sh.cell.SetQueueStats(sh.admitted, sh.depthSum, sh.maxDepth)
+					}
 				}
 				ls[turn].free <- b[:0]
 			}
@@ -372,8 +401,16 @@ func (h *Host) collect() *Outcome {
 			m.QueueDepthSum = sh.depthSum
 		}
 		hashes[s] = sh.dev.Scheduler().EventHash()
-		out.Shards[s] = ShardResult{Shard: s, M: m, EventHash: hashes[s], Admitted: sh.admitted}
+		fs := ssd.FrontendStats{Admitted: sh.admitted, MaxDepth: sh.maxDepth, DepthSum: sh.depthSum}
+		out.Shards[s] = ShardResult{Shard: s, M: m, EventHash: hashes[s], Admitted: sh.admitted, FS: fs}
 		out.M.Merge(&m)
+		if sh.cell != nil {
+			// Final epoch + queue stats so a scrape after the run (or during
+			// a -telemetry-linger wait) sees the exact end-of-run numbers.
+			// collect runs after wg.Wait(), so the single-writer rule holds.
+			sh.dev.PublishLive()
+			sh.cell.SetQueueStats(sh.admitted, sh.depthSum, sh.maxDepth)
+		}
 	}
 	out.Digest = Digest(hashes)
 	return out

@@ -54,6 +54,33 @@ func (c Counters) Sub(o Counters) Counters {
 	}
 }
 
+// Add returns c + o. Together with Sub it lets a consumer re-base counters
+// across a metrics reset: fold the pre-reset totals into a base, keep adding
+// the post-reset cumulative values, and the published sum stays monotonic
+// over the whole process lifetime (what Prometheus counters require).
+func (c Counters) Add(o Counters) Counters {
+	return Counters{
+		Requests:      c.Requests + o.Requests,
+		PageReads:     c.PageReads + o.PageReads,
+		PageWrites:    c.PageWrites + o.PageWrites,
+		Lookups:       c.Lookups + o.Lookups,
+		Hits:          c.Hits + o.Hits,
+		FlashReads:    c.FlashReads + o.FlashReads,
+		FlashPrograms: c.FlashPrograms + o.FlashPrograms,
+		FlashErases:   c.FlashErases + o.FlashErases,
+		TransReads:    c.TransReads + o.TransReads,
+		TransWrites:   c.TransWrites + o.TransWrites,
+		Prefetched:    c.Prefetched + o.Prefetched,
+		TrimmedPages:  c.TrimmedPages + o.TrimmedPages,
+		Flushes:       c.Flushes + o.Flushes,
+		Collections:   c.Collections + o.Collections,
+		ResponseNS:    c.ResponseNS + o.ResponseNS,
+		ServiceNS:     c.ServiceNS + o.ServiceNS,
+		QueueNS:       c.QueueNS + o.QueueNS,
+		GCNS:          c.GCNS + o.GCNS,
+	}
+}
+
 // PhaseSnapshot is one phase histogram condensed to its quantile summary.
 type PhaseSnapshot struct {
 	Phase  string `json:"phase"`

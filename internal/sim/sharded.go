@@ -6,6 +6,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/ftl"
 	"repro/internal/host"
+	"repro/internal/obs/live"
+	"repro/internal/ssd"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -17,6 +19,10 @@ type ShardRun struct {
 	M ftl.Metrics
 	// EventHash is the shard scheduler's order-sensitive event hash.
 	EventHash uint64
+	// FS is the shard frontend's queueing statistics — the same snapshot
+	// struct the live telemetry plane publishes, so the ftlsim report table
+	// and a live scrape agree.
+	FS ssd.FrontendStats
 }
 
 // runSharded executes one simulation through the sharded multi-queue host
@@ -114,6 +120,16 @@ func runSharded(o Options, devCfg ftl.Config, profile workload.Profile, cacheByt
 	if err != nil {
 		return nil, err
 	}
+	if o.Telemetry != nil {
+		// One cell per shard; warm-up and the measured phase both publish
+		// (the warm-up reset folds into each cell's monotonic base).
+		h.SetLive(o.Telemetry.StartRun(live.RunInfo{
+			Scheme:        string(o.Scheme),
+			Workload:      profile.Name,
+			Shards:        o.Shards,
+			TotalRequests: expectedRequests(o, reqs),
+		}))
+	}
 	replay := host.ReplayOptions{Clients: o.Clients, Batch: o.StreamBatch}
 
 	// A streamed source is wrapped so trace statistics accumulate as the
@@ -169,7 +185,7 @@ func runSharded(o Options, devCfg ftl.Config, profile workload.Profile, cacheByt
 		Shards:     make([]ShardRun, len(out.Shards)),
 	}
 	for i, sr := range out.Shards {
-		res.Shards[i] = ShardRun{Shard: sr.Shard, M: sr.M, EventHash: sr.EventHash}
+		res.Shards[i] = ShardRun{Shard: sr.Shard, M: sr.M, EventHash: sr.EventHash, FS: sr.FS}
 	}
 	if t, ok := trs[0].(*core.FTL); ok {
 		res.Variant = t.Variant()

@@ -16,6 +16,7 @@ import (
 	"repro/internal/ftl/sftl"
 	"repro/internal/ftl/zftl"
 	"repro/internal/obs"
+	"repro/internal/obs/live"
 	"repro/internal/ssd"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -139,6 +140,16 @@ type Options struct {
 	MetricsOut      io.Writer
 	MetricsInterval int
 	TraceOut        io.Writer
+
+	// Telemetry, if non-nil, is the live scrape plane: the run installs one
+	// cell per shard (StartRun) and each shard publishes immutable metric
+	// epochs, frontend queue stats and flight-recorder entries into its cell
+	// as it serves — readable concurrently through the plane's HTTP/expvar
+	// surfaces while the run is in flight. Publication cadence is keyed to
+	// served-request counts, so every simulated metric, EventHash and Digest
+	// is bit-for-bit identical with the plane attached or not. Works on the
+	// legacy path and with Shards.
+	Telemetry *live.Plane
 }
 
 // Sample is one cache-distribution observation (Fig. 1/2 instrumentation).
@@ -278,6 +289,18 @@ func Run(o Options) (*Result, error) {
 	}
 	stats := trace.Summarize(reqs)
 
+	var liveCell *live.Cell
+	if o.Telemetry != nil {
+		cells := o.Telemetry.StartRun(live.RunInfo{
+			Scheme:        string(o.Scheme),
+			Workload:      profile.Name,
+			Shards:        1,
+			TotalRequests: expectedRequests(o, reqs),
+		})
+		liveCell = cells[0]
+		dev.SetLive(liveCell)
+	}
+
 	if o.Precondition > 0 {
 		// Age only the workload's footprint: the cold remainder stays in
 		// its pristine fully-valid blocks, exactly where a long-running
@@ -356,7 +379,7 @@ func Run(o Options) (*Result, error) {
 			_, err := dev.Run(rs)
 			return ssd.FrontendStats{}, err
 		}
-		fe := ssd.Frontend{QueueDepth: feDepth}
+		fe := ssd.Frontend{QueueDepth: feDepth, Live: liveCell}
 		return fe.Run(dev, rs)
 	}
 	// serveStream drains one phase (warm-up prefix or measured remainder) of
@@ -377,6 +400,7 @@ func Run(o Options) (*Result, error) {
 		var adm *ssd.Admitter
 		if useFrontend {
 			adm = ssd.NewAdmitter(feDepth)
+			adm.SetLive(liveCell)
 		}
 		idx := 0
 		for {
@@ -455,6 +479,9 @@ func Run(o Options) (*Result, error) {
 		res.TraceStats = acc.Stats()
 	}
 	res.M = dev.Metrics()
+	// Final epoch so a scrape after the run reads the exact end-of-run
+	// totals rather than the last cadence boundary.
+	dev.PublishLive()
 	if err := dev.FinishObservability(); err != nil {
 		return nil, fmt.Errorf("sim: %s/%s observability flush: %w", o.Scheme, profile.Name, err)
 	}
@@ -469,6 +496,23 @@ func Run(o Options) (*Result, error) {
 		return nil, fmt.Errorf("sim: %s/%s post-run consistency: %w", o.Scheme, profile.Name, err)
 	}
 	return res, nil
+}
+
+// expectedRequests returns the run's total request count when known, 0
+// otherwise — the live plane's ETA denominator. A streamed source carries a
+// record count only when its header does (trace.Stream.Records).
+func expectedRequests(o Options, eager []trace.Request) int64 {
+	if o.TraceStream != nil {
+		type recordser interface{ Records() int64 }
+		if r, ok := o.TraceStream.(recordser); ok {
+			return r.Records()
+		}
+		return 0
+	}
+	if eager != nil {
+		return int64(len(eager))
+	}
+	return int64(o.Requests)
 }
 
 // dirtySetOf extracts the dirty cached entries from any scheme that exposes

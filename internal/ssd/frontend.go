@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/obs/live"
 	"repro/internal/trace"
 )
 
@@ -31,6 +32,10 @@ type Frontend struct {
 	// QueueDepth bounds the in-flight requests; zero or negative selects
 	// open loop.
 	QueueDepth int
+	// Live, when non-nil, receives the frontend's queueing statistics after
+	// each admission (atomic stores into the shard's telemetry cell; the
+	// admission schedule is unaffected).
+	Live *live.Cell
 }
 
 // FrontendStats summarizes one replay's queueing behavior. The zero value
@@ -63,9 +68,10 @@ func (s FrontendStats) MeanDepth() float64 {
 // over the concatenated stream would produce. Construct with NewAdmitter;
 // the zero value is a valid open-loop admitter.
 type Admitter struct {
-	qd int
-	q  EventQueue
-	st FrontendStats
+	qd   int
+	q    EventQueue
+	st   FrontendStats
+	live *live.Cell
 }
 
 // NewAdmitter returns an admitter with the given queue depth (zero or
@@ -73,6 +79,11 @@ type Admitter struct {
 func NewAdmitter(queueDepth int) *Admitter {
 	return &Admitter{qd: queueDepth}
 }
+
+// SetLive attaches (or with nil, detaches) a telemetry cell: the queueing
+// statistics are published into it after every admission so live scrapes
+// see current depth numbers. Admission decisions are unchanged.
+func (a *Admitter) SetLive(c *live.Cell) { a.live = c }
 
 // Admit admits one request under the queue-depth policy and serves it on s.
 // Requests must arrive in non-decreasing trace order across all calls.
@@ -101,6 +112,9 @@ func (a *Admitter) Admit(s Server, r trace.Request) (time.Duration, error) {
 	if depth > a.st.MaxDepth {
 		a.st.MaxDepth = depth
 	}
+	if c := a.live; c != nil {
+		c.SetQueueStats(a.st.Admitted, a.st.DepthSum, a.st.MaxDepth)
+	}
 	return complete, nil
 }
 
@@ -113,6 +127,7 @@ func (a *Admitter) Stats() FrontendStats { return a.st }
 // stream.
 func (f Frontend) Run(s Server, reqs []trace.Request) (FrontendStats, error) {
 	a := NewAdmitter(f.QueueDepth)
+	a.SetLive(f.Live)
 	for i := range reqs {
 		if _, err := a.Admit(s, reqs[i]); err != nil {
 			return a.Stats(), fmt.Errorf("ssd: request %d: %w", i, err)
